@@ -1,0 +1,232 @@
+package graphrnn_test
+
+// One benchmark per table and figure of the paper's evaluation (Section 6),
+// each delegating to the experiment harness that rebuilds the workload and
+// prints the same series as the paper. Run a single regeneration with e.g.
+//
+//	go test -bench BenchmarkFig17 -benchtime 1x -v
+//
+// The harness defaults to reduced ("laptop") scales; cmd/experiments -full
+// runs the paper-scale configurations. Micro-benchmarks for individual
+// query algorithms and maintenance operations follow at the bottom.
+
+import (
+	"testing"
+
+	"graphrnn"
+	"graphrnn/internal/exp"
+)
+
+// benchScale keeps bench iterations quick while exercising the identical
+// code path as cmd/experiments.
+func benchScale() exp.Scale { return exp.Scale{Queries: 5, Seed: 2006} }
+
+func benchExperiment(b *testing.B, name string) {
+	b.Helper()
+	e, ok := exp.Find(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	var tab *exp.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		tab, err = e.Run(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Report the paper's cost metric for the first and last setting of
+	// the first algorithm column, so regressions in the *shape* show up
+	// in benchmark diffs.
+	first := tab.Cells[0][0]
+	last := tab.Cells[len(tab.Cells)-1][0]
+	b.ReportMetric(first.Total(), "cost_first_s")
+	b.ReportMetric(last.Total(), "cost_last_s")
+	if testing.Verbose() {
+		b.Logf("\n%s", tab.Format())
+	}
+}
+
+// Table 1: ad-hoc predicate queries on the DBLP-like coauthorship graph.
+func BenchmarkTable1AdHocDBLP(b *testing.B) { benchExperiment(b, "table1") }
+
+// Table 2: cost vs density on the DBLP-like graph.
+func BenchmarkTable2DensityDBLP(b *testing.B) { benchExperiment(b, "table2") }
+
+// Fig 15: cost vs |V| on BRITE-like topologies (exponential expansion).
+func BenchmarkFig15BriteScaling(b *testing.B) { benchExperiment(b, "fig15") }
+
+// Fig 16: cost vs density on a fixed BRITE-like topology.
+func BenchmarkFig16BriteDensity(b *testing.B) { benchExperiment(b, "fig16") }
+
+// Fig 17: cost vs density on the SF-like unrestricted network.
+func BenchmarkFig17SFDensity(b *testing.B) { benchExperiment(b, "fig17") }
+
+// Fig 18: cost vs k on the SF-like network.
+func BenchmarkFig18SFVaryK(b *testing.B) { benchExperiment(b, "fig18") }
+
+// Fig 19: continuous queries vs route size.
+func BenchmarkFig19Continuous(b *testing.B) { benchExperiment(b, "fig19") }
+
+// Fig 20a: grid maps, cost vs |V|.
+func BenchmarkFig20aGridScaling(b *testing.B) { benchExperiment(b, "fig20a") }
+
+// Fig 20b: grid maps, cost vs average degree.
+func BenchmarkFig20bGridDegree(b *testing.B) { benchExperiment(b, "fig20b") }
+
+// Fig 21: cost vs LRU buffer capacity.
+func BenchmarkFig21BufferSize(b *testing.B) { benchExperiment(b, "fig21") }
+
+// Fig 22a: materialization update cost vs density.
+func BenchmarkFig22aUpdateDensity(b *testing.B) { benchExperiment(b, "fig22a") }
+
+// Fig 22b: materialization update cost vs K.
+func BenchmarkFig22bUpdateK(b *testing.B) { benchExperiment(b, "fig22b") }
+
+// --- Micro-benchmarks -----------------------------------------------------
+
+type microEnv struct {
+	db      *graphrnn.DB
+	ps      *graphrnn.NodePoints
+	mat     *graphrnn.Materialization
+	queries []graphrnn.PointID
+}
+
+func newMicroEnv(b *testing.B) *microEnv {
+	b.Helper()
+	g, err := graphrnn.GenerateRoadNetwork(2006, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, &graphrnn.Options{DiskBacked: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(2007, g.NumNodes()/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mat, err := db.MaterializeNodePoints(ps, 4, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &microEnv{db: db, ps: ps, mat: mat, queries: ps.Points()}
+}
+
+func benchQueries(b *testing.B, algo func(*microEnv) graphrnn.Algorithm) {
+	e := newMicroEnv(b)
+	a := algo(e)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qp := e.queries[i%len(e.queries)]
+		qnode, _ := e.ps.NodeOf(qp)
+		if _, err := e.db.RNN(e.ps.Excluding(qp), qnode, 2, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// R2NN query latency per algorithm on a 20K-node road network, D=0.01.
+func BenchmarkQueryEager(b *testing.B) {
+	benchQueries(b, func(*microEnv) graphrnn.Algorithm { return graphrnn.Eager() })
+}
+
+func BenchmarkQueryLazy(b *testing.B) {
+	benchQueries(b, func(*microEnv) graphrnn.Algorithm { return graphrnn.Lazy() })
+}
+
+func BenchmarkQueryLazyEP(b *testing.B) {
+	benchQueries(b, func(*microEnv) graphrnn.Algorithm { return graphrnn.LazyEP() })
+}
+
+func BenchmarkQueryEagerM(b *testing.B) {
+	benchQueries(b, func(e *microEnv) graphrnn.Algorithm { return graphrnn.EagerM(e.mat) })
+}
+
+// All-NN materialization build (Fig 8) on a 20K-node road network.
+func BenchmarkMaterializeBuild(b *testing.B) {
+	g, err := graphrnn.GenerateRoadNetwork(2006, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(2007, g.NumNodes()/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.MaterializeNodePoints(ps, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation: the connectivity-clustering page layout (BFS order, the
+// paper's Chan & Zhang-style grouping) against a random layout, measured
+// as buffer faults of an identical eager workload. DESIGN.md S2 calls this
+// design choice out; the BFS layout should fault substantially less.
+func BenchmarkLayoutAblation(b *testing.B) {
+	for _, layout := range []string{"bfs", "random"} {
+		b.Run(layout, func(b *testing.B) {
+			g, err := graphrnn.GenerateRoadNetwork(2006, 20000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var db *graphrnn.DB
+			if layout == "bfs" {
+				db, err = graphrnn.Open(g, &graphrnn.Options{DiskBacked: true, BufferPages: 16})
+			} else {
+				db, err = graphrnn.OpenWithLayout(g, &graphrnn.Options{DiskBacked: true, BufferPages: 16}, graphrnn.RandomLayout(7))
+			}
+			if err != nil {
+				b.Fatal(err)
+			}
+			ps, err := db.PlaceRandomNodePoints(2007, g.NumNodes()/100)
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries := ps.Points()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				qp := queries[i%len(queries)]
+				qnode, _ := ps.NodeOf(qp)
+				if _, err := db.RNN(ps.Excluding(qp), qnode, 1, graphrnn.Eager()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			io := db.IOStats()
+			b.ReportMetric(float64(io.Reads)/float64(b.N), "faults/query")
+		})
+	}
+}
+
+// Insertion + deletion maintenance round-trip (Figs 10-11).
+func BenchmarkMaterializeUpdate(b *testing.B) {
+	e := newMicroEnv(b)
+	g := e.db.Graph()
+	// Find free nodes to cycle through.
+	var free []graphrnn.NodeID
+	for n := 0; n < g.NumNodes() && len(free) < 64; n++ {
+		if _, taken := e.ps.PointAt(graphrnn.NodeID(n)); !taken {
+			free = append(free, graphrnn.NodeID(n))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := free[i%len(free)]
+		p, _, err := e.mat.InsertNode(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.mat.DeletePoint(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Quickstart: build a tiny network, place data points, and compare every
+// algorithm on one reverse-nearest-neighbor query.
+//
+// The network is the running example of the paper (Fig 3a): seven nodes,
+// three data points (p1 on n6, p2 on n5, p3 on n7), query at n4. The
+// expected answer is RNN(q) = {p1, p2}: both have q as their nearest
+// neighbor, while p3's nearest neighbor is p1.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"graphrnn"
+)
+
+func main() {
+	// Nodes 0..6 stand for n1..n7.
+	gb := graphrnn.NewGraphBuilder(7)
+	type edge struct {
+		u, v graphrnn.NodeID
+		w    float64
+	}
+	for _, e := range []edge{
+		{0, 1, 3}, {0, 3, 5}, {0, 4, 3},
+		{1, 2, 2}, {1, 5, 2},
+		{2, 3, 4}, {2, 5, 3},
+		{4, 5, 9}, {5, 6, 8},
+	} {
+		if err := gb.AddEdge(e.u, e.v, e.w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	g, err := gb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ps := db.NewNodePoints()
+	names := map[graphrnn.PointID]string{}
+	for i, n := range []graphrnn.NodeID{5, 4, 6} { // p1 on n6, p2 on n5, p3 on n7
+		p, err := ps.Place(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names[p] = fmt.Sprintf("p%d", i+1)
+	}
+
+	// Materialized 1-NN lists enable the eager-M algorithm.
+	mat, err := db.MaterializeNodePoints(ps, 1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const q = graphrnn.NodeID(3) // n4
+	fmt.Printf("RNN query at n4 over {p1@n6, p2@n5, p3@n7}:\n\n")
+	for _, algo := range []graphrnn.Algorithm{
+		graphrnn.Eager(),
+		graphrnn.Lazy(),
+		graphrnn.LazyEP(),
+		graphrnn.EagerM(mat),
+		graphrnn.BruteForce(),
+	} {
+		res, err := db.RNN(ps, q, 1, algo)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var labels []string
+		for _, p := range res.Points {
+			labels = append(labels, names[p])
+		}
+		fmt.Printf("  %-12s -> %v  (nodes expanded: %d, verifications: %d)\n",
+			algo, labels, res.Stats.NodesExpanded, res.Stats.Verifications)
+	}
+
+	// Reverse 2-NN: now p3 also qualifies (q is its second NN).
+	res, err := db.RNN(ps, q, 2, graphrnn.Eager())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nR2NN at n4 -> %d points (k widens the answer set)\n", len(res.Points))
+}

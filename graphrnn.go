@@ -1,0 +1,309 @@
+// Package graphrnn answers reverse nearest neighbor (RNN) queries on large
+// weighted graphs. It is a from-scratch Go implementation of
+//
+//	M. L. Yiu, D. Papadias, N. Mamoulis, Y. Tao:
+//	"Reverse Nearest Neighbors in Large Graphs",
+//	ICDE 2005; IEEE TKDE 18(4):540-553, 2006.
+//
+// Given a set of data points placed on the nodes or edges of an undirected
+// weighted graph, RkNN(q) returns the points that have the query among
+// their k nearest neighbors under shortest-path distance. The package
+// implements the paper's four algorithms — eager, lazy, eager with
+// materialized K-NN lists (eager-M, including incremental maintenance), and
+// lazy with extended pruning (lazy-EP) — for monochromatic, bichromatic and
+// continuous (route) queries, on both node-resident ("restricted") and
+// edge-resident ("unrestricted") point sets.
+//
+// # Quick start
+//
+//	gb := graphrnn.NewGraphBuilder(4)
+//	gb.AddEdge(0, 1, 1.5)
+//	gb.AddEdge(1, 2, 2.0)
+//	gb.AddEdge(2, 3, 1.0)
+//	g, _ := gb.Build()
+//	db, _ := graphrnn.Open(g, nil)
+//	ps := db.NewNodePoints()
+//	ps.Place(0)
+//	ps.Place(3)
+//	res, _ := db.RNN(ps, 1, 1, graphrnn.Eager())
+//	// res.Points now holds the reverse nearest neighbors of node 1.
+//
+// The graph can be served from memory or from a paged disk file through an
+// LRU buffer manager that counts physical I/O — the storage architecture
+// and the cost model the paper's evaluation uses.
+package graphrnn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"graphrnn/internal/core"
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/storage"
+)
+
+func newSeededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// NodeID identifies a graph node (dense, 0..NumNodes-1).
+type NodeID int32
+
+// PointID identifies a data point within its point set.
+type PointID int32
+
+// Coord is an optional 2-D node embedding (used by spatial generators; the
+// query algorithms never exploit coordinates, per Section 2.2 of the
+// paper).
+type Coord struct{ X, Y float64 }
+
+// Location is a position on the network: a node, or a point on an edge
+// (U,V), U < V, at offset Pos (network distance) from U.
+type Location struct {
+	U, V NodeID
+	Pos  float64
+}
+
+// NodeLocation returns the location of node n.
+func NodeLocation(n NodeID) Location { return Location{U: n, V: n} }
+
+// EdgeLocation returns the location on edge (u,v) at offset pos from
+// min(u,v).
+func EdgeLocation(u, v NodeID, pos float64) Location {
+	if u > v {
+		u, v = v, u
+	}
+	return Location{U: u, V: v, Pos: pos}
+}
+
+func (l Location) toLoc() core.Loc {
+	return core.Loc{U: graph.NodeID(l.U), V: graph.NodeID(l.V), Pos: l.Pos}
+}
+
+// Graph is an immutable weighted undirected network.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return g.g.NumNodes() }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// AverageDegree returns 2|E|/|V|.
+func (g *Graph) AverageDegree() float64 { return g.g.AverageDegree() }
+
+// EdgeWeight returns the weight of edge (u,v), if present.
+func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
+	return g.g.EdgeWeight(graph.NodeID(u), graph.NodeID(v))
+}
+
+// Edges calls fn for every undirected edge (u < v).
+func (g *Graph) Edges(fn func(u, v NodeID, w float64)) {
+	g.g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		fn(NodeID(u), NodeID(v), w)
+	})
+}
+
+// GraphBuilder assembles a Graph.
+type GraphBuilder struct {
+	b *graph.Builder
+}
+
+// NewGraphBuilder creates a builder for numNodes nodes.
+func NewGraphBuilder(numNodes int) *GraphBuilder {
+	return &GraphBuilder{b: graph.NewBuilder(numNodes)}
+}
+
+// AddEdge records the undirected edge (u,v) with positive weight w.
+// Duplicate edges keep the smallest weight; self loops are rejected.
+func (gb *GraphBuilder) AddEdge(u, v NodeID, w float64) error {
+	return gb.b.AddEdge(graph.NodeID(u), graph.NodeID(v), w)
+}
+
+// SetCoords attaches a 2-D embedding (len must equal numNodes).
+func (gb *GraphBuilder) SetCoords(coords []Coord) error {
+	cs := make([]graph.Coord, len(coords))
+	for i, c := range coords {
+		cs[i] = graph.Coord{X: c.X, Y: c.Y}
+	}
+	return gb.b.SetCoords(cs)
+}
+
+// Build finalizes the graph.
+func (gb *GraphBuilder) Build() (*Graph, error) {
+	g, err := gb.b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Options configures how Open serves the graph.
+type Options struct {
+	// DiskBacked packs the adjacency lists into 4 KB slotted pages read
+	// through an LRU buffer (the paper's storage scheme); physical page
+	// I/O is then counted in IOStats. When false the graph is served from
+	// memory with no I/O accounting.
+	DiskBacked bool
+	// PageSize overrides the page size (default 4096).
+	PageSize int
+	// BufferPages is the LRU capacity in pages (default 256 = 1 MB of 4 KB
+	// pages, the paper's default buffer). Zero keeps the default; use
+	// NoBuffer for a zero-capacity buffer.
+	BufferPages int
+	// NoBuffer forces a zero-capacity buffer: every page access is a
+	// counted physical read (the leftmost setting of Fig 21).
+	NoBuffer bool
+	// Path, when non-empty, stores the page file on disk at this location
+	// instead of in memory.
+	Path string
+}
+
+// DB is a queryable RNN database over one graph. It is not safe for
+// concurrent use; open one DB per goroutine over the same Graph if needed.
+type DB struct {
+	graph    *Graph
+	store    graph.Access
+	disk     *storage.DiskStore
+	searcher *core.Searcher
+}
+
+// Layout chooses the order in which adjacency lists are packed into pages
+// when the graph is disk-backed; locality of the layout directly controls
+// buffer faults (the connectivity grouping of Section 3.1).
+type Layout struct {
+	order func(*graph.Graph) []graph.NodeID
+}
+
+// BFSLayout groups topological neighbours into the same pages (the
+// default, approximating the clustering of Chan & Zhang the paper uses).
+func BFSLayout() Layout {
+	return Layout{order: storage.BFSOrder}
+}
+
+// RandomLayout shuffles nodes across pages — the no-locality baseline used
+// by the layout ablation benchmark.
+func RandomLayout(seed int64) Layout {
+	return Layout{order: func(g *graph.Graph) []graph.NodeID {
+		rng := newSeededRand(seed)
+		order := make([]graph.NodeID, g.NumNodes())
+		for i := range order {
+			order[i] = graph.NodeID(i)
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		return order
+	}}
+}
+
+// Open prepares a graph for querying with the default (BFS) page layout.
+// A nil opt serves the graph from memory.
+func Open(g *Graph, opt *Options) (*DB, error) {
+	return OpenWithLayout(g, opt, BFSLayout())
+}
+
+// OpenWithLayout is Open with an explicit page layout (only meaningful for
+// disk-backed graphs).
+func OpenWithLayout(g *Graph, opt *Options, layout Layout) (*DB, error) {
+	if g == nil {
+		return nil, fmt.Errorf("graphrnn: nil graph")
+	}
+	db := &DB{graph: g}
+	if opt != nil && opt.DiskBacked {
+		pageSize := opt.PageSize
+		if pageSize == 0 {
+			pageSize = storage.DefaultPageSize
+		}
+		bufferPages := opt.BufferPages
+		if bufferPages == 0 && !opt.NoBuffer {
+			bufferPages = 256
+		}
+		if opt.NoBuffer {
+			bufferPages = 0
+		}
+		var file storage.PagedFile
+		if opt.Path != "" {
+			osf, err := storage.CreateOSFile(opt.Path, pageSize)
+			if err != nil {
+				return nil, err
+			}
+			file = osf
+		} else {
+			file = storage.NewMemFile(pageSize)
+		}
+		var order []graph.NodeID
+		if layout.order != nil {
+			order = layout.order(g.g)
+		}
+		ds, err := storage.BuildDiskStore(g.g, file, bufferPages, order)
+		if err != nil {
+			return nil, err
+		}
+		db.store = ds
+		db.disk = ds
+	} else {
+		db.store = g.g
+	}
+	db.searcher = core.NewSearcher(db.store)
+	return db, nil
+}
+
+// Graph returns the underlying graph.
+func (db *DB) Graph() *Graph { return db.graph }
+
+// IOStats describes physical page traffic of a disk-backed component.
+type IOStats struct {
+	// Reads counts physical page reads (buffer faults).
+	Reads int64
+	// Hits counts logical reads served by the buffer.
+	Hits int64
+	// Writes counts physical page writes.
+	Writes int64
+}
+
+// IOStats returns the adjacency file traffic; zero when the DB is not
+// disk-backed.
+func (db *DB) IOStats() IOStats {
+	if db.disk == nil {
+		return IOStats{}
+	}
+	s := db.disk.Stats()
+	return IOStats{Reads: s.Reads, Hits: s.Hits, Writes: s.Writes}
+}
+
+// ResetIOStats zeroes the adjacency I/O counters.
+func (db *DB) ResetIOStats() {
+	if db.disk != nil {
+		db.disk.ResetStats()
+	}
+}
+
+// DropCache empties the LRU buffer (cold-start experiments).
+func (db *DB) DropCache() error {
+	if db.disk == nil {
+		return nil
+	}
+	return db.disk.Buffer().Invalidate()
+}
+
+// Distance computes the exact network distance between two locations,
+// +Inf when disconnected.
+func (db *DB) Distance(a, b Location) (float64, error) {
+	return db.searcher.ULocDistance(a.toLoc(), b.toLoc())
+}
+
+func toNodeIDs(route []NodeID) []graph.NodeID {
+	out := make([]graph.NodeID, len(route))
+	for i, n := range route {
+		out[i] = graph.NodeID(n)
+	}
+	return out
+}
+
+func fromPointIDs(in []points.PointID) []PointID {
+	out := make([]PointID, len(in))
+	for i, p := range in {
+		out[i] = PointID(p)
+	}
+	return out
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/pq"
+)
+
+// Bichromatic queries (Section 5.1). Given candidates P and sites Q, a
+// bRkNN query returns the candidates closer to the query than to their k-th
+// nearest site:
+//
+//	p ∈ bRkNN(q)  ⇔  |{q' ∈ Q : d(p,q') < d(p,q)}| < k
+//
+// The paper reduces this to monochromatic search over Q where *nodes* are
+// the objects being classified: a node n belongs to the answer region iff q
+// is among the k nearest sites of n, and the final answer collects the
+// candidates residing on such nodes. Because the main expansion knows the
+// exact distance d(n,q) of every de-heaped node, the eager family needs no
+// verification step at all — the range-NN probe (or materialized list)
+// already decides membership. The lazy family uses site verifications for
+// pruning, exactly as in the monochromatic case, plus one exact range-count
+// per candidate-bearing node (see DESIGN.md §6.4).
+
+// EagerBichromatic answers bRkNN with the eager algorithm.
+func (s *Searcher) EagerBichromatic(cands, sites points.NodeView, qnode graph.NodeID, k int) (*Result, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return nil, err
+	}
+	var st Stats
+	main := s.acquire()
+	defer func() { s.harvest(&st, main); s.release(main) }()
+	main.begin()
+	main.push(qnode, 0)
+
+	var results []points.PointID
+	seen := make(map[points.PointID]bool)
+	var found []PointDist
+	for {
+		n, d, ok := main.pop()
+		if !ok {
+			break
+		}
+		st.NodesExpanded++
+		var err error
+		found, err = s.rangeNN(&st, sites, n, k, d, found)
+		if err != nil {
+			return nil, err
+		}
+		if len(found) >= k {
+			continue // k sites strictly closer: n is outside the region
+		}
+		if p, ok := cands.PointAt(n); ok && !seen[p] {
+			seen[p] = true
+			results = append(results, p)
+		}
+		var adjErr error
+		if main.adj, adjErr = s.g.Adjacency(n, main.adj); adjErr != nil {
+			return nil, adjErr
+		}
+		for _, e := range main.adj {
+			main.push(e.To, d+e.W)
+		}
+	}
+	return finishResult(results, st), nil
+}
+
+// EagerMBichromatic answers bRkNN with eager-M; mat must be materialized
+// over the site set (Section 5.1: "we simply materialize KNN(n) ⊆ Q").
+func (s *Searcher) EagerMBichromatic(cands, sites points.NodeView, mat *Materialized, qnode graph.NodeID, k int) (*Result, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return nil, err
+	}
+	if err := checkMatK(mat, k); err != nil {
+		return nil, err
+	}
+	var st Stats
+	main := s.acquire()
+	defer func() { s.harvest(&st, main); s.release(main) }()
+	main.begin()
+	main.push(qnode, 0)
+
+	var results []points.PointID
+	seen := make(map[points.PointID]bool)
+	var lst []MatEntry
+	for {
+		n, d, ok := main.pop()
+		if !ok {
+			break
+		}
+		st.NodesExpanded++
+		var err error
+		lst, err = mat.List(n, lst)
+		if err != nil {
+			return nil, err
+		}
+		st.MatReads++
+		closer := 0
+		for _, e := range lst {
+			if e.D >= d || closer >= k {
+				break
+			}
+			if _, visible := sites.NodeOf(e.P); visible {
+				closer++
+			}
+		}
+		if closer >= k {
+			continue
+		}
+		if p, ok := cands.PointAt(n); ok && !seen[p] {
+			seen[p] = true
+			results = append(results, p)
+		}
+		var adjErr error
+		if main.adj, adjErr = s.g.Adjacency(n, main.adj); adjErr != nil {
+			return nil, adjErr
+		}
+		for _, e := range main.adj {
+			main.push(e.To, d+e.W)
+		}
+	}
+	return finishResult(results, st), nil
+}
+
+// LazyBichromatic answers bRkNN with the lazy algorithm: expansion pruned
+// by the verification queries of discovered sites; candidate-bearing nodes
+// that survive pruning are classified with one exact range count each.
+func (s *Searcher) LazyBichromatic(cands, sites points.NodeView, qnode graph.NodeID, k int) (*Result, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return nil, err
+	}
+	var st Stats
+	main := s.acquire()
+	defer func() { s.harvest(&st, main); s.release(main) }()
+	main.begin()
+	s.counts.reset(s.g.NumNodes())
+	children := make(map[graph.NodeID][]*pq.Item[graph.NodeID])
+	target := singleTarget(qnode)
+	main.push(qnode, 0)
+
+	var results []points.PointID
+	seenCand := make(map[points.PointID]bool)
+	seenSite := make(map[points.PointID]bool)
+	var probe []PointDist
+	for {
+		n, d, ok := main.pop()
+		if !ok {
+			break
+		}
+		st.NodesExpanded++
+		if s.counts.get(n) >= int32(k) {
+			continue // k sites closer than q: outside the region
+		}
+		if site, ok := sites.PointAt(n); ok && !seenSite[site] {
+			seenSite[site] = true
+			// Run the verification expansion purely for its pruning side
+			// effects (counter increments, heap-entry removal).
+			if _, err := s.lazyVerify(&st, sites, site, n, target, k, d, main, children); err != nil {
+				return nil, err
+			}
+		}
+		if p, ok := cands.PointAt(n); ok && !seenCand[p] {
+			seenCand[p] = true
+			// Exact classification: fewer than k sites strictly closer
+			// than d(n,q).
+			var err error
+			probe, err = s.rangeNN(&st, sites, n, k, d, probe)
+			if err != nil {
+				return nil, err
+			}
+			if len(probe) < k {
+				results = append(results, p)
+			}
+		}
+		if s.counts.get(n) >= int32(k) {
+			continue
+		}
+		var adjErr error
+		if main.adj, adjErr = s.g.Adjacency(n, main.adj); adjErr != nil {
+			return nil, adjErr
+		}
+		var kids []*pq.Item[graph.NodeID]
+		for _, e := range main.adj {
+			if h := main.push(e.To, d+e.W); h != nil {
+				kids = append(kids, h)
+			}
+		}
+		if kids != nil {
+			children[n] = kids
+		}
+	}
+	return finishResult(results, st), nil
+}
+
+// LazyEPBichromatic answers bRkNN with lazy-EP: the second heap expands
+// around discovered sites and marks nodes they dominate; candidate-bearing
+// nodes whose marks already show k closer sites are rejected without a
+// probe.
+func (s *Searcher) LazyEPBichromatic(cands, sites points.NodeView, qnode graph.NodeID, k int) (*Result, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return nil, err
+	}
+	var st Stats
+	main := s.acquire()
+	defer func() { s.harvest(&st, main); s.release(main) }()
+	main.begin()
+	main.push(qnode, 0)
+
+	found := make(map[graph.NodeID][]PointDist)
+	var hp pq.Heap[matHeapEntry]
+	var hpAdj []graph.Edge
+	advanceHP := func(limit float64) error {
+		for {
+			top, ok := hp.Peek()
+			if !ok || top.Priority() >= limit {
+				return nil
+			}
+			e, d, _ := hp.Pop()
+			st.NodesScanned++
+			lst := found[e.node]
+			if !insertFound(&lst, e.p, d, k) {
+				continue
+			}
+			found[e.node] = lst
+			var err error
+			hpAdj, err = s.g.Adjacency(e.node, hpAdj)
+			if err != nil {
+				return err
+			}
+			for _, edge := range hpAdj {
+				nd := d + edge.W
+				if tgt := found[edge.To]; len(tgt) == k && !entryLess(nd, e.p, tgt[k-1].D, tgt[k-1].P) {
+					continue
+				}
+				hp.Push(matHeapEntry{edge.To, e.p}, nd)
+			}
+		}
+	}
+
+	var results []points.PointID
+	seenCand := make(map[points.PointID]bool)
+	seenSite := make(map[points.PointID]bool)
+	var probe []PointDist
+	for {
+		if top, ok := main.heap.Peek(); ok {
+			if err := advanceHP(top.Priority()); err != nil {
+				return nil, err
+			}
+		}
+		n, d, ok := main.pop()
+		if !ok {
+			break
+		}
+		st.NodesExpanded++
+		lst := found[n]
+		pruned := len(lst) >= k && lst[k-1].D < d
+		if site, ok := sites.PointAt(n); ok && !seenSite[site] {
+			seenSite[site] = true
+			hp.Push(matHeapEntry{n, site}, 0)
+		}
+		if p, ok := cands.PointAt(n); ok && !seenCand[p] {
+			seenCand[p] = true
+			closer := 0
+			for _, f := range lst {
+				if f.D < d {
+					closer++
+				}
+			}
+			if closer < k {
+				var err error
+				probe, err = s.rangeNN(&st, sites, n, k, d, probe)
+				if err != nil {
+					return nil, err
+				}
+				if len(probe) < k {
+					results = append(results, p)
+				}
+			}
+		}
+		if pruned {
+			continue
+		}
+		var adjErr error
+		if main.adj, adjErr = s.g.Adjacency(n, main.adj); adjErr != nil {
+			return nil, adjErr
+		}
+		for _, e := range main.adj {
+			main.push(e.To, d+e.W)
+		}
+	}
+	st.HeapPushes += int64(hp.PushCount)
+	st.HeapPops += int64(hp.PopCount)
+	return finishResult(results, st), nil
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+)
+
+// fig1bNetwork reconstructs the relationships of the Fig 1b road-network
+// example: residential blocks p1..p5 (candidates) and restaurants q, q1,
+// q2 (sites), with bRNN(q) = {p1,p2,p3}, bRNN(q1) = {p4,p5}, bRNN(q2) = {}.
+// We build a restricted network with those relationships (the paper's
+// figure is unrestricted; Section 1 notes the two are interconvertible by
+// adding nodes for points).
+func fig1bNetwork(t *testing.T) (*graph.Graph, *points.NodeSet, *points.NodeSet) {
+	t.Helper()
+	// Nodes: 0=q, 1=q1, 2=q2, 3..7 = p1..p5, 8,9 = empty junctions.
+	b := graph.NewBuilder(10)
+	edges := []struct {
+		u, v graph.NodeID
+		w    float64
+	}{
+		{0, 3, 1},  // q - p1
+		{3, 4, 1},  // p1 - p2 (d(p2,q)=2)
+		{4, 8, 1},  // p2 - junction
+		{8, 5, 1},  // junction - p3 (d(p3,q)=3)
+		{8, 1, 4},  // junction - q1 (d(p3,q1)=5 > 3)
+		{1, 6, 1},  // q1 - p4
+		{6, 7, 1},  // p4 - p5
+		{7, 9, 1},  // p5 - junction2
+		{9, 2, 6},  // junction2 - q2 (far from everything)
+		{2, 0, 20}, // q2 - q long way around
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e.u, e.v, e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := points.NewNodeSet(10)
+	for _, n := range []graph.NodeID{3, 4, 5, 6, 7} { // p1..p5
+		if _, err := cands.Place(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sites := points.NewNodeSet(10)
+	for _, n := range []graph.NodeID{0, 1, 2} { // q, q1, q2
+		if _, err := sites.Place(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return g, cands, sites
+}
+
+func TestFig1bBichromaticExample(t *testing.T) {
+	g, cands, sites := fig1bNetwork(t)
+	s := NewSearcher(g)
+
+	// Querying from a competitor site location: the site itself must be
+	// hidden from the pruning set (it is the query).
+	type queryCase struct {
+		name  string
+		qnode graph.NodeID
+		qsite points.PointID
+		want  []points.PointID
+	}
+	cases := []queryCase{
+		{"q", 0, 0, []points.PointID{0, 1, 2}}, // p1,p2,p3
+		{"q1", 1, 1, []points.PointID{3, 4}},   // p4,p5
+		{"q2", 2, 2, nil},                      // empty
+	}
+	for _, c := range cases {
+		view := points.ExcludeNode(sites, c.qsite)
+		mat, err := s.MatBuild(SeedsRestricted(view), 2, newMemMatFile(), 16, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func() (*Result, error){
+			"brute":  func() (*Result, error) { return s.BruteBichromatic(cands, view, c.qnode, 1) },
+			"eager":  func() (*Result, error) { return s.EagerBichromatic(cands, view, c.qnode, 1) },
+			"eagerM": func() (*Result, error) { return s.EagerMBichromatic(cands, view, mat, c.qnode, 1) },
+			"lazy":   func() (*Result, error) { return s.LazyBichromatic(cands, view, c.qnode, 1) },
+			"lazyEP": func() (*Result, error) { return s.LazyEPBichromatic(cands, view, c.qnode, 1) },
+		} {
+			r, err := run()
+			if err != nil {
+				t.Fatalf("%s(%s): %v", name, c.name, err)
+			}
+			if len(r.Points) != len(c.want) {
+				t.Fatalf("%s: bRNN(%s) = %v, want %v", name, c.name, r.Points, c.want)
+			}
+			for i := range c.want {
+				if r.Points[i] != c.want[i] {
+					t.Fatalf("%s: bRNN(%s) = %v, want %v", name, c.name, r.Points, c.want)
+				}
+			}
+		}
+	}
+}
+
+func TestFig1bBR2NN(t *testing.T) {
+	// The paper also gives bR2NN results for Fig 1b; with our
+	// reconstructed distances the k=2 sets are checked against brute
+	// force rather than the paper's figure-specific values.
+	g, cands, sites := fig1bNetwork(t)
+	s := NewSearcher(g)
+	for _, qnode := range []graph.NodeID{0, 1, 2} {
+		qsite, _ := sites.PointAt(qnode)
+		view := points.ExcludeNode(sites, qsite)
+		want, err := s.BruteBichromatic(cands, view, qnode, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.EagerBichromatic(cands, view, qnode, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(want, got) {
+			t.Fatalf("bR2NN from %d: eager=%s brute=%s", qnode, describe(got), describe(want))
+		}
+	}
+}
+
+// TestBichromaticAgreesWithBrute: all four algorithms against brute force
+// on random networks with independent random candidate/site sets.
+func TestBichromaticAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for it := 0; it < iters; it++ {
+		n := 12 + rng.Intn(50)
+		g := randNet(t, rng, n, rng.Intn(3*n), 0.5)
+		s := NewSearcher(g)
+		cands := randPoints(t, rng, g, 1+rng.Intn(n/2))
+		sites := randPoints(t, rng, g, 1+rng.Intn(n/3))
+		maxK := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(maxK)
+		mat, err := s.MatBuild(SeedsRestricted(sites), maxK, newMemMatFile(), 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qnode := graph.NodeID(rng.Intn(n))
+
+		want, err := s.BruteBichromatic(cands, sites, qnode, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func() (*Result, error){
+			"eager":  func() (*Result, error) { return s.EagerBichromatic(cands, sites, qnode, k) },
+			"eagerM": func() (*Result, error) { return s.EagerMBichromatic(cands, sites, mat, qnode, k) },
+			"lazy":   func() (*Result, error) { return s.LazyBichromatic(cands, sites, qnode, k) },
+			"lazyEP": func() (*Result, error) { return s.LazyEPBichromatic(cands, sites, qnode, k) },
+		} {
+			got, err := run()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !samePoints(want, got) {
+				t.Fatalf("iter %d %s=%s brute=%s (|V|=%d |P|=%d |Q|=%d k=%d q=%d)",
+					it, name, describe(got), describe(want), n, cands.Len(), sites.Len(), k, qnode)
+			}
+		}
+	}
+}
+
+// TestBichromaticNoSites: with an empty site set every reachable candidate
+// is a result.
+func TestBichromaticNoSites(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	g := randNet(t, rng, 30, 40, 0)
+	s := NewSearcher(g)
+	cands := randPoints(t, rng, g, 8)
+	sites := points.NewNodeSet(g.NumNodes())
+	r, err := s.EagerBichromatic(cands, sites, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != cands.Len() {
+		t.Fatalf("eager with no sites returned %d of %d candidates", len(r.Points), cands.Len())
+	}
+	rl, err := s.LazyBichromatic(cands, sites, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePoints(r, rl) {
+		t.Fatalf("lazy disagrees: %v vs %v", rl.Points, r.Points)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+)
+
+// BruteRkNN answers a monochromatic RkNN query by running an unbounded
+// verification expansion from every data point: p is a member iff the query
+// is met before k other points strictly closer to p. It visits all data
+// points — exactly the naive strategy Section 3.1 argues against — and
+// serves as the correctness oracle for the entire test suite.
+func (s *Searcher) BruteRkNN(ps points.NodeView, qnode graph.NodeID, k int) (*Result, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return nil, err
+	}
+	return s.brute(ps, ps, true, singleTarget(qnode), k)
+}
+
+// BruteContinuous is the continuous (route) variant of BruteRkNN.
+func (s *Searcher) BruteContinuous(ps points.NodeView, route []graph.NodeID, k int) (*Result, error) {
+	if err := s.checkRoute(route, k); err != nil {
+		return nil, err
+	}
+	return s.brute(ps, ps, true, routeTarget(route), k)
+}
+
+// BruteBichromatic answers a bichromatic bRkNN query by brute force: every
+// candidate of cands is verified against the site set.
+func (s *Searcher) BruteBichromatic(cands, sites points.NodeView, qnode graph.NodeID, k int) (*Result, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return nil, err
+	}
+	return s.brute(cands, sites, false, singleTarget(qnode), k)
+}
+
+func (s *Searcher) brute(cands, sites points.NodeView, mono bool, target nodeTarget, k int) (*Result, error) {
+	var st Stats
+	var results []points.PointID
+	for _, p := range cands.Points() {
+		pnode, ok := cands.NodeOf(p)
+		if !ok {
+			continue
+		}
+		self := points.NoPoint
+		if mono {
+			self = p
+		}
+		member, err := s.verify(&st, sites, self, pnode, target, k, math.Inf(1))
+		if err != nil {
+			return nil, err
+		}
+		if member {
+			results = append(results, p)
+		}
+	}
+	return finishResult(results, st), nil
+}

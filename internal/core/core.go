@@ -1,0 +1,99 @@
+// Package core implements the reverse-nearest-neighbor query algorithms of
+//
+//	M. L. Yiu, D. Papadias, N. Mamoulis, Y. Tao:
+//	"Reverse Nearest Neighbors in Large Graphs", ICDE 2005 / TKDE 18(4), 2006.
+//
+// It provides, for both restricted networks (data points on nodes) and
+// unrestricted networks (data points on edges):
+//
+//   - eager: expansion from the query with per-node range-NN pruning (§3.2)
+//   - lazy: expansion pruned by verification queries of discovered points,
+//     with per-node counters and heap-entry invalidation for k > 1 (§3.3)
+//   - eager-M: eager over materialized K-NN lists built by all-NN, with
+//     insertion and two-step border-node deletion maintenance (§4.1)
+//   - lazy-EP: lazy with a second heap propagating the pruning power of
+//     discovered points in parallel with the main expansion (§4.2)
+//   - bichromatic and continuous (route) variants of all of the above (§5)
+//   - a brute-force oracle used by the test suite.
+//
+// # Conventions
+//
+// Result membership is tie-inclusive, pruning is strict, matching the
+// paper's definitions (d(p,q) <= d(p, p_k(p)) for membership, Lemma 1 with
+// strict inequality for pruning):
+//
+//	p ∈ RkNN(q)  ⇔  |{p' ∈ P\{p} : d(p,p') < d(p,q)}| < k
+//
+// A point that cannot reach the query (disconnected component) is never a
+// result. All algorithms return identical answers; the extensive property
+// tests in this package check them against each other and the brute-force
+// oracle on randomized networks.
+package core
+
+import (
+	"sort"
+
+	"graphrnn/internal/points"
+)
+
+// Stats describes the work performed by a single query.
+type Stats struct {
+	// NodesExpanded counts nodes popped by the main (query-side) expansion.
+	NodesExpanded int64
+	// NodesScanned counts nodes popped by secondary expansions: range-NN,
+	// verification queries, and lazy-EP's point heap.
+	NodesScanned int64
+	// RangeNN counts range-NN sub-queries issued (eager family).
+	RangeNN int64
+	// Verifications counts verification sub-queries issued.
+	Verifications int64
+	// MatReads counts materialized K-NN list lookups (eager-M).
+	MatReads int64
+	// HeapPushes and HeapPops count priority queue traffic across all heaps.
+	HeapPushes int64
+	HeapPops   int64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.NodesExpanded += o.NodesExpanded
+	s.NodesScanned += o.NodesScanned
+	s.RangeNN += o.RangeNN
+	s.Verifications += o.Verifications
+	s.MatReads += o.MatReads
+	s.HeapPushes += o.HeapPushes
+	s.HeapPops += o.HeapPops
+}
+
+// Result is the answer of an RkNN query.
+type Result struct {
+	// Points holds the reverse k-nearest neighbors in ascending id order.
+	Points []points.PointID
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+func finishResult(ids []points.PointID, st Stats) *Result {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return &Result{Points: ids, Stats: st}
+}
+
+// PointDist pairs a point with a network distance.
+type PointDist struct {
+	P points.PointID
+	D float64
+}
+
+// relEps absorbs floating-point associativity noise in path-length sums.
+// Two computations of the same real path length may differ by a few ULPs
+// because additions associate differently; expansion upper bounds are
+// therefore inflated by upperBound (a too-large bound never changes a
+// verification decision, only its cost), while strict "closer than"
+// pruning thresholds are shrunk by strictBound (under-pruning is safe,
+// over-pruning can drop results). The relative form keeps both exact for
+// integer-weight graphs and harmless for tiny distances.
+const relEps = 1e-11
+
+func upperBound(x float64) float64 { return x * (1 + relEps) }
+
+func strictBound(x float64) float64 { return x * (1 - relEps) }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+)
+
+// EagerRkNN answers a monochromatic RkNN query from qnode with the eager
+// algorithm of Section 3.2: the network is expanded around the query and
+// every de-heaped node n is probed with range-NN(n, k, d(n,q)); if k data
+// points lie strictly closer to n than the query, Lemma 1 prunes the
+// expansion at n. Every point discovered by a probe is verified once.
+//
+// ps must already exclude a point co-located with the query, if the caller
+// wants the usual "newly arrived object" semantics (see points.ExcludeNode).
+func (s *Searcher) EagerRkNN(ps points.NodeView, qnode graph.NodeID, k int) (*Result, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return nil, err
+	}
+	return s.eager(ps, []graph.NodeID{qnode}, singleTarget(qnode), k)
+}
+
+// EagerContinuous answers a continuous RkNN query over a route (Section
+// 5.1): the union of RkNN sets over all route nodes, computed in a single
+// multi-source expansion under the distance d(r,n) = min over route nodes.
+func (s *Searcher) EagerContinuous(ps points.NodeView, route []graph.NodeID, k int) (*Result, error) {
+	if err := s.checkRoute(route, k); err != nil {
+		return nil, err
+	}
+	return s.eager(ps, route, routeTarget(route), k)
+}
+
+func (s *Searcher) eager(ps points.NodeView, sources []graph.NodeID, target nodeTarget, k int) (*Result, error) {
+	var st Stats
+	main := s.acquire()
+	defer func() { s.harvest(&st, main); s.release(main) }()
+	main.begin()
+
+	verified := make(map[points.PointID]bool)
+	var results []points.PointID
+	for _, src := range sources {
+		// A visible point on a source node is at distance 0 from the query
+		// and is trivially a member; range-NN probes (strict range) can
+		// never discover it, so handle it here.
+		if p, ok := ps.PointAt(src); ok && !verified[p] {
+			verified[p] = true
+			results = append(results, p)
+		}
+		main.push(src, 0)
+	}
+
+	var found []PointDist
+	for {
+		n, d, ok := main.pop()
+		if !ok {
+			break
+		}
+		st.NodesExpanded++
+		var err error
+		found, err = s.rangeNN(&st, ps, n, k, d, found)
+		if err != nil {
+			return nil, err
+		}
+		for _, pd := range found {
+			if verified[pd.P] {
+				continue
+			}
+			verified[pd.P] = true
+			pnode, ok := ps.NodeOf(pd.P)
+			if !ok {
+				return nil, fmt.Errorf("core: point %d has no node", pd.P)
+			}
+			// d + pd.D upper-bounds the point-to-query distance; the
+			// verification reaches the query at its exact distance.
+			member, err := s.verify(&st, ps, pd.P, pnode, target, k, d+pd.D)
+			if err != nil {
+				return nil, err
+			}
+			if member {
+				results = append(results, pd.P)
+			}
+		}
+		if len(found) >= k {
+			continue // Lemma 1: n cannot lead to further results
+		}
+		if main.adj, err = s.g.Adjacency(n, main.adj); err != nil {
+			return nil, err
+		}
+		for _, e := range main.adj {
+			main.push(e.To, d+e.W)
+		}
+	}
+	return finishResult(results, st), nil
+}
+
+func (s *Searcher) checkQuery(qnode graph.NodeID, k int) error {
+	if k < 1 {
+		return fmt.Errorf("core: k must be >= 1, got %d", k)
+	}
+	if qnode < 0 || int(qnode) >= s.g.NumNodes() {
+		return fmt.Errorf("core: query node %d out of range [0,%d)", qnode, s.g.NumNodes())
+	}
+	return nil
+}
+
+func (s *Searcher) checkRoute(route []graph.NodeID, k int) error {
+	if len(route) == 0 {
+		return fmt.Errorf("core: empty route")
+	}
+	for _, n := range route {
+		if err := s.checkQuery(n, k); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,11 @@
+package core
+
+import "fmt"
+
+func errKTooSmall(k int) error {
+	return fmt.Errorf("core: k must be >= 1, got %d", k)
+}
+
+func errEmptySources() error {
+	return fmt.Errorf("core: query needs at least one source location")
+}

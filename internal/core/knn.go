@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+)
+
+// KNN returns the k nearest data points of node n in ascending distance
+// order — the network-expansion NN search of Section 3.1 that underlies
+// every range-NN probe, exposed as a query in its own right. Fewer than k
+// results are returned when the reachable component holds fewer points.
+func (s *Searcher) KNN(ps points.NodeView, n graph.NodeID, k int) ([]PointDist, error) {
+	if err := s.checkQuery(n, k); err != nil {
+		return nil, err
+	}
+	var st Stats
+	return s.rangeNN(&st, ps, n, k, math.Inf(1), nil)
+}
+
+// UKNN is KNN from an arbitrary location over an edge-resident point set.
+func (s *Searcher) UKNN(ps points.EdgeView, q Loc, k int) ([]PointDist, error) {
+	if k < 1 {
+		return nil, errKTooSmall(k)
+	}
+	var adjCheck []graph.Edge
+	if err := s.checkULoc(q, &adjCheck); err != nil {
+		return nil, err
+	}
+	var st Stats
+	return s.uRangeNN(&st, ps, q, k, math.Inf(1), nil)
+}

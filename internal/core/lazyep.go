@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sort"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/pq"
+)
+
+// LazyEPRkNN answers a monochromatic RkNN query with lazy-EP (Section 4.2):
+// lazy evaluation with extended pruning. A second heap H' expands the
+// network around every discovered data point in parallel with the main
+// expansion (interleaved by distance), recording for each node the nearest
+// discovered points; a node found closer to k discovered points than to the
+// query is pruned without a verification query.
+func (s *Searcher) LazyEPRkNN(ps points.NodeView, qnode graph.NodeID, k int) (*Result, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return nil, err
+	}
+	return s.lazyEP(ps, []graph.NodeID{qnode}, singleTarget(qnode), k)
+}
+
+// LazyEPContinuous is the continuous (route) variant of LazyEPRkNN.
+func (s *Searcher) LazyEPContinuous(ps points.NodeView, route []graph.NodeID, k int) (*Result, error) {
+	if err := s.checkRoute(route, k); err != nil {
+		return nil, err
+	}
+	return s.lazyEP(ps, route, routeTarget(route), k)
+}
+
+func (s *Searcher) lazyEP(ps points.NodeView, sources []graph.NodeID, target nodeTarget, k int) (*Result, error) {
+	var st Stats
+	main := s.acquire()
+	defer func() { s.harvest(&st, main); s.release(main) }()
+	main.begin()
+
+	// found[n] holds the up-to-k nearest discovered points of node n seen
+	// by the H' expansion, in canonical order ("the kNN of each node found
+	// so far", Section 4.2).
+	found := make(map[graph.NodeID][]PointDist)
+	var hp pq.Heap[matHeapEntry]
+	var hpAdj []graph.Edge
+
+	// advanceHP drains H' entries strictly below limit. The paper
+	// interleaves on "top of H' < last de-heaped distance of H"; draining
+	// against the distance of the *next* main pop is equivalent in cost
+	// order and guarantees every mark below the pop distance is in place
+	// before the pop's pruning check.
+	advanceHP := func(limit float64) error {
+		for {
+			top, ok := hp.Peek()
+			if !ok || top.Priority() >= limit {
+				return nil
+			}
+			e, d, _ := hp.Pop()
+			st.NodesScanned++
+			lst := found[e.node]
+			improved := insertFound(&lst, e.p, d, k)
+			if !improved {
+				continue
+			}
+			found[e.node] = lst
+			var err error
+			hpAdj, err = s.g.Adjacency(e.node, hpAdj)
+			if err != nil {
+				return err
+			}
+			for _, edge := range hpAdj {
+				nd := d + edge.W
+				if tgt := found[edge.To]; len(tgt) == k && !entryLess(nd, e.p, tgt[k-1].D, tgt[k-1].P) {
+					continue // cannot improve the neighbour's list
+				}
+				hp.Push(matHeapEntry{edge.To, e.p}, nd)
+			}
+		}
+	}
+
+	verified := make(map[points.PointID]bool)
+	var results []points.PointID
+	for _, src := range sources {
+		if p, ok := ps.PointAt(src); ok && !verified[p] {
+			verified[p] = true
+			results = append(results, p)
+			hp.Push(matHeapEntry{src, p}, 0)
+		}
+		main.push(src, 0)
+	}
+
+	for {
+		if top, ok := main.heap.Peek(); ok {
+			if err := advanceHP(top.Priority()); err != nil {
+				return nil, err
+			}
+		}
+		n, d, ok := main.pop()
+		if !ok {
+			break
+		}
+		st.NodesExpanded++
+		lst := found[n]
+		dStrict := strictBound(d)
+		pruned := len(lst) >= k && lst[k-1].D < dStrict
+		if p, hasPoint := ps.PointAt(n); hasPoint && !verified[p] {
+			verified[p] = true
+			// Count discovered points other than p strictly closer to n
+			// than the query; k of them disqualify p without verification
+			// (they are strictly closer to p as well, since p sits on n).
+			closer := 0
+			for _, f := range lst {
+				if f.P != p && f.D < dStrict {
+					closer++
+				}
+			}
+			if closer < k {
+				member, err := s.verify(&st, ps, p, n, target, k, d)
+				if err != nil {
+					return nil, err
+				}
+				if member {
+					results = append(results, p)
+				}
+			}
+			hp.Push(matHeapEntry{n, p}, 0)
+		}
+		if pruned {
+			continue // Lemma 1 via the H' marks: no expansion
+		}
+		var adjErr error
+		if main.adj, adjErr = s.g.Adjacency(n, main.adj); adjErr != nil {
+			return nil, adjErr
+		}
+		for _, e := range main.adj {
+			main.push(e.To, d+e.W)
+		}
+	}
+	st.HeapPushes += int64(hp.PushCount)
+	st.HeapPops += int64(hp.PopCount)
+	return finishResult(results, st), nil
+}
+
+// insertFound inserts (p,d) into a per-node found list kept in canonical
+// order and capped at k entries. It reports whether the list changed.
+func insertFound(lst *[]PointDist, p points.PointID, d float64, k int) bool {
+	l := *lst
+	for _, f := range l {
+		if f.P == p {
+			return false // first pop carries the minimal distance
+		}
+	}
+	idx := sort.Search(len(l), func(i int) bool {
+		return !entryLess(l[i].D, l[i].P, d, p)
+	})
+	if len(l) == k {
+		if idx >= k {
+			return false
+		}
+		l = l[:k-1]
+	}
+	l = append(l, PointDist{})
+	copy(l[idx+1:], l[idx:])
+	l[idx] = PointDist{P: p, D: d}
+	*lst = l
+	return true
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"graphrnn/internal/graph"
+	"graphrnn/internal/pq"
+)
+
+// scratch holds the per-expansion state of one Dijkstra-style traversal:
+// tentative distances, seen/closed stamps (epoch-based so that no O(|V|)
+// clearing is needed between queries), a heap, and an adjacency buffer.
+type scratch struct {
+	dist   []float64
+	seen   []uint32
+	closed []uint32
+	epoch  uint32
+	heap   pq.Heap[graph.NodeID]
+	adj    []graph.Edge
+}
+
+func newScratch(n int) *scratch {
+	return &scratch{
+		dist:   make([]float64, n),
+		seen:   make([]uint32, n),
+		closed: make([]uint32, n),
+	}
+}
+
+// begin starts a fresh expansion.
+func (sc *scratch) begin() {
+	sc.epoch++
+	if sc.epoch == 0 { // epoch wrapped: wipe stamps and restart
+		for i := range sc.seen {
+			sc.seen[i] = 0
+			sc.closed[i] = 0
+		}
+		sc.epoch = 1
+	}
+	sc.heap.Reset()
+}
+
+func (sc *scratch) isSeen(n graph.NodeID) bool   { return sc.seen[n] == sc.epoch }
+func (sc *scratch) isClosed(n graph.NodeID) bool { return sc.closed[n] == sc.epoch }
+
+func (sc *scratch) close(n graph.NodeID) { sc.closed[n] = sc.epoch }
+
+// push offers node n at distance d, applying the lazy-deletion Dijkstra
+// discipline: duplicates with worse labels are suppressed. It returns the
+// heap handle when an entry was pushed.
+func (sc *scratch) push(n graph.NodeID, d float64) *pq.Item[graph.NodeID] {
+	if sc.isClosed(n) {
+		return nil
+	}
+	if sc.isSeen(n) && sc.dist[n] <= d {
+		return nil
+	}
+	sc.seen[n] = sc.epoch
+	sc.dist[n] = d
+	return sc.heap.Push(n, d)
+}
+
+// pop removes the next unclosed node in distance order, closes it, and
+// returns it. ok is false when the heap is exhausted.
+func (sc *scratch) pop() (n graph.NodeID, d float64, ok bool) {
+	for {
+		n, d, ok = sc.heap.Pop()
+		if !ok {
+			return 0, 0, false
+		}
+		if sc.isClosed(n) {
+			continue
+		}
+		sc.close(n)
+		return n, d, true
+	}
+}
+
+// Searcher executes restricted-network RkNN queries against a graph. It
+// owns a small pool of scratch expansions (a main traversal plus the
+// sub-queries it spawns) so that repeated queries do not allocate. A
+// Searcher is not safe for concurrent use.
+type Searcher struct {
+	g      graph.Access
+	free   []*scratch
+	counts lazyCounts
+}
+
+// NewSearcher creates a Searcher over g.
+func NewSearcher(g graph.Access) *Searcher {
+	return &Searcher{g: g}
+}
+
+// Graph returns the underlying graph access.
+func (s *Searcher) Graph() graph.Access { return s.g }
+
+func (s *Searcher) acquire() *scratch {
+	if n := len(s.free); n > 0 {
+		sc := s.free[n-1]
+		s.free = s.free[:n-1]
+		return sc
+	}
+	return newScratch(s.g.NumNodes())
+}
+
+func (s *Searcher) release(sc *scratch) {
+	s.free = append(s.free, sc)
+}
+
+func (s *Searcher) harvest(st *Stats, sc *scratch) {
+	st.HeapPushes += int64(sc.heap.PushCount)
+	st.HeapPops += int64(sc.heap.PopCount)
+	sc.heap.PushCount = 0
+	sc.heap.PopCount = 0
+}

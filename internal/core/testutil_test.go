@@ -1,0 +1,89 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+)
+
+// testNet bundles a random network and a random restricted point set.
+type testNet struct {
+	g  *graph.Graph
+	ps *points.NodeSet
+}
+
+// randNet generates a connected random graph. Unit weights (probability
+// unitProb) exercise the heavily tied distances of coauthorship-style
+// graphs; otherwise weights are random floats.
+func randNet(t testing.TB, rng *rand.Rand, n int, extraEdges int, unitProb float64) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	unit := rng.Float64() < unitProb
+	w := func() float64 {
+		if unit {
+			return 1
+		}
+		return float64(1+rng.Intn(20)) / 2
+	}
+	for i := 1; i < n; i++ {
+		// Random spanning tree keeps the graph connected.
+		j := rng.Intn(i)
+		if err := b.AddEdge(graph.NodeID(j), graph.NodeID(i), w()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < extraEdges; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(graph.NodeID(u), graph.NodeID(v), w()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// randPoints places count points on distinct random nodes.
+func randPoints(t testing.TB, rng *rand.Rand, g *graph.Graph, count int) *points.NodeSet {
+	t.Helper()
+	ps := points.NewNodeSet(g.NumNodes())
+	perm := rng.Perm(g.NumNodes())
+	for i := 0; i < count && i < len(perm); i++ {
+		if _, err := ps.Place(graph.NodeID(perm[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ps
+}
+
+func randTestNet(t testing.TB, rng *rand.Rand) testNet {
+	n := 12 + rng.Intn(60)
+	extra := rng.Intn(3 * n)
+	g := randNet(t, rng, n, extra, 0.5)
+	npts := 1 + rng.Intn(n/2)
+	return testNet{g: g, ps: randPoints(t, rng, g, npts)}
+}
+
+func samePoints(a, b *Result) bool {
+	if len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func describe(r *Result) string {
+	return fmt.Sprintf("%v", r.Points)
+}

@@ -1,0 +1,842 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/pq"
+)
+
+// Public entry points for unrestricted networks. Monochromatic queries use
+// the point set as both candidates and competitors; bichromatic queries
+// separate the two. Continuous queries take a route of nodes, as in
+// Section 5.1 (the experiments of Fig 19 run them on unrestricted
+// networks).
+
+// UEagerRkNN answers a monochromatic RkNN query at location q over
+// edge-resident points with the eager algorithm (Sections 3.2 + 5.2).
+func (s *Searcher) UEagerRkNN(ps points.EdgeView, q Loc, k int) (*Result, error) {
+	return s.uEager(ps, ps, true, nil, []Loc{q}, uLocTarget(q), k)
+}
+
+// UEagerMRkNN is UEagerRkNN over materialized lists (built with
+// SeedsUnrestricted on the same point set).
+func (s *Searcher) UEagerMRkNN(ps points.EdgeView, mat *Materialized, q Loc, k int) (*Result, error) {
+	if err := checkMatK(mat, k); err != nil {
+		return nil, err
+	}
+	return s.uEager(ps, ps, true, mat, []Loc{q}, uLocTarget(q), k)
+}
+
+// ULazyRkNN answers a monochromatic RkNN query with the lazy algorithm.
+func (s *Searcher) ULazyRkNN(ps points.EdgeView, q Loc, k int) (*Result, error) {
+	return s.uLazy(ps, ps, true, []Loc{q}, uLocTarget(q), k)
+}
+
+// ULazyEPRkNN answers a monochromatic RkNN query with lazy-EP.
+func (s *Searcher) ULazyEPRkNN(ps points.EdgeView, q Loc, k int) (*Result, error) {
+	return s.uLazyEP(ps, ps, true, []Loc{q}, uLocTarget(q), k)
+}
+
+// UBruteRkNN is the unrestricted brute-force oracle.
+func (s *Searcher) UBruteRkNN(ps points.EdgeView, q Loc, k int) (*Result, error) {
+	return s.uBrute(ps, ps, true, uLocTarget(q), k)
+}
+
+// UEagerContinuous / ULazyContinuous / ULazyEPContinuous / UEagerMContinuous
+// / UBruteContinuous answer continuous RkNN queries over a route of nodes.
+func (s *Searcher) UEagerContinuous(ps points.EdgeView, route []graph.NodeID, k int) (*Result, error) {
+	return s.uEager(ps, ps, true, nil, nodeLocs(route), uRouteTarget(route), k)
+}
+
+func (s *Searcher) UEagerMContinuous(ps points.EdgeView, mat *Materialized, route []graph.NodeID, k int) (*Result, error) {
+	if err := checkMatK(mat, k); err != nil {
+		return nil, err
+	}
+	return s.uEager(ps, ps, true, mat, nodeLocs(route), uRouteTarget(route), k)
+}
+
+func (s *Searcher) ULazyContinuous(ps points.EdgeView, route []graph.NodeID, k int) (*Result, error) {
+	return s.uLazy(ps, ps, true, nodeLocs(route), uRouteTarget(route), k)
+}
+
+func (s *Searcher) ULazyEPContinuous(ps points.EdgeView, route []graph.NodeID, k int) (*Result, error) {
+	return s.uLazyEP(ps, ps, true, nodeLocs(route), uRouteTarget(route), k)
+}
+
+func (s *Searcher) UBruteContinuous(ps points.EdgeView, route []graph.NodeID, k int) (*Result, error) {
+	return s.uBrute(ps, ps, true, uRouteTarget(route), k)
+}
+
+// UEagerBichromatic / ULazyBichromatic / ULazyEPBichromatic /
+// UEagerMBichromatic / UBruteBichromatic answer bichromatic queries: cands
+// are classified against the competitor set sites (mat, when used, must be
+// built over sites).
+func (s *Searcher) UEagerBichromatic(cands, sites points.EdgeView, q Loc, k int) (*Result, error) {
+	return s.uEager(cands, sites, false, nil, []Loc{q}, uLocTarget(q), k)
+}
+
+func (s *Searcher) UEagerMBichromatic(cands, sites points.EdgeView, mat *Materialized, q Loc, k int) (*Result, error) {
+	if err := checkMatK(mat, k); err != nil {
+		return nil, err
+	}
+	return s.uEager(cands, sites, false, mat, []Loc{q}, uLocTarget(q), k)
+}
+
+func (s *Searcher) ULazyBichromatic(cands, sites points.EdgeView, q Loc, k int) (*Result, error) {
+	return s.uLazy(cands, sites, false, []Loc{q}, uLocTarget(q), k)
+}
+
+func (s *Searcher) ULazyEPBichromatic(cands, sites points.EdgeView, q Loc, k int) (*Result, error) {
+	return s.uLazyEP(cands, sites, false, []Loc{q}, uLocTarget(q), k)
+}
+
+func (s *Searcher) UBruteBichromatic(cands, sites points.EdgeView, q Loc, k int) (*Result, error) {
+	return s.uBrute(cands, sites, false, uLocTarget(q), k)
+}
+
+func nodeLocs(route []graph.NodeID) []Loc {
+	out := make([]Loc, len(route))
+	for i, n := range route {
+		out[i] = NodeLoc(n)
+	}
+	return out
+}
+
+func (s *Searcher) checkUQuery(cands points.EdgeView, sources []Loc, k int, buf *[]graph.Edge) error {
+	if k < 1 {
+		return errKTooSmall(k)
+	}
+	if len(sources) == 0 {
+		return errEmptySources()
+	}
+	for _, l := range sources {
+		if err := s.checkULoc(l, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// uEager is the eager algorithm over unrestricted networks, optionally
+// consulting materialized lists (eager-M). The main traversal discovers
+// candidate points as first-class heap entries when their edges are
+// processed — including the points on the query's own edge, seeded directly
+// — which guarantees every potential result is met regardless of how far it
+// lies from its edge's endpoints (see DESIGN.md on the discovery scheme).
+func (s *Searcher) uEager(cands, sites points.EdgeView, mono bool, mat *Materialized, sources []Loc, target uTargetSpec, k int) (*Result, error) {
+	var st Stats
+	var adjCheck []graph.Edge
+	if err := s.checkUQuery(cands, sources, k, &adjCheck); err != nil {
+		return nil, err
+	}
+	w := s.newUWalk()
+	defer s.closeUWalk(&st, w)
+	var adj []graph.Edge
+	var refs []points.EdgePointRef
+	verified := make(map[points.PointID]bool)
+	var results []points.PointID
+
+	for _, src := range sources {
+		if err := w.seedFromLoc(s, src, &adj); err != nil {
+			return nil, err
+		}
+		if !src.IsNode() {
+			var err error
+			refs, err = cands.PointsOn(src.U, src.V, refs)
+			if err != nil {
+				return nil, err
+			}
+			for _, ref := range refs {
+				w.pushPoint(uSetCand, ref.ID, math.Abs(ref.Pos-src.Pos))
+			}
+		}
+	}
+
+	var probe []PointDist
+	var lst, plst []MatEntry
+	verifyCandidate := func(p points.PointID, ub float64) error {
+		if verified[p] {
+			return nil
+		}
+		verified[p] = true
+		self := points.NoPoint
+		if mono {
+			self = p
+		}
+		loc, ok := cands.Loc(p)
+		if !ok {
+			return nil
+		}
+		var member bool
+		var err error
+		if mat != nil {
+			member, err = s.uVerifyWithMat(&st, sites, self, mat, PointLoc(loc), target, k, ub, &plst, &refs)
+		} else {
+			member, err = s.uVerify(&st, sites, self, PointLoc(loc), target, k, ub)
+		}
+		if err != nil {
+			return err
+		}
+		if member {
+			results = append(results, p)
+		}
+		return nil
+	}
+
+	for {
+		ent, d, ok := w.pop()
+		if !ok {
+			break
+		}
+		switch ent.kind {
+		case uKindPoint:
+			if err := verifyCandidate(ent.p, d); err != nil {
+				return nil, err
+			}
+		case uKindNode:
+			n := ent.node
+			st.NodesExpanded++
+			closer := 0
+			if mat != nil {
+				var err error
+				lst, err = mat.List(n, lst)
+				if err != nil {
+					return nil, err
+				}
+				st.MatReads++
+				dStrict := strictBound(d)
+				for _, e := range lst {
+					if e.D >= dStrict || closer >= k {
+						break
+					}
+					if _, visible := sites.Loc(e.P); !visible {
+						continue
+					}
+					closer++
+					if mono {
+						if err := verifyCandidate(e.P, d+e.D); err != nil {
+							return nil, err
+						}
+					}
+				}
+			} else {
+				var err error
+				probe, err = s.uRangeNN(&st, sites, NodeLoc(n), k, d, probe)
+				if err != nil {
+					return nil, err
+				}
+				closer = len(probe)
+				if mono {
+					for _, pd := range probe {
+						if err := verifyCandidate(pd.P, d+pd.D); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+			if closer >= k {
+				continue // Lemma 1 prune: no node or point pushes
+			}
+			var err error
+			adj, err = s.g.Adjacency(n, adj)
+			if err != nil {
+				return nil, err
+			}
+			if err := s.pushAdjacentPoints(w, cands, uSetCand, n, d, adj, math.Inf(1), &refs); err != nil {
+				return nil, err
+			}
+			for _, edge := range adj {
+				w.pushNode(edge.To, d+edge.W)
+			}
+		}
+	}
+	return finishResult(results, st), nil
+}
+
+// uVerifyWithMat verifies an edge-resident candidate with the materialized
+// shortcut: the k-th competitor radius of p is lower-bounded by merging the
+// endpoint lists with the direct same-edge competitors (Section 5.2: "the
+// kNNs of a point p lying on edge n_i n_j can be computed from kNN(n_i),
+// kNN(n_j)"); a full verification runs only when the bound is inconclusive.
+func (s *Searcher) uVerifyWithMat(st *Stats, sites points.EdgeView, self points.PointID, mat *Materialized, from Loc, target uTargetSpec, k int, ub float64, plst *[]MatEntry, refs *[]points.EdgePointRef) (bool, error) {
+	var adj []graph.Edge
+	wEdge, err := s.edgeWeight(from.U, from.V, &adj)
+	if err != nil {
+		return false, err
+	}
+	best := make(map[points.PointID]float64)
+	consider := func(p points.PointID, d float64) {
+		if p == self {
+			return
+		}
+		if old, ok := best[p]; !ok || d < old {
+			best[p] = d
+		}
+	}
+	floor := math.Inf(1)
+	for side := 0; side < 2; side++ {
+		node, off := from.U, from.Pos
+		if side == 1 {
+			node, off = from.V, wEdge-from.Pos
+		}
+		*plst, err = mat.List(node, *plst)
+		if err != nil {
+			return false, err
+		}
+		st.MatReads++
+		for _, e := range *plst {
+			if _, ok := sites.Loc(e.P); !ok {
+				continue
+			}
+			consider(e.P, off+e.D)
+		}
+		if len(*plst) == mat.cap {
+			// Truncated list: unseen competitors via this endpoint are at
+			// least as far as its last entry.
+			if f := off + (*plst)[len(*plst)-1].D; f < floor {
+				floor = f
+			}
+		}
+	}
+	*refs, err = sites.PointsOn(from.U, from.V, *refs)
+	if err != nil {
+		return false, err
+	}
+	for _, ref := range *refs {
+		consider(ref.ID, math.Abs(ref.Pos-from.Pos))
+	}
+	dists := make([]float64, 0, len(best))
+	for _, d := range best {
+		dists = append(dists, d)
+	}
+	sort.Float64s(dists)
+	rk := math.Inf(1)
+	if len(dists) >= k {
+		rk = dists[k-1]
+	}
+	if floor < rk {
+		rk = floor
+	}
+	if upperBound(ub) <= strictBound(rk) || math.IsInf(rk, 1) {
+		return true, nil
+	}
+	return s.uVerify(st, sites, self, from, target, k, ub)
+}
+
+// uLazy is the lazy algorithm over unrestricted networks: pruning occurs
+// during edge processing (an edge carrying k competitors is not crossed)
+// and through the counter side effects of verification expansions, as in
+// the restricted case.
+func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc, target uTargetSpec, k int) (*Result, error) {
+	var st Stats
+	var adjCheck []graph.Edge
+	if err := s.checkUQuery(cands, sources, k, &adjCheck); err != nil {
+		return nil, err
+	}
+	w := s.newUWalk()
+	defer s.closeUWalk(&st, w)
+	s.counts.reset(s.g.NumNodes())
+	children := make(map[graph.NodeID][]*pq.Item[uEntry])
+
+	var adj []graph.Edge
+	var refs []points.EdgePointRef
+	verified := make(map[points.PointID]bool)
+	classified := make(map[points.PointID]bool)
+	var results []points.PointID
+
+	for _, src := range sources {
+		if err := w.seedFromLoc(s, src, &adj); err != nil {
+			return nil, err
+		}
+		if !src.IsNode() {
+			var err error
+			refs, err = cands.PointsOn(src.U, src.V, refs)
+			if err != nil {
+				return nil, err
+			}
+			for _, ref := range refs {
+				w.pushPoint(uSetCand, ref.ID, math.Abs(ref.Pos-src.Pos))
+			}
+			if !mono {
+				refs, err = sites.PointsOn(src.U, src.V, refs)
+				if err != nil {
+					return nil, err
+				}
+				for _, ref := range refs {
+					w.pushPoint(uSetSite, ref.ID, math.Abs(ref.Pos-src.Pos))
+				}
+			}
+		}
+	}
+
+	for {
+		ent, d, ok := w.pop()
+		if !ok {
+			break
+		}
+		switch ent.kind {
+		case uKindPoint:
+			if mono || ent.set == uSetSite {
+				p := ent.p
+				if !verified[p] {
+					verified[p] = true
+					loc, ok := sites.Loc(p)
+					if ok {
+						member, err := s.uLazyVerify(&st, sites, p, PointLoc(loc), target, k, d, w, children)
+						if err != nil {
+							return nil, err
+						}
+						if mono && member {
+							results = append(results, p)
+						}
+					}
+				}
+			} else {
+				p := ent.p
+				if !classified[p] {
+					classified[p] = true
+					loc, ok := cands.Loc(p)
+					if ok {
+						member, err := s.uVerify(&st, sites, points.NoPoint, PointLoc(loc), target, k, d)
+						if err != nil {
+							return nil, err
+						}
+						if member {
+							results = append(results, p)
+						}
+					}
+				}
+			}
+		case uKindNode:
+			n := ent.node
+			st.NodesExpanded++
+			if s.counts.get(n) >= int32(k) {
+				continue
+			}
+			var err error
+			adj, err = s.g.Adjacency(n, adj)
+			if err != nil {
+				return nil, err
+			}
+			var kids []*pq.Item[uEntry]
+			for _, edge := range adj {
+				// Surface the points of this edge.
+				refs, err = cands.PointsOn(n, edge.To, refs)
+				if err != nil {
+					return nil, err
+				}
+				for _, ref := range refs {
+					off := ref.Pos
+					if n > edge.To {
+						off = edge.W - ref.Pos
+					}
+					w.pushPoint(uSetCand, ref.ID, d+off)
+				}
+				siteCount := 0
+				if mono {
+					siteCount = len(refs)
+				} else {
+					refs, err = sites.PointsOn(n, edge.To, refs)
+					if err != nil {
+						return nil, err
+					}
+					siteCount = len(refs)
+					for _, ref := range refs {
+						off := ref.Pos
+						if n > edge.To {
+							off = edge.W - ref.Pos
+						}
+						w.pushPoint(uSetSite, ref.ID, d+off)
+					}
+				}
+				// Edge-crossing rule (Section 5.2): entering edge.To via
+				// this edge passes all its competitors; with k of them the
+				// far endpoint cannot lead to results along this path.
+				if siteCount >= k {
+					continue
+				}
+				if h := w.pushNode(edge.To, d+edge.W); h != nil {
+					kids = append(kids, h)
+				}
+			}
+			if kids != nil {
+				children[n] = kids
+			}
+		}
+	}
+	return finishResult(results, st), nil
+}
+
+// uLazyVerify runs a verification expansion for point self (an upper bound
+// e away from the query) and applies the lazy pruning side effects to the
+// main walk.
+func (s *Searcher) uLazyVerify(st *Stats, sites points.EdgeView, self points.PointID, from Loc, target uTargetSpec, k int, e float64, main *uWalk, children map[graph.NodeID][]*pq.Item[uEntry]) (bool, error) {
+	st.Verifications++
+	// eX bounds the expansion; eStrict gates the counter side effects.
+	eX, eStrict := upperBound(e), strictBound(e)
+	w := s.newUWalk()
+	defer s.closeUWalk(st, w)
+	var adj []graph.Edge
+	if err := w.seedFromLoc(s, from, &adj); err != nil {
+		return false, err
+	}
+	var refs []points.EdgePointRef
+	if !from.IsNode() {
+		var err error
+		refs, err = sites.PointsOn(from.U, from.V, refs)
+		if err != nil {
+			return false, err
+		}
+		for _, ref := range refs {
+			if dd := math.Abs(ref.Pos - from.Pos); dd <= eX {
+				w.pushPoint(uSetSite, ref.ID, dd)
+			}
+		}
+		if target.nodes == nil && target.loc.sameEdge(from) {
+			if dd := math.Abs(target.loc.Pos - from.Pos); dd <= eX {
+				w.pushTarget(dd)
+			}
+		}
+	}
+	targetEdgeW := -1.0
+	done := make(map[points.PointID]bool)
+	strictCount, sameCount := 0, 0
+	lastDist := 0.0
+	for {
+		ent, dm, ok := w.pop()
+		if !ok {
+			return false, nil
+		}
+		if dm > lastDist {
+			strictCount += sameCount
+			sameCount = 0
+			lastDist = dm
+		}
+		if strictCount >= k {
+			return false, nil
+		}
+		switch ent.kind {
+		case uKindTarget:
+			return true, nil
+		case uKindPoint:
+			if done[ent.p] {
+				continue
+			}
+			done[ent.p] = true
+			if ent.p != self {
+				sameCount++
+			}
+		case uKindNode:
+			m := ent.node
+			st.NodesScanned++
+			if target.nodeHit(m) {
+				return true, nil
+			}
+			// Lazy pruning side effects (Section 3.3 generalized).
+			eligible := false
+			if main.sc.isClosed(m) {
+				eligible = dm < strictBound(main.sc.dist[m])
+			} else {
+				eligible = dm < eStrict
+			}
+			if eligible {
+				if c := s.counts.add(m); c == int32(k) && main.sc.isClosed(m) {
+					for _, h := range children[m] {
+						main.heap.Remove(h)
+					}
+					delete(children, m)
+				}
+			}
+			if target.nodes == nil && !target.loc.IsNode() {
+				if m == target.loc.U || m == target.loc.V {
+					if targetEdgeW < 0 {
+						var err error
+						targetEdgeW, err = s.edgeWeight(target.loc.U, target.loc.V, &adj)
+						if err != nil {
+							return false, err
+						}
+					}
+					off := target.loc.Pos
+					if m == target.loc.V {
+						off = targetEdgeW - target.loc.Pos
+					}
+					if nd := dm + off; nd <= eX {
+						w.pushTarget(nd)
+					}
+				}
+			}
+			var err error
+			adj, err = s.g.Adjacency(m, adj)
+			if err != nil {
+				return false, err
+			}
+			if err := s.pushAdjacentPoints(w, sites, uSetSite, m, dm, adj, eX, &refs); err != nil {
+				return false, err
+			}
+			for _, edge := range adj {
+				if nd := dm + edge.W; nd <= eX {
+					w.pushNode(edge.To, nd)
+				}
+			}
+		}
+	}
+}
+
+// uLazyEP is lazy-EP over unrestricted networks: the second heap expands
+// around discovered competitors from both endpoints of their edges and
+// marks dominated nodes, replacing counter-based pruning.
+func (s *Searcher) uLazyEP(cands, sites points.EdgeView, mono bool, sources []Loc, target uTargetSpec, k int) (*Result, error) {
+	var st Stats
+	var adjCheck []graph.Edge
+	if err := s.checkUQuery(cands, sources, k, &adjCheck); err != nil {
+		return nil, err
+	}
+	w := s.newUWalk()
+	defer s.closeUWalk(&st, w)
+
+	found := make(map[graph.NodeID][]PointDist)
+	var hp pq.Heap[matHeapEntry]
+	var hpAdj []graph.Edge
+	advanceHP := func(limit float64) error {
+		for {
+			top, ok := hp.Peek()
+			if !ok || top.Priority() >= limit {
+				return nil
+			}
+			e, d, _ := hp.Pop()
+			st.NodesScanned++
+			lst := found[e.node]
+			if !insertFound(&lst, e.p, d, k) {
+				continue
+			}
+			found[e.node] = lst
+			var err error
+			hpAdj, err = s.g.Adjacency(e.node, hpAdj)
+			if err != nil {
+				return err
+			}
+			for _, edge := range hpAdj {
+				nd := d + edge.W
+				if tgt := found[edge.To]; len(tgt) == k && !entryLess(nd, e.p, tgt[k-1].D, tgt[k-1].P) {
+					continue
+				}
+				hp.Push(matHeapEntry{edge.To, e.p}, nd)
+			}
+		}
+	}
+	var adj []graph.Edge
+	var refs []points.EdgePointRef
+	seedHP := func(p points.PointID) error {
+		loc, ok := sites.Loc(p)
+		if !ok {
+			return nil
+		}
+		wEdge, err := s.edgeWeight(loc.U, loc.V, &adj)
+		if err != nil {
+			return err
+		}
+		hp.Push(matHeapEntry{loc.U, p}, loc.Pos)
+		hp.Push(matHeapEntry{loc.V, p}, wEdge-loc.Pos)
+		return nil
+	}
+
+	verified := make(map[points.PointID]bool)
+	classified := make(map[points.PointID]bool)
+	var results []points.PointID
+
+	for _, src := range sources {
+		if err := w.seedFromLoc(s, src, &adj); err != nil {
+			return nil, err
+		}
+		if !src.IsNode() {
+			var err error
+			refs, err = cands.PointsOn(src.U, src.V, refs)
+			if err != nil {
+				return nil, err
+			}
+			for _, ref := range refs {
+				w.pushPoint(uSetCand, ref.ID, math.Abs(ref.Pos-src.Pos))
+			}
+			if !mono {
+				refs, err = sites.PointsOn(src.U, src.V, refs)
+				if err != nil {
+					return nil, err
+				}
+				for _, ref := range refs {
+					w.pushPoint(uSetSite, ref.ID, math.Abs(ref.Pos-src.Pos))
+				}
+			}
+		}
+	}
+
+	for {
+		if top, ok := w.heap.Peek(); ok {
+			if err := advanceHP(top.Priority()); err != nil {
+				return nil, err
+			}
+		}
+		ent, d, ok := w.pop()
+		if !ok {
+			break
+		}
+		switch ent.kind {
+		case uKindPoint:
+			if mono || ent.set == uSetSite {
+				p := ent.p
+				if !verified[p] {
+					verified[p] = true
+					if err := seedHP(p); err != nil {
+						return nil, err
+					}
+					if mono {
+						loc, ok := cands.Loc(p)
+						if ok {
+							member, err := s.epClassify(&st, found, sites, p, p, loc, target, k, d, &adj)
+							if err != nil {
+								return nil, err
+							}
+							if member {
+								results = append(results, p)
+							}
+						}
+					}
+				}
+			} else {
+				p := ent.p
+				if !classified[p] {
+					classified[p] = true
+					loc, ok := cands.Loc(p)
+					if ok {
+						member, err := s.epClassify(&st, found, sites, points.NoPoint, p, loc, target, k, d, &adj)
+						if err != nil {
+							return nil, err
+						}
+						if member {
+							results = append(results, p)
+						}
+					}
+				}
+			}
+		case uKindNode:
+			n := ent.node
+			st.NodesExpanded++
+			lst := found[n]
+			if len(lst) >= k && lst[k-1].D < strictBound(d) {
+				continue // dominated by k discovered competitors
+			}
+			var err error
+			adj, err = s.g.Adjacency(n, adj)
+			if err != nil {
+				return nil, err
+			}
+			for _, edge := range adj {
+				refs, err = cands.PointsOn(n, edge.To, refs)
+				if err != nil {
+					return nil, err
+				}
+				for _, ref := range refs {
+					off := ref.Pos
+					if n > edge.To {
+						off = edge.W - ref.Pos
+					}
+					w.pushPoint(uSetCand, ref.ID, d+off)
+				}
+				siteCount := 0
+				if mono {
+					siteCount = len(refs)
+				} else {
+					refs, err = sites.PointsOn(n, edge.To, refs)
+					if err != nil {
+						return nil, err
+					}
+					siteCount = len(refs)
+					for _, ref := range refs {
+						off := ref.Pos
+						if n > edge.To {
+							off = edge.W - ref.Pos
+						}
+						w.pushPoint(uSetSite, ref.ID, d+off)
+					}
+				}
+				if siteCount >= k {
+					continue
+				}
+				w.pushNode(edge.To, d+edge.W)
+			}
+		}
+	}
+	st.HeapPushes += int64(hp.PushCount)
+	st.HeapPops += int64(hp.PopCount)
+	return finishResult(results, st), nil
+}
+
+// epClassify decides membership of a discovered candidate in lazy-EP,
+// first trying to reject it from the H' marks of its edge's endpoints: a
+// competitor recorded at distance D from endpoint a bounds its distance to
+// the candidate by D + dL(a, p). The candidate's pop distance ub equals
+// d(p, target) exactly whenever p is a true member (its discovery path is
+// never pruned), so counting k distinct competitors with bounds strictly
+// below ub can only reject non-members — this is how lazy-EP issues fewer
+// verification queries (Section 4.2). Inconclusive candidates fall back to
+// a verification query.
+func (s *Searcher) epClassify(st *Stats, found map[graph.NodeID][]PointDist, sites points.EdgeView, self, p points.PointID, loc points.EdgePoint, target uTargetSpec, k int, ub float64, adj *[]graph.Edge) (bool, error) {
+	w, err := s.edgeWeight(loc.U, loc.V, adj)
+	if err != nil {
+		return false, err
+	}
+	ubStrict := strictBound(ub)
+	closer := 0
+	var counted map[points.PointID]bool
+	for side := 0; side < 2; side++ {
+		node, off := loc.U, loc.Pos
+		if side == 1 {
+			node, off = loc.V, w-loc.Pos
+		}
+		for _, f := range found[node] {
+			if f.P == p || counted[f.P] {
+				continue
+			}
+			if f.D+off < ubStrict {
+				if counted == nil {
+					counted = make(map[points.PointID]bool, k)
+				}
+				counted[f.P] = true
+				closer++
+				if closer >= k {
+					return false, nil
+				}
+			}
+		}
+	}
+	return s.uVerify(st, sites, self, PointLoc(loc), target, k, ub)
+}
+
+// uBrute verifies every candidate with an unbounded expansion.
+func (s *Searcher) uBrute(cands, sites points.EdgeView, mono bool, target uTargetSpec, k int) (*Result, error) {
+	var st Stats
+	if k < 1 {
+		return nil, errKTooSmall(k)
+	}
+	var results []points.PointID
+	for _, p := range cands.Points() {
+		loc, ok := cands.Loc(p)
+		if !ok {
+			continue
+		}
+		self := points.NoPoint
+		if mono {
+			self = p
+		}
+		member, err := s.uVerify(&st, sites, self, PointLoc(loc), target, k, math.Inf(1))
+		if err != nil {
+			return nil, err
+		}
+		if member {
+			results = append(results, p)
+		}
+	}
+	return finishResult(results, st), nil
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/storage"
+)
+
+type edgeInfo struct {
+	u, v graph.NodeID
+	w    float64
+}
+
+func graphEdges(g *graph.Graph) []edgeInfo {
+	var out []edgeInfo
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		out = append(out, edgeInfo{u, v, w})
+	})
+	return out
+}
+
+// randEdgePoints distributes count points uniformly over random edges.
+func randEdgePoints(t testing.TB, rng *rand.Rand, g *graph.Graph, count int) *points.EdgeSet {
+	t.Helper()
+	edges := graphEdges(g)
+	ps := points.NewEdgeSet()
+	for i := 0; i < count; i++ {
+		e := edges[rng.Intn(len(edges))]
+		if _, err := ps.Place(e.u, e.v, rng.Float64()*e.w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ps
+}
+
+func randULoc(rng *rand.Rand, g *graph.Graph, edges []edgeInfo) Loc {
+	if rng.Intn(4) == 0 {
+		return NodeLoc(graph.NodeID(rng.Intn(g.NumNodes())))
+	}
+	e := edges[rng.Intn(len(edges))]
+	return Loc{U: e.u, V: e.v, Pos: rng.Float64() * e.w}
+}
+
+func TestULocDistanceFig14Semantics(t *testing.T) {
+	// A point on an edge has two route bounds through the endpoints; the
+	// network distance is their minimum (Fig 14: the processing of n3
+	// bounds d(q,p3) by 10, n5 tightens it to the exact 8).
+	//
+	//   q at node 0; edge (1,2) of weight 10 with p at pos 4 from node 1;
+	//   d(0,1)=7, d(0,2)=3  =>  d(q,p) = min(7+4, 3+6) = 9.
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(0, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSearcher(g)
+	d, err := s.ULocDistance(NodeLoc(0), Loc{U: 1, V: 2, Pos: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 9 {
+		t.Fatalf("d(q,p) = %v, want 9 (min of 11 and 9)", d)
+	}
+	// Same-edge direct distance vs the long way around.
+	d, err = s.ULocDistance(Loc{U: 1, V: 2, Pos: 1}, Loc{U: 1, V: 2, Pos: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 8 {
+		t.Fatalf("same-edge distance = %v, want 8 (direct)", d)
+	}
+	// Direct segment longer than the route through the endpoints: points
+	// at the far ends of a heavy edge.
+	b2 := graph.NewBuilder(3)
+	b2.AddEdge(0, 1, 100)
+	b2.AddEdge(0, 2, 1)
+	b2.AddEdge(1, 2, 1)
+	g2, _ := b2.Build()
+	s2 := NewSearcher(g2)
+	d, err = s2.ULocDistance(Loc{U: 0, V: 1, Pos: 1}, Loc{U: 0, V: 1, Pos: 99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 4 { // 1 back to node0, node0->2->1 = 2, then 1 into the edge
+		t.Fatalf("heavy-edge distance = %v, want 4 (through the network)", d)
+	}
+}
+
+func TestULocValidation(t *testing.T) {
+	g, _, _ := paperGraph(t)
+	s := NewSearcher(g)
+	ps := points.NewEdgeSet()
+	if _, err := s.UEagerRkNN(ps, Loc{U: 0, V: 99}, 1); err == nil {
+		t.Fatal("out-of-range location accepted")
+	}
+	if _, err := s.UEagerRkNN(ps, Loc{U: 1, V: 0, Pos: 1}, 1); err == nil {
+		t.Fatal("non-canonical edge location accepted")
+	}
+	if _, err := s.UEagerRkNN(ps, Loc{U: 0, V: 1, Pos: 999}, 1); err == nil {
+		t.Fatal("offset beyond edge weight accepted")
+	}
+	if _, err := s.UEagerRkNN(ps, Loc{U: 0, V: 6, Pos: 1}, 1); err == nil {
+		t.Fatal("location on a missing edge accepted")
+	}
+	if _, err := s.UEagerRkNN(ps, NodeLoc(0), 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+// TestUnrestrictedAgreesWithBrute is the central unrestricted property
+// test: eager, lazy, lazy-EP and eager-M against brute force, with queries
+// on nodes, on edges, and at data point locations (excluded).
+func TestUnrestrictedAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	iters := 200
+	if testing.Short() {
+		iters = 40
+	}
+	for it := 0; it < iters; it++ {
+		n := 10 + rng.Intn(40)
+		g := randNet(t, rng, n, rng.Intn(2*n), 0.3)
+		edges := graphEdges(g)
+		s := NewSearcher(g)
+		ps := randEdgePoints(t, rng, g, 1+rng.Intn(n/2+2))
+		maxK := 1 + rng.Intn(3)
+		k := 1 + rng.Intn(maxK)
+		seeds, err := SeedsUnrestricted(ps, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := s.MatBuild(seeds, maxK, newMemMatFile(), 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Query 1: at a data point's location, point excluded.
+		pts := ps.Points()
+		qp := pts[rng.Intn(len(pts))]
+		qloc, _ := ps.Loc(qp)
+		view := points.ExcludeEdge(ps, qp)
+		q := PointLoc(qloc)
+
+		// Query 2: a random location.
+		q2 := randULoc(rng, g, edges)
+
+		type queryCase struct {
+			view points.EdgeView
+			loc  Loc
+		}
+		for ci, c := range []queryCase{{view, q}, {ps, q2}} {
+			want, err := s.UBruteRkNN(c.view, c.loc, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, run := range map[string]func() (*Result, error){
+				"ueager":  func() (*Result, error) { return s.UEagerRkNN(c.view, c.loc, k) },
+				"ulazy":   func() (*Result, error) { return s.ULazyRkNN(c.view, c.loc, k) },
+				"ulazyEP": func() (*Result, error) { return s.ULazyEPRkNN(c.view, c.loc, k) },
+				"ueagerM": func() (*Result, error) { return s.UEagerMRkNN(c.view, mat, c.loc, k) },
+			} {
+				got, err := run()
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !samePoints(want, got) {
+					t.Fatalf("iter %d case %d %s=%s brute=%s (|V|=%d |P|=%d k=%d q=%v)",
+						it, ci, name, describe(got), describe(want), n, c.view.Len(), k, c.loc)
+				}
+			}
+		}
+	}
+}
+
+// TestUnrestrictedDensePoints puts many points on few edges so that
+// same-edge interactions (direct distances, edge-crossing pruning)
+// dominate.
+func TestUnrestrictedDensePoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	for it := 0; it < iters; it++ {
+		n := 6 + rng.Intn(10)
+		g := randNet(t, rng, n, rng.Intn(n), 0)
+		edges := graphEdges(g)
+		s := NewSearcher(g)
+		ps := points.NewEdgeSet()
+		// Cluster points on up to 3 edges.
+		for i := 0; i < 3+rng.Intn(10); i++ {
+			e := edges[rng.Intn(min(3, len(edges)))]
+			if _, err := ps.Place(e.u, e.v, rng.Float64()*e.w); err != nil {
+				t.Fatal(err)
+			}
+		}
+		k := 1 + rng.Intn(3)
+		q := randULoc(rng, g, edges)
+		want, err := s.UBruteRkNN(ps, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func() (*Result, error){
+			"ueager":  func() (*Result, error) { return s.UEagerRkNN(ps, q, k) },
+			"ulazy":   func() (*Result, error) { return s.ULazyRkNN(ps, q, k) },
+			"ulazyEP": func() (*Result, error) { return s.ULazyEPRkNN(ps, q, k) },
+		} {
+			got, err := run()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !samePoints(want, got) {
+				t.Fatalf("iter %d %s=%s brute=%s (k=%d q=%v)", it, name, describe(got), describe(want), k, q)
+			}
+		}
+	}
+}
+
+// TestUnrestrictedFarFromEndpoints reproduces the discovery hazard
+// documented in DESIGN.md: a member deep inside a long edge whose endpoints
+// are crowded by other points must still be found.
+func TestUnrestrictedFarFromEndpoints(t *testing.T) {
+	// q at node 3 -- a(0) ===long edge=== b(1), appendage at b with a point
+	// x that crowds b's range-NN; p sits mid-edge and is still a RNN.
+	b := graph.NewBuilder(4)
+	b.AddEdge(3, 0, 9)   // q - a
+	b.AddEdge(0, 1, 100) // a ===== b, p at offset 10 from a
+	b.AddEdge(1, 2, 85)  // b - x's node
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := points.NewEdgeSet()
+	p, _ := ps.Place(0, 1, 10) // d(p,q) = 19
+	x, _ := ps.Place(1, 2, 85) // x at node-2 end: d(x,b)=85 < d(p,b)=90
+	_ = x                      // d(x,p)=175, d(x,q)=194: x's NN is p, not q
+	s := NewSearcher(g)
+	for name, run := range map[string]func() (*Result, error){
+		"brute":   func() (*Result, error) { return s.UBruteRkNN(ps, NodeLoc(3), 1) },
+		"ueager":  func() (*Result, error) { return s.UEagerRkNN(ps, NodeLoc(3), 1) },
+		"ulazy":   func() (*Result, error) { return s.ULazyRkNN(ps, NodeLoc(3), 1) },
+		"ulazyEP": func() (*Result, error) { return s.ULazyEPRkNN(ps, NodeLoc(3), 1) },
+	} {
+		r, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Points) != 1 || r.Points[0] != p {
+			t.Fatalf("%s = %v, want [p] — mid-edge member missed", name, r.Points)
+		}
+	}
+}
+
+func TestUnrestrictedContinuousAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	iters := 100
+	if testing.Short() {
+		iters = 20
+	}
+	for it := 0; it < iters; it++ {
+		n := 10 + rng.Intn(30)
+		g := randNet(t, rng, n, rng.Intn(2*n), 0.3)
+		s := NewSearcher(g)
+		ps := randEdgePoints(t, rng, g, 1+rng.Intn(n/2+2))
+		maxK := 1 + rng.Intn(2)
+		k := 1 + rng.Intn(maxK)
+		seeds, err := SeedsUnrestricted(ps, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := s.MatBuild(seeds, maxK, newMemMatFile(), 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		route := randomWalkRoute(t, g, rng, 1+rng.Intn(6))
+		want, err := s.UBruteContinuous(ps, route, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func() (*Result, error){
+			"ueager":  func() (*Result, error) { return s.UEagerContinuous(ps, route, k) },
+			"ulazy":   func() (*Result, error) { return s.ULazyContinuous(ps, route, k) },
+			"ulazyEP": func() (*Result, error) { return s.ULazyEPContinuous(ps, route, k) },
+			"ueagerM": func() (*Result, error) { return s.UEagerMContinuous(ps, mat, route, k) },
+		} {
+			got, err := run()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !samePoints(want, got) {
+				t.Fatalf("iter %d %s=%s brute=%s (route=%v k=%d)", it, name, describe(got), describe(want), route, k)
+			}
+		}
+	}
+}
+
+func TestUnrestrictedBichromaticAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	for it := 0; it < iters; it++ {
+		n := 10 + rng.Intn(30)
+		g := randNet(t, rng, n, rng.Intn(2*n), 0.3)
+		edges := graphEdges(g)
+		s := NewSearcher(g)
+		cands := randEdgePoints(t, rng, g, 1+rng.Intn(n/2+2))
+		sites := randEdgePoints(t, rng, g, 1+rng.Intn(n/3+2))
+		maxK := 1 + rng.Intn(2)
+		k := 1 + rng.Intn(maxK)
+		seeds, err := SeedsUnrestricted(sites, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := s.MatBuild(seeds, maxK, newMemMatFile(), 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := randULoc(rng, g, edges)
+		want, err := s.UBruteBichromatic(cands, sites, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func() (*Result, error){
+			"ueager":  func() (*Result, error) { return s.UEagerBichromatic(cands, sites, q, k) },
+			"ulazy":   func() (*Result, error) { return s.ULazyBichromatic(cands, sites, q, k) },
+			"ulazyEP": func() (*Result, error) { return s.ULazyEPBichromatic(cands, sites, q, k) },
+			"ueagerM": func() (*Result, error) { return s.UEagerMBichromatic(cands, sites, mat, q, k) },
+		} {
+			got, err := run()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if !samePoints(want, got) {
+				t.Fatalf("iter %d %s=%s brute=%s (|P|=%d |Q|=%d k=%d q=%v)",
+					it, name, describe(got), describe(want), cands.Len(), sites.Len(), k, q)
+			}
+		}
+	}
+}
+
+// TestUnrestrictedWithPagedPoints runs the property test against the
+// disk-resident point file to confirm the paged EdgeView is semantically
+// identical and I/O is accounted.
+func TestUnrestrictedWithPagedPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for it := 0; it < 40; it++ {
+		n := 10 + rng.Intn(30)
+		g := randNet(t, rng, n, rng.Intn(2*n), 0.3)
+		edges := graphEdges(g)
+		s := NewSearcher(g)
+		mem := randEdgePoints(t, rng, g, 1+rng.Intn(n/2+2))
+		paged, err := points.NewPagedEdgeSet(mem, storage.NewMemFile(512), 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := 1 + rng.Intn(2)
+		q := randULoc(rng, g, edges)
+		want, err := s.UEagerRkNN(mem, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := s.UEagerRkNN(paged, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(want, got) {
+			t.Fatalf("iter %d paged=%s mem=%s", it, describe(got), describe(want))
+		}
+	}
+}
+
+func TestUMatBuildMatchesEndpointMerge(t *testing.T) {
+	// The materialized lists over edge points must equal a brute
+	// computation via ULocDistance.
+	rng := rand.New(rand.NewSource(75))
+	for it := 0; it < 25; it++ {
+		n := 8 + rng.Intn(20)
+		g := randNet(t, rng, n, rng.Intn(n), 0.3)
+		s := NewSearcher(g)
+		ps := randEdgePoints(t, rng, g, 1+rng.Intn(8))
+		maxK := 1 + rng.Intn(3)
+		seeds, err := SeedsUnrestricted(ps, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mat, err := s.MatBuild(seeds, maxK, newMemMatFile(), 64, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lst []MatEntry
+		for node := graph.NodeID(0); int(node) < n; node++ {
+			var want []MatEntry
+			for _, p := range ps.Points() {
+				loc, _ := ps.Loc(p)
+				d, err := s.ULocDistance(NodeLoc(node), PointLoc(loc))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !math.IsInf(d, 1) {
+					want = append(want, MatEntry{P: p, D: d})
+				}
+			}
+			sortMatEntries(want)
+			if len(want) > maxK+1 {
+				want = want[:maxK+1]
+			}
+			lst, err = mat.List(node, lst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(lst) != len(want) {
+				t.Fatalf("node %d list = %v, want %v", node, lst, want)
+			}
+			for i := range lst {
+				if lst[i].P != want[i].P || math.Abs(lst[i].D-want[i].D) > 1e-9 {
+					t.Fatalf("node %d list = %v, want %v", node, lst, want)
+				}
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

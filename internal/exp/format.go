@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is the result of one experiment: one row per x-axis setting, one
+// Measure per algorithm column.
+type Table struct {
+	ID      string // e.g. "Table 1", "Fig 17"
+	Title   string
+	XLabel  string
+	Xs      []string
+	Columns []Algo
+	Cells   [][]Measure // [x][column]
+}
+
+// Format renders the table in the paper's style: per algorithm, the I/O
+// count, CPU time and total cost under the 10 ms/I-O model.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " | %22s", fmt.Sprintf("%s (IO / CPUs / total)", c))
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 12+len(t.Columns)*25))
+	b.WriteString("\n")
+	for i, x := range t.Xs {
+		fmt.Fprintf(&b, "%-12s", x)
+		for j := range t.Columns {
+			m := t.Cells[i][j]
+			fmt.Fprintf(&b, " | %7.1f %6.3f %7.2f", m.IO, m.CPU, m.Total())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Series returns the total-cost series of one column, for shape checks.
+func (t *Table) Series(col Algo) []float64 {
+	idx := -1
+	for j, c := range t.Columns {
+		if c == col {
+			idx = j
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Xs))
+	for i := range t.Xs {
+		out[i] = t.Cells[i][idx].Total()
+	}
+	return out
+}
+
+// IOSeries returns the I/O series of one column.
+func (t *Table) IOSeries(col Algo) []float64 {
+	idx := -1
+	for j, c := range t.Columns {
+		if c == col {
+			idx = j
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Xs))
+	for i := range t.Xs {
+		out[i] = t.Cells[i][idx].IO
+	}
+	return out
+}
+
+// CPUSeries returns the CPU series of one column.
+func (t *Table) CPUSeries(col Algo) []float64 {
+	idx := -1
+	for j, c := range t.Columns {
+		if c == col {
+			idx = j
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]float64, len(t.Xs))
+	for i := range t.Xs {
+		out[i] = t.Cells[i][idx].CPU
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Digraph is a directed weighted graph, the extension Section 7 of the
+// paper names as future work (e.g. road maps with one-way streets). The
+// neighborhood relation is asymmetric, so it exposes two Access views:
+// Out(n) lists out-arcs (used by forward expansions: range-NN probes and
+// verifications measure d(n→x)), In(n) lists in-arcs (used by the main
+// reverse expansion that computes d(n→q) for all n).
+type Digraph struct {
+	numNodes int
+	out, in  csr
+}
+
+type csr struct {
+	offsets []int32
+	targets []NodeID
+	weights []float64
+}
+
+func (c *csr) adjacency(n NodeID, buf []Edge) []Edge {
+	buf = buf[:0]
+	for i := c.offsets[n]; i < c.offsets[n+1]; i++ {
+		buf = append(buf, Edge{To: c.targets[i], W: c.weights[i]})
+	}
+	return buf
+}
+
+// NumNodes returns |V|.
+func (d *Digraph) NumNodes() int { return d.numNodes }
+
+// NumArcs returns the number of directed arcs.
+func (d *Digraph) NumArcs() int { return len(d.out.targets) }
+
+// Out returns an Access view over out-arcs.
+func (d *Digraph) Out() Access { return digraphView{d: d, c: &d.out} }
+
+// In returns an Access view over in-arcs (each arc reversed).
+func (d *Digraph) In() Access { return digraphView{d: d, c: &d.in} }
+
+type digraphView struct {
+	d *Digraph
+	c *csr
+}
+
+func (v digraphView) NumNodes() int { return v.d.numNodes }
+
+func (v digraphView) Adjacency(n NodeID, buf []Edge) ([]Edge, error) {
+	if n < 0 || int(n) >= v.d.numNodes {
+		return nil, fmt.Errorf("graph: node %d out of range [0,%d)", n, v.d.numNodes)
+	}
+	return v.c.adjacency(n, buf), nil
+}
+
+// DigraphBuilder accumulates directed arcs.
+type DigraphBuilder struct {
+	numNodes int
+	arcs     []builderEdge
+}
+
+// NewDigraphBuilder creates a builder for numNodes nodes.
+func NewDigraphBuilder(numNodes int) *DigraphBuilder {
+	return &DigraphBuilder{numNodes: numNodes}
+}
+
+// AddArc records the directed arc u→v with positive weight w. Parallel
+// arcs collapse to the minimum weight.
+func (b *DigraphBuilder) AddArc(u, v NodeID, w float64) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop on node %d", u)
+	}
+	if u < 0 || int(u) >= b.numNodes || v < 0 || int(v) >= b.numNodes {
+		return fmt.Errorf("graph: arc (%d,%d) out of range [0,%d)", u, v, b.numNodes)
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("graph: arc (%d,%d) has non-positive weight %v", u, v, w)
+	}
+	b.arcs = append(b.arcs, builderEdge{u, v, w})
+	return nil
+}
+
+// Build produces the directed graph.
+func (b *DigraphBuilder) Build() (*Digraph, error) {
+	sort.Slice(b.arcs, func(i, j int) bool {
+		ai, aj := b.arcs[i], b.arcs[j]
+		if ai.u != aj.u {
+			return ai.u < aj.u
+		}
+		if ai.v != aj.v {
+			return ai.v < aj.v
+		}
+		return ai.w < aj.w
+	})
+	dedup := b.arcs[:0]
+	for _, a := range b.arcs {
+		if n := len(dedup); n > 0 && dedup[n-1].u == a.u && dedup[n-1].v == a.v {
+			continue
+		}
+		dedup = append(dedup, a)
+	}
+	b.arcs = dedup
+
+	build := func(reverse bool) csr {
+		deg := make([]int32, b.numNodes)
+		for _, a := range b.arcs {
+			src := a.u
+			if reverse {
+				src = a.v
+			}
+			deg[src]++
+		}
+		offsets := make([]int32, b.numNodes+1)
+		for i := 0; i < b.numNodes; i++ {
+			offsets[i+1] = offsets[i] + deg[i]
+		}
+		targets := make([]NodeID, offsets[b.numNodes])
+		weights := make([]float64, offsets[b.numNodes])
+		cursor := make([]int32, b.numNodes)
+		copy(cursor, offsets[:b.numNodes])
+		for _, a := range b.arcs {
+			src, dst := a.u, a.v
+			if reverse {
+				src, dst = a.v, a.u
+			}
+			targets[cursor[src]], weights[cursor[src]] = dst, a.w
+			cursor[src]++
+		}
+		return csr{offsets: offsets, targets: targets, weights: weights}
+	}
+	return &Digraph{numNodes: b.numNodes, out: build(false), in: build(true)}, nil
+}

@@ -1,0 +1,327 @@
+// Package graph defines the network model of Yiu et al. (TKDE'06): an
+// undirected weighted graph G = (V, E, W) whose network distance d(n_i, n_j)
+// is the minimum weight sum over paths. It provides an in-memory CSR
+// representation, a builder, and the Access interface through which every
+// query algorithm reads adjacency lists — either straight from memory or
+// through the disk-backed store in internal/storage.
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// NodeID identifies a graph node. Nodes are dense integers 0..NumNodes-1.
+type NodeID int32
+
+// Edge is one adjacency entry: the neighbour and the (positive) edge weight.
+type Edge struct {
+	To NodeID
+	W  float64
+}
+
+// Access is the read interface used by all query algorithms. Adjacency
+// appends the adjacency list of n to buf (which may be nil) and returns the
+// result; the contents are valid until the next Adjacency call on the same
+// Access. Implementations are not safe for concurrent use.
+type Access interface {
+	NumNodes() int
+	Adjacency(n NodeID, buf []Edge) ([]Edge, error)
+}
+
+// Coord is an optional 2-D embedding of a node, used by spatial generators
+// (weights = Euclidean length) and by nothing else: per Section 2.2 of the
+// paper the algorithms deliberately never exploit coordinates.
+type Coord struct {
+	X, Y float64
+}
+
+// Graph is an immutable in-memory undirected graph in CSR form. It
+// implements Access with zero-copy adjacency reads.
+type Graph struct {
+	offsets []int32
+	targets []NodeID
+	weights []float64
+	coords  []Coord // nil when the graph has no embedding
+}
+
+// NumNodes implements Access.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.targets) / 2 }
+
+// Degree returns the number of neighbours of n.
+func (g *Graph) Degree(n NodeID) int {
+	return int(g.offsets[n+1] - g.offsets[n])
+}
+
+// Adjacency implements Access. The CSR store ignores buf and returns an
+// internal slice; callers must not modify it.
+func (g *Graph) Adjacency(n NodeID, buf []Edge) ([]Edge, error) {
+	if n < 0 || int(n) >= g.NumNodes() {
+		return nil, fmt.Errorf("graph: node %d out of range [0,%d)", n, g.NumNodes())
+	}
+	buf = buf[:0]
+	for i := g.offsets[n]; i < g.offsets[n+1]; i++ {
+		buf = append(buf, Edge{To: g.targets[i], W: g.weights[i]})
+	}
+	return buf, nil
+}
+
+// EdgeWeight returns the weight of edge (u,v) and whether it exists.
+func (g *Graph) EdgeWeight(u, v NodeID) (float64, bool) {
+	for i := g.offsets[u]; i < g.offsets[u+1]; i++ {
+		if g.targets[i] == v {
+			return g.weights[i], true
+		}
+	}
+	return 0, false
+}
+
+// Coords returns the node embedding, or nil if the graph has none.
+func (g *Graph) Coords() []Coord { return g.coords }
+
+// Coord returns the embedding of node n; ok is false when the graph carries
+// no coordinates.
+func (g *Graph) Coord(n NodeID) (Coord, bool) {
+	if g.coords == nil {
+		return Coord{}, false
+	}
+	return g.coords[n], true
+}
+
+// ForEachEdge calls fn once per undirected edge (u < v).
+func (g *Graph) ForEachEdge(fn func(u, v NodeID, w float64)) {
+	for u := NodeID(0); int(u) < g.NumNodes(); u++ {
+		for i := g.offsets[u]; i < g.offsets[u+1]; i++ {
+			if v := g.targets[i]; u < v {
+				fn(u, v, g.weights[i])
+			}
+		}
+	}
+}
+
+// AverageDegree returns 2|E| / |V|.
+func (g *Graph) AverageDegree() float64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	return float64(len(g.targets)) / float64(g.NumNodes())
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges keep the smallest weight; self loops are rejected.
+type Builder struct {
+	numNodes int
+	edges    []builderEdge
+	coords   []Coord
+}
+
+type builderEdge struct {
+	u, v NodeID
+	w    float64
+}
+
+// NewBuilder creates a builder for a graph with numNodes nodes.
+func NewBuilder(numNodes int) *Builder {
+	return &Builder{numNodes: numNodes}
+}
+
+// SetCoords attaches a node embedding; len(coords) must equal numNodes.
+func (b *Builder) SetCoords(coords []Coord) error {
+	if len(coords) != b.numNodes {
+		return fmt.Errorf("graph: %d coords for %d nodes", len(coords), b.numNodes)
+	}
+	b.coords = coords
+	return nil
+}
+
+// AddEdge records the undirected edge (u,v) with weight w.
+func (b *Builder) AddEdge(u, v NodeID, w float64) error {
+	if u == v {
+		return fmt.Errorf("graph: self loop on node %d", u)
+	}
+	if u < 0 || int(u) >= b.numNodes || v < 0 || int(v) >= b.numNodes {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.numNodes)
+	}
+	if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("graph: edge (%d,%d) has non-positive weight %v", u, v, w)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges = append(b.edges, builderEdge{u, v, w})
+	return nil
+}
+
+// HasEdge reports whether (u,v) has been added. It is O(#edges) and meant
+// for generators that must avoid duplicates on small neighbourhoods; large
+// generators keep their own sets.
+func (b *Builder) HasEdge(u, v NodeID) bool {
+	if u > v {
+		u, v = v, u
+	}
+	for _, e := range b.edges {
+		if e.u == u && e.v == v {
+			return true
+		}
+	}
+	return false
+}
+
+// NumNodes returns the declared node count.
+func (b *Builder) NumNodes() int { return b.numNodes }
+
+// Build produces the CSR graph. Parallel edges collapse to the minimum
+// weight. Adjacency lists are sorted by neighbour id for determinism.
+func (b *Builder) Build() (*Graph, error) {
+	// Deduplicate, keeping minimum weight.
+	sort.Slice(b.edges, func(i, j int) bool {
+		ei, ej := b.edges[i], b.edges[j]
+		if ei.u != ej.u {
+			return ei.u < ej.u
+		}
+		if ei.v != ej.v {
+			return ei.v < ej.v
+		}
+		return ei.w < ej.w
+	})
+	dedup := b.edges[:0]
+	for _, e := range b.edges {
+		if n := len(dedup); n > 0 && dedup[n-1].u == e.u && dedup[n-1].v == e.v {
+			continue
+		}
+		dedup = append(dedup, e)
+	}
+	b.edges = dedup
+
+	deg := make([]int32, b.numNodes)
+	for _, e := range b.edges {
+		deg[e.u]++
+		deg[e.v]++
+	}
+	offsets := make([]int32, b.numNodes+1)
+	for i := 0; i < b.numNodes; i++ {
+		offsets[i+1] = offsets[i] + deg[i]
+	}
+	targets := make([]NodeID, offsets[b.numNodes])
+	weights := make([]float64, offsets[b.numNodes])
+	cursor := make([]int32, b.numNodes)
+	copy(cursor, offsets[:b.numNodes])
+	for _, e := range b.edges {
+		targets[cursor[e.u]], weights[cursor[e.u]] = e.v, e.w
+		cursor[e.u]++
+		targets[cursor[e.v]], weights[cursor[e.v]] = e.u, e.w
+		cursor[e.v]++
+	}
+	g := &Graph{offsets: offsets, targets: targets, weights: weights, coords: b.coords}
+	// Sort each adjacency list by (neighbour, weight) for determinism.
+	for n := 0; n < b.numNodes; n++ {
+		lo, hi := offsets[n], offsets[n+1]
+		sub := adjSorter{targets: targets[lo:hi], weights: weights[lo:hi]}
+		sort.Sort(sub)
+	}
+	return g, nil
+}
+
+type adjSorter struct {
+	targets []NodeID
+	weights []float64
+}
+
+func (a adjSorter) Len() int           { return len(a.targets) }
+func (a adjSorter) Less(i, j int) bool { return a.targets[i] < a.targets[j] }
+func (a adjSorter) Swap(i, j int) {
+	a.targets[i], a.targets[j] = a.targets[j], a.targets[i]
+	a.weights[i], a.weights[j] = a.weights[j], a.weights[i]
+}
+
+// ConnectedComponent returns the node ids of the largest connected
+// component, sorted ascending. Generators use it to "clean" networks the
+// way the paper cleans DBLP and the San Francisco map.
+func ConnectedComponent(g *Graph) []NodeID {
+	n := g.NumNodes()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var best, bestSize int32 = -1, 0
+	var queue []NodeID
+	var buf []Edge
+	next := int32(0)
+	for s := NodeID(0); int(s) < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		id := next
+		next++
+		size := int32(0)
+		queue = append(queue[:0], s)
+		comp[s] = id
+		for len(queue) > 0 {
+			u := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			size++
+			buf, _ = g.Adjacency(u, buf)
+			for _, e := range buf {
+				if comp[e.To] < 0 {
+					comp[e.To] = id
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		if size > bestSize {
+			best, bestSize = id, size
+		}
+	}
+	out := make([]NodeID, 0, bestSize)
+	for i := NodeID(0); int(i) < n; i++ {
+		if comp[i] == best {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// InducedSubgraph relabels keep (which must be sorted ascending) to
+// 0..len(keep)-1 and returns the subgraph induced by those nodes, along with
+// the old-to-new id mapping (-1 for dropped nodes).
+func InducedSubgraph(g *Graph, keep []NodeID) (*Graph, []NodeID, error) {
+	remap := make([]NodeID, g.NumNodes())
+	for i := range remap {
+		remap[i] = -1
+	}
+	for new, old := range keep {
+		remap[old] = NodeID(new)
+	}
+	b := NewBuilder(len(keep))
+	if g.coords != nil {
+		coords := make([]Coord, len(keep))
+		for new, old := range keep {
+			coords[new] = g.coords[old]
+		}
+		if err := b.SetCoords(coords); err != nil {
+			return nil, nil, err
+		}
+	}
+	var errOut error
+	g.ForEachEdge(func(u, v NodeID, w float64) {
+		nu, nv := remap[u], remap[v]
+		if nu < 0 || nv < 0 || errOut != nil {
+			return
+		}
+		if err := b.AddEdge(nu, nv, w); err != nil {
+			errOut = err
+		}
+	})
+	if errOut != nil {
+		return nil, nil, errOut
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, remap, nil
+}

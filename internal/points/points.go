@@ -1,0 +1,344 @@
+// Package points models the data sets P (and Q for bichromatic queries) of
+// Yiu et al. (TKDE'06). In restricted networks every data point resides on a
+// graph node (at most one point per node per set); in unrestricted networks
+// points live on edges as triplets <n_i, n_j, pos> (Section 5.2).
+//
+// Query algorithms read points through the NodeView / EdgeView interfaces so
+// that a query point sampled from the data set can be excluded (the paper's
+// workloads place queries at data point locations, modelling a newly arrived
+// peer or facility), and so that edge-resident points can be served either
+// from memory or from an I/O-accounted paged file (Fig 14b's storage
+// scheme).
+package points
+
+import (
+	"fmt"
+	"sort"
+
+	"graphrnn/internal/graph"
+)
+
+// PointID identifies a data point within its set.
+type PointID int32
+
+// NoPoint marks the absence of a point.
+const NoPoint PointID = -1
+
+// NodeView is the read interface for node-resident (restricted) point sets.
+type NodeView interface {
+	// PointAt returns the point residing on node n, if any.
+	PointAt(n graph.NodeID) (PointID, bool)
+	// NodeOf returns the node hosting point p; ok is false when p does not
+	// exist (or is hidden by an exclusion view).
+	NodeOf(p PointID) (graph.NodeID, bool)
+	// Len returns the number of visible points.
+	Len() int
+	// Points returns the visible point ids in ascending order.
+	Points() []PointID
+}
+
+// NodeSet is a mutable node-resident point set.
+type NodeSet struct {
+	byNode []PointID
+	nodes  []graph.NodeID // PointID -> node, -1 when deleted
+	live   int
+}
+
+// NewNodeSet creates an empty point set over a graph of numNodes nodes.
+func NewNodeSet(numNodes int) *NodeSet {
+	byNode := make([]PointID, numNodes)
+	for i := range byNode {
+		byNode[i] = NoPoint
+	}
+	return &NodeSet{byNode: byNode}
+}
+
+// NewNodeSetFromNodes places one point on each listed node, assigning point
+// ids in list order.
+func NewNodeSetFromNodes(numNodes int, nodes []graph.NodeID) (*NodeSet, error) {
+	s := NewNodeSet(numNodes)
+	for _, n := range nodes {
+		if _, err := s.Place(n); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Place puts a new point on node n.
+func (s *NodeSet) Place(n graph.NodeID) (PointID, error) {
+	if n < 0 || int(n) >= len(s.byNode) {
+		return NoPoint, fmt.Errorf("points: node %d out of range [0,%d)", n, len(s.byNode))
+	}
+	if s.byNode[n] != NoPoint {
+		return NoPoint, fmt.Errorf("points: node %d already hosts point %d", n, s.byNode[n])
+	}
+	p := PointID(len(s.nodes))
+	s.nodes = append(s.nodes, n)
+	s.byNode[n] = p
+	s.live++
+	return p, nil
+}
+
+// Delete removes point p from the set.
+func (s *NodeSet) Delete(p PointID) error {
+	if p < 0 || int(p) >= len(s.nodes) || s.nodes[p] < 0 {
+		return fmt.Errorf("points: point %d does not exist", p)
+	}
+	s.byNode[s.nodes[p]] = NoPoint
+	s.nodes[p] = -1
+	s.live--
+	return nil
+}
+
+// PointAt implements NodeView.
+func (s *NodeSet) PointAt(n graph.NodeID) (PointID, bool) {
+	if n < 0 || int(n) >= len(s.byNode) {
+		return NoPoint, false
+	}
+	p := s.byNode[n]
+	return p, p != NoPoint
+}
+
+// NodeOf implements NodeView.
+func (s *NodeSet) NodeOf(p PointID) (graph.NodeID, bool) {
+	if p < 0 || int(p) >= len(s.nodes) || s.nodes[p] < 0 {
+		return 0, false
+	}
+	return s.nodes[p], true
+}
+
+// Len implements NodeView.
+func (s *NodeSet) Len() int { return s.live }
+
+// Points returns the ids of all live points in ascending order.
+func (s *NodeSet) Points() []PointID {
+	out := make([]PointID, 0, s.live)
+	for p, n := range s.nodes {
+		if n >= 0 {
+			out = append(out, PointID(p))
+		}
+	}
+	return out
+}
+
+// excludeNode hides one point from a NodeView.
+type excludeNode struct {
+	NodeView
+	hidden PointID
+}
+
+// ExcludeNode returns a view of v with point hidden removed; hiding NoPoint
+// returns v unchanged.
+func ExcludeNode(v NodeView, hidden PointID) NodeView {
+	if hidden == NoPoint {
+		return v
+	}
+	return excludeNode{NodeView: v, hidden: hidden}
+}
+
+func (e excludeNode) PointAt(n graph.NodeID) (PointID, bool) {
+	p, ok := e.NodeView.PointAt(n)
+	if !ok || p == e.hidden {
+		return NoPoint, false
+	}
+	return p, true
+}
+
+func (e excludeNode) NodeOf(p PointID) (graph.NodeID, bool) {
+	if p == e.hidden {
+		return 0, false
+	}
+	return e.NodeView.NodeOf(p)
+}
+
+func (e excludeNode) Len() int { return e.NodeView.Len() - 1 }
+
+func (e excludeNode) Points() []PointID {
+	all := e.NodeView.Points()
+	out := make([]PointID, 0, len(all))
+	for _, p := range all {
+		if p != e.hidden {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// EdgePoint is the location of an edge-resident point: the canonical edge
+// (U < V) and the offset Pos from U along the edge (0 <= Pos <= weight).
+type EdgePoint struct {
+	U, V graph.NodeID
+	Pos  float64
+}
+
+// EdgePointRef pairs a point id with its offset from the canonical endpoint
+// U; PointsOn returns these sorted by Pos.
+type EdgePointRef struct {
+	ID  PointID
+	Pos float64
+}
+
+// EdgeView is the read interface for edge-resident (unrestricted) point
+// sets. Implementations may perform I/O (PagedEdgeSet) and therefore return
+// errors.
+type EdgeView interface {
+	// PointsOn appends the points residing on edge (u,v) to buf, sorted by
+	// offset from min(u,v).
+	PointsOn(u, v graph.NodeID, buf []EdgePointRef) ([]EdgePointRef, error)
+	// Loc returns the location of point p.
+	Loc(p PointID) (EdgePoint, bool)
+	// Len returns the number of visible points.
+	Len() int
+	// Points returns the visible point ids in ascending order.
+	Points() []PointID
+}
+
+type edgeKey struct {
+	u, v graph.NodeID
+}
+
+func canonKey(u, v graph.NodeID) edgeKey {
+	if u > v {
+		u, v = v, u
+	}
+	return edgeKey{u, v}
+}
+
+// EdgeSet is a mutable in-memory edge-resident point set.
+type EdgeSet struct {
+	pts    []EdgePoint // PointID -> location; U == -1 when deleted
+	byEdge map[edgeKey][]EdgePointRef
+	live   int
+}
+
+// NewEdgeSet creates an empty edge point set.
+func NewEdgeSet() *EdgeSet {
+	return &EdgeSet{byEdge: make(map[edgeKey][]EdgePointRef)}
+}
+
+// Place puts a new point on edge (u,v) at offset pos from min(u,v). The
+// caller is responsible for pos <= weight(u,v).
+func (s *EdgeSet) Place(u, v graph.NodeID, pos float64) (PointID, error) {
+	if u == v {
+		return NoPoint, fmt.Errorf("points: degenerate edge (%d,%d)", u, v)
+	}
+	if pos < 0 {
+		return NoPoint, fmt.Errorf("points: negative offset %v", pos)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	p := PointID(len(s.pts))
+	s.pts = append(s.pts, EdgePoint{U: u, V: v, Pos: pos})
+	k := edgeKey{u, v}
+	refs := append(s.byEdge[k], EdgePointRef{ID: p, Pos: pos})
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Pos != refs[j].Pos {
+			return refs[i].Pos < refs[j].Pos
+		}
+		return refs[i].ID < refs[j].ID
+	})
+	s.byEdge[k] = refs
+	s.live++
+	return p, nil
+}
+
+// Delete removes point p.
+func (s *EdgeSet) Delete(p PointID) error {
+	if p < 0 || int(p) >= len(s.pts) || s.pts[p].U < 0 {
+		return fmt.Errorf("points: point %d does not exist", p)
+	}
+	loc := s.pts[p]
+	k := edgeKey{loc.U, loc.V}
+	refs := s.byEdge[k]
+	for i, r := range refs {
+		if r.ID == p {
+			s.byEdge[k] = append(refs[:i], refs[i+1:]...)
+			break
+		}
+	}
+	if len(s.byEdge[k]) == 0 {
+		delete(s.byEdge, k)
+	}
+	s.pts[p].U = -1
+	s.live--
+	return nil
+}
+
+// PointsOn implements EdgeView.
+func (s *EdgeSet) PointsOn(u, v graph.NodeID, buf []EdgePointRef) ([]EdgePointRef, error) {
+	buf = buf[:0]
+	return append(buf, s.byEdge[canonKey(u, v)]...), nil
+}
+
+// Loc implements EdgeView.
+func (s *EdgeSet) Loc(p PointID) (EdgePoint, bool) {
+	if p < 0 || int(p) >= len(s.pts) || s.pts[p].U < 0 {
+		return EdgePoint{}, false
+	}
+	return s.pts[p], true
+}
+
+// Len implements EdgeView.
+func (s *EdgeSet) Len() int { return s.live }
+
+// Points returns the ids of all live points in ascending order.
+func (s *EdgeSet) Points() []PointID {
+	out := make([]PointID, 0, s.live)
+	for p := range s.pts {
+		if s.pts[p].U >= 0 {
+			out = append(out, PointID(p))
+		}
+	}
+	return out
+}
+
+// excludeEdge hides one point from an EdgeView.
+type excludeEdge struct {
+	EdgeView
+	hidden PointID
+}
+
+// ExcludeEdge returns a view of v with point hidden removed; hiding NoPoint
+// returns v unchanged.
+func ExcludeEdge(v EdgeView, hidden PointID) EdgeView {
+	if hidden == NoPoint {
+		return v
+	}
+	return excludeEdge{EdgeView: v, hidden: hidden}
+}
+
+func (e excludeEdge) PointsOn(u, v graph.NodeID, buf []EdgePointRef) ([]EdgePointRef, error) {
+	refs, err := e.EdgeView.PointsOn(u, v, buf)
+	if err != nil {
+		return nil, err
+	}
+	out := refs[:0]
+	for _, r := range refs {
+		if r.ID != e.hidden {
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+func (e excludeEdge) Loc(p PointID) (EdgePoint, bool) {
+	if p == e.hidden {
+		return EdgePoint{}, false
+	}
+	return e.EdgeView.Loc(p)
+}
+
+func (e excludeEdge) Len() int { return e.EdgeView.Len() - 1 }
+
+func (e excludeEdge) Points() []PointID {
+	all := e.EdgeView.Points()
+	out := make([]PointID, 0, len(all))
+	for _, p := range all {
+		if p != e.hidden {
+			out = append(out, p)
+		}
+	}
+	return out
+}

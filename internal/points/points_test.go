@@ -1,0 +1,255 @@
+package points
+
+import (
+	"math/rand"
+	"testing"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/storage"
+)
+
+func TestNodeSetPlaceAndLookup(t *testing.T) {
+	s := NewNodeSet(10)
+	p0, err := s.Place(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := s.Place(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0 != 0 || p1 != 1 {
+		t.Fatalf("ids = %d,%d", p0, p1)
+	}
+	if got, ok := s.PointAt(3); !ok || got != p0 {
+		t.Fatalf("PointAt(3) = %d,%v", got, ok)
+	}
+	if _, ok := s.PointAt(4); ok {
+		t.Fatal("PointAt(4) found a phantom point")
+	}
+	if n, ok := s.NodeOf(p1); !ok || n != 7 {
+		t.Fatalf("NodeOf(%d) = %d,%v", p1, n, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Points(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Points = %v", got)
+	}
+}
+
+func TestNodeSetErrors(t *testing.T) {
+	s := NewNodeSet(4)
+	if _, err := s.Place(9); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if _, err := s.Place(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Place(2); err == nil {
+		t.Fatal("double occupancy accepted")
+	}
+	if err := s.Delete(5); err == nil {
+		t.Fatal("deleting unknown point succeeded")
+	}
+}
+
+func TestNodeSetDelete(t *testing.T) {
+	s := NewNodeSet(5)
+	p, _ := s.Place(1)
+	q, _ := s.Place(2)
+	if err := s.Delete(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.PointAt(1); ok {
+		t.Fatal("deleted point still visible at node")
+	}
+	if _, ok := s.NodeOf(p); ok {
+		t.Fatal("deleted point still resolvable")
+	}
+	if err := s.Delete(p); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	// Node 1 can be reused.
+	r, err := s.Place(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == p || r == q {
+		t.Fatalf("reused id %d", r)
+	}
+}
+
+func TestExcludeNodeView(t *testing.T) {
+	s := NewNodeSet(5)
+	p, _ := s.Place(1)
+	q, _ := s.Place(2)
+	v := ExcludeNode(s, p)
+	if _, ok := v.PointAt(1); ok {
+		t.Fatal("excluded point visible")
+	}
+	if got, ok := v.PointAt(2); !ok || got != q {
+		t.Fatal("other point hidden by exclusion")
+	}
+	if _, ok := v.NodeOf(p); ok {
+		t.Fatal("excluded point resolvable")
+	}
+	if v.Len() != 1 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+	if ExcludeNode(s, NoPoint) != NodeView(s) {
+		t.Fatal("ExcludeNode(NoPoint) wrapped needlessly")
+	}
+}
+
+func TestEdgeSetPlaceSortsAndDeletes(t *testing.T) {
+	s := NewEdgeSet()
+	// Place out of order, with a reversed edge orientation.
+	b, err := s.Place(5, 2, 7.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.Place(2, 5, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs, err := s.PointsOn(5, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 || refs[0].ID != a || refs[1].ID != b {
+		t.Fatalf("PointsOn = %+v", refs)
+	}
+	if loc, ok := s.Loc(b); !ok || loc.U != 2 || loc.V != 5 || loc.Pos != 7 {
+		t.Fatalf("Loc(%d) = %+v,%v", b, loc, ok)
+	}
+	if err := s.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	refs, _ = s.PointsOn(2, 5, refs)
+	if len(refs) != 1 || refs[0].ID != b {
+		t.Fatalf("after delete PointsOn = %+v", refs)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestEdgeSetErrors(t *testing.T) {
+	s := NewEdgeSet()
+	if _, err := s.Place(1, 1, 0); err == nil {
+		t.Fatal("degenerate edge accepted")
+	}
+	if _, err := s.Place(1, 2, -1); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+	if err := s.Delete(0); err == nil {
+		t.Fatal("deleting unknown point succeeded")
+	}
+}
+
+func TestExcludeEdgeView(t *testing.T) {
+	s := NewEdgeSet()
+	a, _ := s.Place(0, 1, 1)
+	bid, _ := s.Place(0, 1, 2)
+	v := ExcludeEdge(s, a)
+	refs, err := v.PointsOn(0, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || refs[0].ID != bid {
+		t.Fatalf("PointsOn = %+v", refs)
+	}
+	if _, ok := v.Loc(a); ok {
+		t.Fatal("excluded point resolvable")
+	}
+	if v.Len() != 1 {
+		t.Fatalf("Len = %d", v.Len())
+	}
+}
+
+func buildRandomEdgeSet(t *testing.T, rng *rand.Rand, numEdges, numPoints int) *EdgeSet {
+	t.Helper()
+	s := NewEdgeSet()
+	for i := 0; i < numPoints; i++ {
+		u := graph.NodeID(rng.Intn(numEdges))
+		v := u + 1
+		if _, err := s.Place(u, v, rng.Float64()*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestPagedEdgeSetMatchesMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mem := buildRandomEdgeSet(t, rng, 50, 400)
+	paged, err := NewPagedEdgeSet(mem, storage.NewMemFile(256), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paged.Len() != mem.Len() {
+		t.Fatalf("Len = %d, want %d", paged.Len(), mem.Len())
+	}
+	var a, b []EdgePointRef
+	for u := graph.NodeID(0); u < 51; u++ {
+		a, _ = mem.PointsOn(u, u+1, a)
+		b, err = paged.PointsOn(u, u+1, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("edge (%d,%d): %d vs %d points", u, u+1, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("edge (%d,%d) ref %d: %+v vs %+v", u, u+1, i, b[i], a[i])
+			}
+		}
+	}
+	for _, p := range mem.Points() {
+		la, _ := mem.Loc(p)
+		lb, ok := paged.Loc(p)
+		if !ok || la != lb {
+			t.Fatalf("Loc(%d) = %+v,%v want %+v", p, lb, ok, la)
+		}
+	}
+}
+
+func TestPagedEdgeSetCountsIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	mem := buildRandomEdgeSet(t, rng, 200, 600)
+	paged, err := NewPagedEdgeSet(mem, storage.NewMemFile(storage.DefaultPageSize), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paged.ResetStats()
+	var buf []EdgePointRef
+	// Populated edge: one fault per access at capacity 0.
+	if buf, err = paged.PointsOn(0, 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := paged.Stats().Reads; got != 1 {
+		t.Fatalf("faults = %d, want 1", got)
+	}
+	// Empty edge: directory answers without I/O.
+	if buf, err = paged.PointsOn(5000, 5001, buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := paged.Stats().Reads; got != 1 {
+		t.Fatalf("faults after empty edge = %d, want 1", got)
+	}
+}
+
+func TestPagedEdgeSetRejectsNonEmptyFile(t *testing.T) {
+	f := storage.NewMemFile(256)
+	if _, err := f.Append(make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPagedEdgeSet(NewEdgeSet(), f, 2); err == nil {
+		t.Fatal("non-empty file accepted")
+	}
+}

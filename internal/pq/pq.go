@@ -1,0 +1,161 @@
+// Package pq implements an indexed binary min-heap used by every network
+// expansion in the library.
+//
+// The lazy RNN algorithm of Yiu et al. (TKDE'06, Section 3.3) must delete
+// arbitrary heap entries when a verification query invalidates the node that
+// inserted them, so the heap hands out stable *Item handles that support
+// removal and priority updates in O(log n).
+//
+// Ties are broken by insertion sequence (FIFO), which makes every traversal
+// in the library deterministic for a fixed seed.
+package pq
+
+// Item is a handle to an entry stored in a Heap. A handle stays valid after
+// the entry has been popped or removed; further Remove/Update calls on it are
+// harmless no-ops reported through their return values.
+type Item[T any] struct {
+	Value    T
+	priority float64
+	seq      uint64
+	index    int // position in the heap array, -1 once popped/removed
+}
+
+// Priority returns the current priority of the item.
+func (it *Item[T]) Priority() float64 { return it.priority }
+
+// InHeap reports whether the item is still queued.
+func (it *Item[T]) InHeap() bool { return it.index >= 0 }
+
+// Heap is an indexed binary min-heap ordered by (priority, insertion order).
+// The zero value is an empty heap ready for use.
+type Heap[T any] struct {
+	items []*Item[T]
+	seq   uint64
+
+	// PushCount and PopCount accumulate heap traffic for the experiment
+	// harness; they are never reset by the heap itself.
+	PushCount uint64
+	PopCount  uint64
+}
+
+// Len returns the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Reset discards all queued items but keeps the backing array and the
+// operation counters, so a Heap can be reused across queries without
+// reallocating.
+func (h *Heap[T]) Reset() {
+	for _, it := range h.items {
+		it.index = -1
+	}
+	h.items = h.items[:0]
+}
+
+// Push inserts value with the given priority and returns its handle.
+func (h *Heap[T]) Push(value T, priority float64) *Item[T] {
+	it := &Item[T]{Value: value, priority: priority, seq: h.seq, index: len(h.items)}
+	h.seq++
+	h.PushCount++
+	h.items = append(h.items, it)
+	h.up(it.index)
+	return it
+}
+
+// Pop removes and returns the minimum item. ok is false when the heap is
+// empty.
+func (h *Heap[T]) Pop() (value T, priority float64, ok bool) {
+	if len(h.items) == 0 {
+		return value, 0, false
+	}
+	it := h.items[0]
+	h.PopCount++
+	h.swap(0, len(h.items)-1)
+	h.items = h.items[:len(h.items)-1]
+	if len(h.items) > 0 {
+		h.down(0)
+	}
+	it.index = -1
+	return it.Value, it.priority, true
+}
+
+// Peek returns the minimum item without removing it.
+func (h *Heap[T]) Peek() (*Item[T], bool) {
+	if len(h.items) == 0 {
+		return nil, false
+	}
+	return h.items[0], true
+}
+
+// Remove deletes the entry referenced by the handle. It reports false when
+// the item had already left the heap.
+func (h *Heap[T]) Remove(it *Item[T]) bool {
+	if it == nil || it.index < 0 {
+		return false
+	}
+	i := it.index
+	last := len(h.items) - 1
+	h.swap(i, last)
+	h.items = h.items[:last]
+	if i < last {
+		h.down(i)
+		h.up(i)
+	}
+	it.index = -1
+	return true
+}
+
+// Update changes the priority of a queued item and restores heap order. It
+// reports false when the item is no longer queued.
+func (h *Heap[T]) Update(it *Item[T], priority float64) bool {
+	if it == nil || it.index < 0 {
+		return false
+	}
+	it.priority = priority
+	h.down(it.index)
+	h.up(it.index)
+	return true
+}
+
+func (h *Heap[T]) less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.priority != b.priority {
+		return a.priority < b.priority
+	}
+	return a.seq < b.seq
+}
+
+func (h *Heap[T]) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		min := left
+		if right := left + 1; right < n && h.less(right, left) {
+			min = right
+		}
+		if !h.less(min, i) {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}

@@ -1,0 +1,239 @@
+package pq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func drain(t *testing.T, h *Heap[int]) []float64 {
+	t.Helper()
+	var out []float64
+	prev := -1.0
+	first := true
+	for h.Len() > 0 {
+		_, prio, ok := h.Pop()
+		if !ok {
+			t.Fatalf("Pop reported empty with Len=%d", h.Len())
+		}
+		if !first && prio < prev {
+			t.Fatalf("heap order violated: %v after %v", prio, prev)
+		}
+		prev, first = prio, false
+		out = append(out, prio)
+	}
+	return out
+}
+
+func TestEmptyHeap(t *testing.T) {
+	var h Heap[int]
+	if _, _, ok := h.Pop(); ok {
+		t.Fatal("Pop on empty heap reported ok")
+	}
+	if _, ok := h.Peek(); ok {
+		t.Fatal("Peek on empty heap reported ok")
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", h.Len())
+	}
+}
+
+func TestPushPopOrder(t *testing.T) {
+	var h Heap[int]
+	prios := []float64{5, 1, 4, 1.5, 9, 2.5, 0, 7}
+	for i, p := range prios {
+		h.Push(i, p)
+	}
+	got := drain(t, &h)
+	want := append([]float64(nil), prios...)
+	sort.Float64s(want)
+	if len(got) != len(want) {
+		t.Fatalf("drained %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 10; i++ {
+		h.Push(i, 3.0)
+	}
+	for i := 0; i < 10; i++ {
+		v, _, ok := h.Pop()
+		if !ok || v != i {
+			t.Fatalf("tie pop %d = %d (ok=%v), want FIFO order", i, v, ok)
+		}
+	}
+}
+
+func TestRemove(t *testing.T) {
+	var h Heap[int]
+	var handles []*Item[int]
+	for i := 0; i < 20; i++ {
+		handles = append(handles, h.Push(i, float64(i)))
+	}
+	// Remove the evens.
+	for i := 0; i < 20; i += 2 {
+		if !h.Remove(handles[i]) {
+			t.Fatalf("Remove(%d) failed", i)
+		}
+		if handles[i].InHeap() {
+			t.Fatalf("item %d still reports InHeap after Remove", i)
+		}
+	}
+	// Double remove must be a no-op.
+	if h.Remove(handles[0]) {
+		t.Fatal("second Remove succeeded")
+	}
+	if h.Remove(nil) {
+		t.Fatal("Remove(nil) succeeded")
+	}
+	for i := 1; i < 20; i += 2 {
+		v, _, ok := h.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop = %d (ok=%v), want %d", v, ok, i)
+		}
+	}
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after draining, want 0", h.Len())
+	}
+}
+
+func TestRemoveAfterPopIsNoop(t *testing.T) {
+	var h Heap[int]
+	it := h.Push(1, 1)
+	h.Push(2, 2)
+	if v, _, _ := h.Pop(); v != 1 {
+		t.Fatal("expected to pop item 1")
+	}
+	if h.Remove(it) {
+		t.Fatal("Remove succeeded on popped item")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", h.Len())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	var h Heap[int]
+	a := h.Push(1, 10)
+	h.Push(2, 5)
+	if !h.Update(a, 1) {
+		t.Fatal("Update failed")
+	}
+	if v, prio, _ := h.Pop(); v != 1 || prio != 1 {
+		t.Fatalf("pop = (%d,%v), want (1,1)", v, prio)
+	}
+	if h.Update(a, 99) {
+		t.Fatal("Update succeeded on popped item")
+	}
+	// Increase priority.
+	b, _ := h.Peek()
+	if b.Value != 2 {
+		t.Fatalf("peek = %d, want 2", b.Value)
+	}
+	h.Push(3, 7)
+	h.Update(b, 100)
+	if v, _, _ := h.Pop(); v != 3 {
+		t.Fatalf("pop = %d, want 3 after raising 2's priority", v)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var h Heap[int]
+	var hs []*Item[int]
+	for i := 0; i < 5; i++ {
+		hs = append(hs, h.Push(i, float64(i)))
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Fatalf("Len = %d after Reset, want 0", h.Len())
+	}
+	for _, it := range hs {
+		if it.InHeap() {
+			t.Fatal("item reports InHeap after Reset")
+		}
+		if h.Remove(it) {
+			t.Fatal("Remove succeeded after Reset")
+		}
+	}
+	// Heap is reusable after Reset.
+	h.Push(7, 7)
+	if v, _, ok := h.Pop(); !ok || v != 7 {
+		t.Fatal("heap unusable after Reset")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 8; i++ {
+		h.Push(i, float64(i))
+	}
+	for h.Len() > 0 {
+		h.Pop()
+	}
+	if h.PushCount != 8 || h.PopCount != 8 {
+		t.Fatalf("counters = (%d,%d), want (8,8)", h.PushCount, h.PopCount)
+	}
+}
+
+// TestQuickRandomOps drives the heap with random interleaved operations and
+// checks it against a reference implementation.
+func TestQuickRandomOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var h Heap[int]
+		type ref struct {
+			prio float64
+			seq  int
+		}
+		live := map[*Item[int]]ref{}
+		seq := 0
+		for op := 0; op < 300; op++ {
+			switch r := rng.Intn(4); {
+			case r <= 1: // push
+				p := float64(rng.Intn(50))
+				it := h.Push(seq, p)
+				live[it] = ref{p, seq}
+				seq++
+			case r == 2 && len(live) > 0: // pop
+				v, prio, ok := h.Pop()
+				if !ok {
+					return false
+				}
+				// The popped item must be minimal among live items.
+				for _, rf := range live {
+					if rf.prio < prio || (rf.prio == prio && rf.seq < v) {
+						return false
+					}
+				}
+				for it, rf := range live {
+					if rf.seq == v {
+						delete(live, it)
+						break
+					}
+				}
+			case r == 3 && len(live) > 0: // remove a random live item
+				for it := range live {
+					if !h.Remove(it) {
+						return false
+					}
+					delete(live, it)
+					break
+				}
+			}
+			if h.Len() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

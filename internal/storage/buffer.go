@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// BufferManager caches pages of a PagedFile with LRU replacement and counts
+// physical I/O. The paper's experiments run with a 1 MB buffer (256 pages of
+// 4 KB) by default and sweep the capacity in Fig 21; a capacity of zero
+// means every logical access performs (and counts) a physical transfer.
+//
+// Pages are cached whole; Get returns the cached bytes, which the caller
+// must treat as read-only. Update applies a mutation in place and marks the
+// page dirty; dirty pages are written back on eviction or Flush.
+type BufferManager struct {
+	file     PagedFile
+	capacity int
+	frames   map[PageID]*frame
+	lru      *list.List // front = most recently used
+	stats    Stats
+
+	// scratch page used for capacity-0 updates
+	scratch []byte
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	dirty bool
+	elem  *list.Element
+}
+
+// NewBufferManager wraps file with an LRU cache of capPages pages.
+func NewBufferManager(file PagedFile, capPages int) *BufferManager {
+	if capPages < 0 {
+		capPages = 0
+	}
+	return &BufferManager{
+		file:     file,
+		capacity: capPages,
+		frames:   make(map[PageID]*frame),
+		lru:      list.New(),
+		scratch:  make([]byte, file.PageSize()),
+	}
+}
+
+// File returns the underlying paged file.
+func (b *BufferManager) File() PagedFile { return b.file }
+
+// Capacity returns the buffer capacity in pages.
+func (b *BufferManager) Capacity() int { return b.capacity }
+
+// Stats returns a copy of the accumulated I/O counters.
+func (b *BufferManager) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the I/O counters.
+func (b *BufferManager) ResetStats() { b.stats = Stats{} }
+
+// Get returns the contents of page id. The returned slice aliases the
+// buffer frame (or an internal scratch page when capacity is zero) and is
+// valid until the next call on this BufferManager; callers must not modify
+// it.
+func (b *BufferManager) Get(id PageID) ([]byte, error) {
+	if fr, ok := b.frames[id]; ok {
+		b.stats.Hits++
+		b.lru.MoveToFront(fr.elem)
+		return fr.data, nil
+	}
+	b.stats.Reads++
+	if b.capacity == 0 {
+		if err := b.file.Read(id, b.scratch); err != nil {
+			return nil, err
+		}
+		return b.scratch, nil
+	}
+	fr, err := b.admit(id)
+	if err != nil {
+		return nil, err
+	}
+	return fr.data, nil
+}
+
+// Update fetches page id, applies fn to its contents in place, and marks the
+// page dirty. With a zero-capacity buffer the page is written through
+// immediately.
+func (b *BufferManager) Update(id PageID, fn func(page []byte) error) error {
+	if fr, ok := b.frames[id]; ok {
+		b.stats.Hits++
+		b.lru.MoveToFront(fr.elem)
+		if err := fn(fr.data); err != nil {
+			return err
+		}
+		fr.dirty = true
+		return nil
+	}
+	b.stats.Reads++
+	if b.capacity == 0 {
+		if err := b.file.Read(id, b.scratch); err != nil {
+			return err
+		}
+		if err := fn(b.scratch); err != nil {
+			return err
+		}
+		b.stats.Writes++
+		return b.file.Write(id, b.scratch)
+	}
+	fr, err := b.admit(id)
+	if err != nil {
+		return err
+	}
+	if err := fn(fr.data); err != nil {
+		return err
+	}
+	fr.dirty = true
+	return nil
+}
+
+// Append allocates a new page in the underlying file (counted as one write)
+// and admits it to the buffer.
+func (b *BufferManager) Append(src []byte) (PageID, error) {
+	b.stats.Writes++
+	id, err := b.file.Append(src)
+	if err != nil {
+		return InvalidPage, err
+	}
+	if b.capacity > 0 {
+		if err := b.evictIfFull(); err != nil {
+			return InvalidPage, err
+		}
+		fr := &frame{id: id, data: make([]byte, b.file.PageSize())}
+		copy(fr.data, src)
+		fr.elem = b.lru.PushFront(fr)
+		b.frames[id] = fr
+	}
+	return id, nil
+}
+
+// Flush writes every dirty page back to the file and retains the cache.
+func (b *BufferManager) Flush() error {
+	for _, fr := range b.frames {
+		if fr.dirty {
+			b.stats.Writes++
+			if err := b.file.Write(fr.id, fr.data); err != nil {
+				return fmt.Errorf("storage: flush page %d: %w", fr.id, err)
+			}
+			fr.dirty = false
+		}
+	}
+	return nil
+}
+
+// Invalidate drops every cached frame (writing back dirty ones), so that a
+// fresh workload starts from a cold buffer.
+func (b *BufferManager) Invalidate() error {
+	if err := b.Flush(); err != nil {
+		return err
+	}
+	b.frames = make(map[PageID]*frame)
+	b.lru.Init()
+	return nil
+}
+
+func (b *BufferManager) admit(id PageID) (*frame, error) {
+	if err := b.evictIfFull(); err != nil {
+		return nil, err
+	}
+	fr := &frame{id: id, data: make([]byte, b.file.PageSize())}
+	if err := b.file.Read(id, fr.data); err != nil {
+		return nil, err
+	}
+	fr.elem = b.lru.PushFront(fr)
+	b.frames[id] = fr
+	return fr, nil
+}
+
+func (b *BufferManager) evictIfFull() error {
+	for len(b.frames) >= b.capacity {
+		tail := b.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*frame)
+		if victim.dirty {
+			b.stats.Writes++
+			if err := b.file.Write(victim.id, victim.data); err != nil {
+				return fmt.Errorf("storage: evict page %d: %w", victim.id, err)
+			}
+		}
+		b.lru.Remove(tail)
+		delete(b.frames, victim.id)
+	}
+	return nil
+}

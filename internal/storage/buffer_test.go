@@ -1,0 +1,248 @@
+package storage
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func newTestFile(t *testing.T, pageSize, numPages int) *MemFile {
+	t.Helper()
+	f := NewMemFile(pageSize)
+	page := make([]byte, pageSize)
+	for i := 0; i < numPages; i++ {
+		page[0] = byte(i)
+		if _, err := f.Append(page); err != nil {
+			t.Fatalf("append page %d: %v", i, err)
+		}
+	}
+	return f
+}
+
+func TestMemFileRoundTrip(t *testing.T) {
+	f := newTestFile(t, 64, 4)
+	dst := make([]byte, 64)
+	for i := 0; i < 4; i++ {
+		if err := f.Read(PageID(i), dst); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if dst[0] != byte(i) {
+			t.Fatalf("page %d content = %d", i, dst[0])
+		}
+	}
+	if err := f.Read(99, dst); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("read out of range: err = %v", err)
+	}
+	if err := f.Write(99, make([]byte, 64)); !errors.Is(err, ErrPageOutOfRange) {
+		t.Fatalf("write out of range: err = %v", err)
+	}
+	if _, err := f.Append(make([]byte, 10)); err == nil {
+		t.Fatal("append with wrong size succeeded")
+	}
+}
+
+func TestOSFileRoundTrip(t *testing.T) {
+	path := t.TempDir() + "/pages.db"
+	f, err := CreateOSFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	page := make([]byte, 128)
+	for i := 0; i < 3; i++ {
+		page[5] = byte(i * 7)
+		if _, err := f.Append(page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f2, err := OpenOSFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if f2.NumPages() != 3 {
+		t.Fatalf("NumPages = %d, want 3", f2.NumPages())
+	}
+	dst := make([]byte, 128)
+	for i := 0; i < 3; i++ {
+		if err := f2.Read(PageID(i), dst); err != nil {
+			t.Fatal(err)
+		}
+		if dst[5] != byte(i*7) {
+			t.Fatalf("page %d byte = %d, want %d", i, dst[5], i*7)
+		}
+	}
+	page[5] = 99
+	if err := f2.Write(1, page); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Read(1, dst); err != nil || dst[5] != 99 {
+		t.Fatalf("after rewrite: dst[5]=%d err=%v", dst[5], err)
+	}
+}
+
+func TestBufferHitAndFault(t *testing.T) {
+	f := newTestFile(t, 64, 8)
+	bm := NewBufferManager(f, 4)
+	for i := 0; i < 4; i++ {
+		if _, err := bm.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := bm.Stats(); s.Reads != 4 || s.Hits != 0 {
+		t.Fatalf("stats after cold reads = %+v", s)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := bm.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := bm.Stats(); s.Reads != 4 || s.Hits != 4 {
+		t.Fatalf("stats after warm reads = %+v", s)
+	}
+}
+
+func TestBufferLRUEviction(t *testing.T) {
+	f := newTestFile(t, 64, 8)
+	bm := NewBufferManager(f, 2)
+	mustGet := func(id PageID) {
+		t.Helper()
+		if _, err := bm.Get(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustGet(0) // cache: 0
+	mustGet(1) // cache: 1,0
+	mustGet(0) // touch 0 -> cache: 0,1
+	mustGet(2) // evict 1 -> cache: 2,0
+	mustGet(0) // hit
+	if s := bm.Stats(); s.Reads != 3 || s.Hits != 2 {
+		t.Fatalf("stats = %+v, want Reads=3 Hits=2", s)
+	}
+	mustGet(1) // fault again: 1 was evicted
+	if s := bm.Stats(); s.Reads != 4 {
+		t.Fatalf("stats = %+v, want Reads=4", s)
+	}
+}
+
+func TestBufferZeroCapacity(t *testing.T) {
+	f := newTestFile(t, 64, 4)
+	bm := NewBufferManager(f, 0)
+	for i := 0; i < 3; i++ {
+		if _, err := bm.Get(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := bm.Stats(); s.Reads != 3 || s.Hits != 0 {
+		t.Fatalf("capacity-0 stats = %+v, want 3 faults", s)
+	}
+	// Update must write through.
+	err := bm.Update(2, func(p []byte) error { p[3] = 42; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := bm.Stats(); s.Writes != 1 {
+		t.Fatalf("writes = %d, want 1", s.Writes)
+	}
+	dst := make([]byte, 64)
+	if err := f.Read(2, dst); err != nil || dst[3] != 42 {
+		t.Fatalf("write-through failed: %d %v", dst[3], err)
+	}
+}
+
+func TestBufferDirtyWriteBack(t *testing.T) {
+	f := newTestFile(t, 64, 8)
+	bm := NewBufferManager(f, 1)
+	if err := bm.Update(0, func(p []byte) error { p[1] = 9; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Underlying file must not see the change yet.
+	dst := make([]byte, 64)
+	if err := f.Read(0, dst); err != nil || dst[1] == 9 {
+		t.Fatalf("dirty page leaked to file early (b=%d, err=%v)", dst[1], err)
+	}
+	// Evict by touching another page.
+	if _, err := bm.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Read(0, dst); err != nil || dst[1] != 9 {
+		t.Fatalf("dirty page not written back on eviction (b=%d, err=%v)", dst[1], err)
+	}
+	if s := bm.Stats(); s.Writes != 1 {
+		t.Fatalf("writes = %d, want 1", s.Writes)
+	}
+}
+
+func TestBufferFlushAndInvalidate(t *testing.T) {
+	f := newTestFile(t, 64, 8)
+	bm := NewBufferManager(f, 8)
+	for i := 0; i < 4; i++ {
+		id := PageID(i)
+		if err := bm.Update(id, func(p []byte) error { p[2] = byte(10 + i); return nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s := bm.Stats(); s.Writes != 4 {
+		t.Fatalf("writes = %d, want 4", s.Writes)
+	}
+	// Second flush writes nothing.
+	if err := bm.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s := bm.Stats(); s.Writes != 4 {
+		t.Fatalf("writes after idempotent flush = %d, want 4", s.Writes)
+	}
+	if err := bm.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	bm.ResetStats()
+	if _, err := bm.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if s := bm.Stats(); s.Reads != 1 {
+		t.Fatalf("cold read after Invalidate: stats = %+v", s)
+	}
+}
+
+func TestBufferAppend(t *testing.T) {
+	f := newTestFile(t, 64, 2)
+	bm := NewBufferManager(f, 4)
+	page := bytes.Repeat([]byte{7}, 64)
+	id, err := bm.Append(page)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Fatalf("append id = %d, want 2", id)
+	}
+	got, err := bm.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 7 {
+		t.Fatalf("appended page content = %d", got[0])
+	}
+	// Appended page should be cached (no extra fault).
+	if s := bm.Stats(); s.Reads != 0 || s.Writes != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	a := Stats{Reads: 5, Hits: 2, Writes: 1}
+	b := Stats{Reads: 2, Hits: 1, Writes: 1}
+	if got := a.Add(b); got != (Stats{7, 3, 2}) {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got != (Stats{3, 1, 0}) {
+		t.Fatalf("Sub = %+v", got)
+	}
+	if a.IO() != 6 {
+		t.Fatalf("IO = %d", a.IO())
+	}
+}

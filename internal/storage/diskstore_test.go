@@ -1,0 +1,298 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"graphrnn/internal/graph"
+)
+
+func randomGraph(t *testing.T, rng *rand.Rand, n, extraEdges int) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(n)
+	// Spanning chain keeps it connected.
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(graph.NodeID(i-1), graph.NodeID(i), 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < extraEdges; i++ {
+		u := graph.NodeID(rng.Intn(n))
+		v := graph.NodeID(rng.Intn(n))
+		if u == v {
+			continue
+		}
+		if err := b.AddEdge(u, v, 1+rng.Float64()*9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func assertSameAdjacency(t *testing.T, g *graph.Graph, s graph.Access) {
+	t.Helper()
+	var a, b []graph.Edge
+	var err error
+	for n := graph.NodeID(0); int(n) < g.NumNodes(); n++ {
+		a, err = g.Adjacency(n, a[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		bCopy := make([]graph.Edge, 0, len(a))
+		b, err = s.Adjacency(n, b[:0])
+		if err != nil {
+			t.Fatalf("disk adjacency of %d: %v", n, err)
+		}
+		bCopy = append(bCopy, b...)
+		if len(a) != len(bCopy) {
+			t.Fatalf("node %d: degree %d on disk, want %d", n, len(bCopy), len(a))
+		}
+		for i := range a {
+			if a[i] != bCopy[i] {
+				t.Fatalf("node %d edge %d: disk %+v, want %+v", n, i, bCopy[i], a[i])
+			}
+		}
+	}
+}
+
+func TestDiskStoreRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(t, rng, 300, 900)
+	file := NewMemFile(512) // small pages force multi-page layouts
+	s, err := BuildDiskStore(g, file, 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAdjacency(t, g, s)
+	if s.NumPages() == 0 {
+		t.Fatal("no pages written")
+	}
+}
+
+func TestDiskStoreHighDegreeOverflow(t *testing.T) {
+	// A star graph: the hub's adjacency list cannot fit one small page and
+	// must be chained across fragments.
+	const n = 600
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(0, graph.NodeID(i), float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := NewMemFile(256)
+	if MaxEdgesPerFragment(256) >= n-1 {
+		t.Fatal("test setup: page too large to force fragmentation")
+	}
+	s, err := BuildDiskStore(g, file, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAdjacency(t, g, s)
+}
+
+func TestDiskStoreOSFileBacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := randomGraph(t, rng, 120, 240)
+	file, err := CreateOSFile(t.TempDir()+"/g.pages", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	s, err := BuildDiskStore(g, file, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAdjacency(t, g, s)
+}
+
+func TestDiskStoreIOAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(t, rng, 400, 800)
+	file := NewMemFile(DefaultPageSize)
+	s, err := BuildDiskStore(g, file, 256, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	var buf []graph.Edge
+	for n := graph.NodeID(0); int(n) < g.NumNodes(); n++ {
+		if buf, err = s.Adjacency(n, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first := s.Stats()
+	if first.Reads == 0 {
+		t.Fatal("no faults recorded on a cold scan")
+	}
+	if first.Reads > int64(s.NumPages()) {
+		t.Fatalf("cold scan faulted %d times for %d pages", first.Reads, s.NumPages())
+	}
+	// Warm scan: everything fits in 256 pages, so no new faults.
+	for n := graph.NodeID(0); int(n) < g.NumNodes(); n++ {
+		if buf, err = s.Adjacency(n, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := s.Stats().Sub(first)
+	if second.Reads != 0 {
+		t.Fatalf("warm scan faulted %d times", second.Reads)
+	}
+}
+
+func TestDiskStoreBFSLocality(t *testing.T) {
+	// On a path graph, BFS order packs consecutive nodes into the same
+	// page, so a walk along the path must fault far fewer times than it
+	// reads adjacency lists.
+	const n = 2000
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(graph.NodeID(i-1), graph.NodeID(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := NewMemFile(DefaultPageSize)
+	s, err := BuildDiskStore(g, file, 1, nil) // single-frame buffer
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.ResetStats()
+	var buf []graph.Edge
+	for i := 0; i < n; i++ {
+		if buf, err = s.Adjacency(graph.NodeID(i), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Reads > int64(s.NumPages()+1) {
+		t.Fatalf("sequential walk faulted %d times over %d pages: layout has no locality", st.Reads, s.NumPages())
+	}
+}
+
+func TestBuildDiskStoreRejectsNonEmptyFile(t *testing.T) {
+	g := randomGraph(t, rand.New(rand.NewSource(4)), 10, 5)
+	file := NewMemFile(256)
+	if _, err := file.Append(make([]byte, 256)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildDiskStore(g, file, 4, nil); err == nil {
+		t.Fatal("BuildDiskStore accepted a non-empty file")
+	}
+}
+
+func TestDiskStoreAdjacencyOutOfRange(t *testing.T) {
+	g := randomGraph(t, rand.New(rand.NewSource(5)), 10, 5)
+	s, err := BuildDiskStore(g, NewMemFile(256), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Adjacency(-1, nil); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, err := s.Adjacency(10, nil); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+}
+
+// failingFile injects read errors to exercise error propagation.
+type failingFile struct {
+	*MemFile
+	failAfter int
+	reads     int
+}
+
+func (f *failingFile) Read(id PageID, dst []byte) error {
+	f.reads++
+	if f.reads > f.failAfter {
+		return fmt.Errorf("injected fault on page %d", id)
+	}
+	return f.MemFile.Read(id, dst)
+}
+
+func TestDiskStoreReadErrorPropagates(t *testing.T) {
+	g := randomGraph(t, rand.New(rand.NewSource(6)), 200, 400)
+	mem := NewMemFile(512)
+	// Build against the healthy file first.
+	if _, err := BuildDiskStore(g, mem, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	ff := &failingFile{MemFile: mem, failAfter: 3}
+	s := &DiskStore{bm: NewBufferManager(ff, 0), numNodes: g.NumNodes()}
+	// Rebuild the index by copying from a clean store.
+	clean, err := BuildDiskStore(g, NewMemFile(512), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.index = clean.index
+	var sawErr bool
+	var buf []graph.Edge
+	for n := graph.NodeID(0); int(n) < g.NumNodes(); n++ {
+		if buf, err = s.Adjacency(n, buf); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("injected read fault was swallowed")
+	}
+}
+
+func TestFragmentCodecCorruptSlot(t *testing.T) {
+	pb := NewPageBuilder(256)
+	if _, err := pb.AddFragment(1, []graph.Edge{{To: 2, W: 3}}, InvalidRecRef); err != nil {
+		t.Fatal(err)
+	}
+	page := pb.Bytes()
+	if _, _, _, err := ReadFragment(page, 256, 5, nil); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	var oor *MemFile
+	_ = oor
+	if !errors.Is(ErrPageOutOfRange, ErrPageOutOfRange) {
+		t.Fatal("sentinel identity broken")
+	}
+}
+
+func TestPageBuilderCapacity(t *testing.T) {
+	pb := NewPageBuilder(256)
+	capEdges := pb.FragmentCapacity()
+	if capEdges != MaxEdgesPerFragment(256) {
+		t.Fatalf("empty-page capacity %d != MaxEdgesPerFragment %d", capEdges, MaxEdgesPerFragment(256))
+	}
+	edges := make([]graph.Edge, capEdges)
+	for i := range edges {
+		edges[i] = graph.Edge{To: graph.NodeID(i), W: float64(i)}
+	}
+	if _, err := pb.AddFragment(9, edges, InvalidRecRef); err != nil {
+		t.Fatalf("full-capacity fragment rejected: %v", err)
+	}
+	if _, err := pb.AddFragment(10, []graph.Edge{{To: 1, W: 1}}, InvalidRecRef); err == nil {
+		t.Fatal("overfull page accepted a fragment")
+	}
+	// Round-trip.
+	node, next, got, err := ReadFragment(pb.Bytes(), 256, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != 9 || next != InvalidRecRef || len(got) != capEdges {
+		t.Fatalf("decoded node=%d next=%+v len=%d", node, next, len(got))
+	}
+	for i, e := range got {
+		if e != edges[i] {
+			t.Fatalf("edge %d = %+v, want %+v", i, e, edges[i])
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package graphrnn
+
+import (
+	"fmt"
+
+	"graphrnn/internal/core"
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/storage"
+)
+
+// Materialization holds the per-node K-NN lists of Section 4.1 in a paged
+// file read through its own LRU buffer: the substrate of the eager-M
+// algorithm. Lists support k-values up to MaxK and are maintained
+// incrementally as points appear and disappear (Figs 8-11).
+type Materialization struct {
+	db   *DB
+	m    *core.Materialized
+	node *NodePoints
+	edge *EdgePoints
+}
+
+// MatOptions configures a materialization.
+type MatOptions struct {
+	// PageSize of the list file (default 4096).
+	PageSize int
+	// BufferPages of the list file's LRU buffer (default 64).
+	BufferPages int
+}
+
+func (o *MatOptions) defaults() (int, int) {
+	pageSize, buffer := storage.DefaultPageSize, 64
+	if o != nil {
+		if o.PageSize > 0 {
+			pageSize = o.PageSize
+		}
+		if o.BufferPages > 0 {
+			buffer = o.BufferPages
+		}
+	}
+	return pageSize, buffer
+}
+
+// MaterializeNodePoints builds the K-NN lists of every node over a
+// node-resident point set with one all-NN expansion. Queries through the
+// returned materialization support k <= maxK. The materialization tracks
+// ps: mutate the set through InsertNode / DeletePoint to keep the lists
+// consistent.
+func (db *DB) MaterializeNodePoints(ps *NodePoints, maxK int, opt *MatOptions) (*Materialization, error) {
+	pageSize, buffer := opt.defaults()
+	m, err := db.searcher.MatBuild(core.SeedsRestricted(ps.s), maxK, storage.NewMemFile(pageSize), buffer, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Materialization{db: db, m: m, node: ps}, nil
+}
+
+// MaterializeEdgePoints builds the K-NN lists over an edge-resident point
+// set (Section 5.2: endpoint lists are seeded with both direct offsets).
+func (db *DB) MaterializeEdgePoints(ps *EdgePoints, maxK int, opt *MatOptions) (*Materialization, error) {
+	pageSize, buffer := opt.defaults()
+	seeds, err := seedsForEdgeSet(db, ps)
+	if err != nil {
+		return nil, err
+	}
+	m, err := db.searcher.MatBuild(seeds, maxK, storage.NewMemFile(pageSize), buffer, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Materialization{db: db, m: m, edge: ps}, nil
+}
+
+func seedsForEdgeSet(db *DB, ps *EdgePoints) ([]core.MatSeed, error) {
+	return core.SeedsUnrestricted(ps.s, db.store)
+}
+
+// MaxK returns the largest query k the lists support.
+func (m *Materialization) MaxK() int { return m.m.MaxK() }
+
+// IOStats returns the list-file traffic.
+func (m *Materialization) IOStats() IOStats {
+	s := m.m.Stats()
+	return IOStats{Reads: s.Reads, Hits: s.Hits, Writes: s.Writes}
+}
+
+// ResetIOStats zeroes the list-file counters.
+func (m *Materialization) ResetIOStats() { m.m.ResetStats() }
+
+// Flush writes dirty list pages back to the file.
+func (m *Materialization) Flush() error { return m.m.Flush() }
+
+// InsertNode places a new point on node n of the tracked node-resident set
+// and updates the affected lists (the insertion algorithm of Section 4.1).
+func (m *Materialization) InsertNode(n NodeID) (PointID, Stats, error) {
+	if m.node == nil {
+		return -1, Stats{}, fmt.Errorf("graphrnn: materialization does not track a node point set")
+	}
+	p, err := m.node.Place(n)
+	if err != nil {
+		return -1, Stats{}, err
+	}
+	st, err := m.db.searcher.MatInsert(m.m, []core.MatSeed{{Node: graph.NodeID(n), P: points.PointID(p), D: 0}})
+	return p, statsOf(st), err
+}
+
+// InsertEdge places a new point on edge (u,v) of the tracked edge-resident
+// set and updates the affected lists.
+func (m *Materialization) InsertEdge(u, v NodeID, pos float64) (PointID, Stats, error) {
+	if m.edge == nil {
+		return -1, Stats{}, fmt.Errorf("graphrnn: materialization does not track an edge point set")
+	}
+	w, ok := m.db.graph.EdgeWeight(u, v)
+	if !ok {
+		return -1, Stats{}, fmt.Errorf("graphrnn: no edge (%d,%d)", u, v)
+	}
+	p, err := m.edge.Place(u, v, pos)
+	if err != nil {
+		return -1, Stats{}, err
+	}
+	loc, _ := m.edge.LocationOf(p)
+	seeds := []core.MatSeed{
+		{Node: graph.NodeID(loc.U), P: points.PointID(p), D: loc.Pos},
+		{Node: graph.NodeID(loc.V), P: points.PointID(p), D: w - loc.Pos},
+	}
+	st, err := m.db.searcher.MatInsert(m.m, seeds)
+	return p, statsOf(st), err
+}
+
+// DeletePoint removes point p from the tracked set and repairs the affected
+// lists with the two-step border-node algorithm (Fig 10).
+func (m *Materialization) DeletePoint(p PointID) (Stats, error) {
+	pid := points.PointID(p)
+	var seeds []core.MatSeed
+	switch {
+	case m.node != nil:
+		n, ok := m.node.NodeOf(p)
+		if !ok {
+			return Stats{}, fmt.Errorf("graphrnn: point %d does not exist", p)
+		}
+		seeds = []core.MatSeed{{Node: graph.NodeID(n), P: pid, D: 0}}
+		if err := m.node.Delete(p); err != nil {
+			return Stats{}, err
+		}
+	case m.edge != nil:
+		loc, ok := m.edge.LocationOf(p)
+		if !ok {
+			return Stats{}, fmt.Errorf("graphrnn: point %d does not exist", p)
+		}
+		w, _ := m.db.graph.EdgeWeight(loc.U, loc.V)
+		seeds = []core.MatSeed{
+			{Node: graph.NodeID(loc.U), P: pid, D: loc.Pos},
+			{Node: graph.NodeID(loc.V), P: pid, D: w - loc.Pos},
+		}
+		if err := m.edge.Delete(p); err != nil {
+			return Stats{}, err
+		}
+	default:
+		return Stats{}, fmt.Errorf("graphrnn: materialization tracks no point set")
+	}
+	st, err := m.db.searcher.MatDelete(m.m, pid, seeds)
+	return statsOf(st), err
+}
+
+func statsOf(st core.Stats) Stats {
+	return Stats{
+		NodesExpanded: st.NodesExpanded,
+		NodesScanned:  st.NodesScanned,
+		RangeNN:       st.RangeNN,
+		Verifications: st.Verifications,
+		MatReads:      st.MatReads,
+		HeapPushes:    st.HeapPushes,
+		HeapPops:      st.HeapPops,
+	}
+}

@@ -1,0 +1,158 @@
+package graphrnn
+
+import (
+	"fmt"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/storage"
+)
+
+// NodePointsView is a read-only view of a node-resident point set, possibly
+// hiding one point (the query's own location in the paper's workloads).
+type NodePointsView struct {
+	v points.NodeView
+}
+
+// NodePoints is a mutable set of data points residing on graph nodes (the
+// "restricted network" model): at most one point per node per set.
+type NodePoints struct {
+	db *DB
+	s  *points.NodeSet
+}
+
+// NewNodePoints creates an empty node-resident point set for this DB's
+// graph.
+func (db *DB) NewNodePoints() *NodePoints {
+	return &NodePoints{db: db, s: points.NewNodeSet(db.store.NumNodes())}
+}
+
+// Place puts a new point on node n and returns its id.
+func (ps *NodePoints) Place(n NodeID) (PointID, error) {
+	p, err := ps.s.Place(graph.NodeID(n))
+	return PointID(p), err
+}
+
+// Delete removes point p.
+func (ps *NodePoints) Delete(p PointID) error { return ps.s.Delete(points.PointID(p)) }
+
+// NodeOf returns the node hosting p.
+func (ps *NodePoints) NodeOf(p PointID) (NodeID, bool) {
+	n, ok := ps.s.NodeOf(points.PointID(p))
+	return NodeID(n), ok
+}
+
+// PointAt returns the point on node n, if any.
+func (ps *NodePoints) PointAt(n NodeID) (PointID, bool) {
+	p, ok := ps.s.PointAt(graph.NodeID(n))
+	return PointID(p), ok
+}
+
+// Len returns the number of points.
+func (ps *NodePoints) Len() int { return ps.s.Len() }
+
+// Points returns all point ids in ascending order.
+func (ps *NodePoints) Points() []PointID { return fromPointIDs(ps.s.Points()) }
+
+// View returns the full read-only view.
+func (ps *NodePoints) View() NodePointsView { return NodePointsView{v: ps.s} }
+
+// Excluding returns a view hiding point p — the convention for queries
+// issued from a data point's own location.
+func (ps *NodePoints) Excluding(p PointID) NodePointsView {
+	return NodePointsView{v: points.ExcludeNode(ps.s, points.PointID(p))}
+}
+
+// EdgePointsView is a read-only view of an edge-resident point set.
+type EdgePointsView struct {
+	v points.EdgeView
+}
+
+// EdgePoints is a mutable set of data points residing on graph edges (the
+// "unrestricted network" model of Section 5.2).
+type EdgePoints struct {
+	db *DB
+	s  *points.EdgeSet
+}
+
+// NewEdgePoints creates an empty edge-resident point set.
+func (db *DB) NewEdgePoints() *EdgePoints {
+	return &EdgePoints{db: db, s: points.NewEdgeSet()}
+}
+
+// Place puts a new point on edge (u,v) at offset pos from min(u,v). The
+// edge must exist and pos must lie within its weight.
+func (ps *EdgePoints) Place(u, v NodeID, pos float64) (PointID, error) {
+	w, ok := ps.db.graph.EdgeWeight(u, v)
+	if !ok {
+		return -1, fmt.Errorf("graphrnn: no edge (%d,%d)", u, v)
+	}
+	if pos < 0 || pos > w {
+		return -1, fmt.Errorf("graphrnn: offset %v outside edge (%d,%d) of weight %v", pos, u, v, w)
+	}
+	p, err := ps.s.Place(graph.NodeID(u), graph.NodeID(v), pos)
+	return PointID(p), err
+}
+
+// Delete removes point p.
+func (ps *EdgePoints) Delete(p PointID) error { return ps.s.Delete(points.PointID(p)) }
+
+// LocationOf returns the location of point p.
+func (ps *EdgePoints) LocationOf(p PointID) (Location, bool) {
+	loc, ok := ps.s.Loc(points.PointID(p))
+	if !ok {
+		return Location{}, false
+	}
+	return Location{U: NodeID(loc.U), V: NodeID(loc.V), Pos: loc.Pos}, true
+}
+
+// Len returns the number of points.
+func (ps *EdgePoints) Len() int { return ps.s.Len() }
+
+// Points returns all point ids in ascending order.
+func (ps *EdgePoints) Points() []PointID { return fromPointIDs(ps.s.Points()) }
+
+// View returns the full read-only view.
+func (ps *EdgePoints) View() EdgePointsView { return EdgePointsView{v: ps.s} }
+
+// Excluding returns a view hiding point p.
+func (ps *EdgePoints) Excluding(p PointID) EdgePointsView {
+	return EdgePointsView{v: points.ExcludeEdge(ps.s, points.PointID(p))}
+}
+
+// PagedEdgePoints is an immutable disk-resident snapshot of an EdgePoints
+// set (Fig 14b's storage scheme): point lookups per edge perform counted
+// I/O through an LRU buffer.
+type PagedEdgePoints struct {
+	s *points.PagedEdgeSet
+}
+
+// Paged snapshots the point set into a paged file read through a buffer of
+// bufferPages pages (pageSize 0 defaults to 4 KB).
+func (ps *EdgePoints) Paged(pageSize, bufferPages int) (*PagedEdgePoints, error) {
+	if pageSize == 0 {
+		pageSize = storage.DefaultPageSize
+	}
+	p, err := points.NewPagedEdgeSet(ps.s, storage.NewMemFile(pageSize), bufferPages)
+	if err != nil {
+		return nil, err
+	}
+	return &PagedEdgePoints{s: p}, nil
+}
+
+// View returns the full read-only view.
+func (ps *PagedEdgePoints) View() EdgePointsView { return EdgePointsView{v: ps.s} }
+
+// Excluding returns a view hiding point p.
+func (ps *PagedEdgePoints) Excluding(p PointID) EdgePointsView {
+	return EdgePointsView{v: points.ExcludeEdge(ps.s, points.PointID(p))}
+}
+
+// IOStats returns the point-file traffic.
+func (ps *PagedEdgePoints) IOStats() IOStats {
+	s := ps.s.Stats()
+	return IOStats{Reads: s.Reads, Hits: s.Hits, Writes: s.Writes}
+}
+
+// ResetIOStats zeroes the point-file counters.
+func (ps *PagedEdgePoints) ResetIOStats() { ps.s.ResetStats() }

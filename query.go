@@ -1,0 +1,294 @@
+package graphrnn
+
+import (
+	"fmt"
+
+	"graphrnn/internal/core"
+)
+
+// Algorithm selects a query processing strategy.
+type Algorithm struct {
+	kind algoKind
+	mat  *Materialization
+}
+
+type algoKind int
+
+const (
+	algoEager algoKind = iota
+	algoLazy
+	algoLazyEP
+	algoEagerM
+	algoBrute
+)
+
+// Eager prunes every visited node with a range-NN probe (Section 3.2).
+// Lowest I/O in most settings; CPU-heavier than Lazy.
+func Eager() Algorithm { return Algorithm{kind: algoEager} }
+
+// Lazy prunes only when data points are discovered, via verification side
+// effects (Section 3.3). Low CPU; unsuitable for low-diameter networks.
+func Lazy() Algorithm { return Algorithm{kind: algoLazy} }
+
+// LazyEP is Lazy with extended pruning via a parallel point-expansion heap
+// (Section 4.2).
+func LazyEP() Algorithm { return Algorithm{kind: algoLazyEP} }
+
+// EagerM is Eager over the materialized K-NN lists m (Section 4.1); m must
+// have been built over the queried point set (bichromatic: over the sites).
+func EagerM(m *Materialization) Algorithm { return Algorithm{kind: algoEagerM, mat: m} }
+
+// BruteForce verifies every data point; the oracle the paper's Section 3.1
+// dismisses as a baseline. Useful for testing and tiny graphs.
+func BruteForce() Algorithm { return Algorithm{kind: algoBrute} }
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a.kind {
+	case algoEager:
+		return "eager"
+	case algoLazy:
+		return "lazy"
+	case algoLazyEP:
+		return "lazy-EP"
+	case algoEagerM:
+		return "eager-M"
+	default:
+		return "brute-force"
+	}
+}
+
+// Stats describes the work performed by one query.
+type Stats struct {
+	// NodesExpanded counts nodes popped by the main query-side expansion.
+	NodesExpanded int64
+	// NodesScanned counts nodes popped by sub-queries (range-NN probes,
+	// verifications, lazy-EP's point heap).
+	NodesScanned int64
+	// RangeNN counts range-NN probes (eager family).
+	RangeNN int64
+	// Verifications counts verification sub-queries.
+	Verifications int64
+	// MatReads counts materialized list lookups (eager-M).
+	MatReads int64
+	// HeapPushes and HeapPops count priority-queue traffic.
+	HeapPushes int64
+	HeapPops   int64
+}
+
+// Result is a query answer.
+type Result struct {
+	// Points holds the reverse k-nearest neighbors in ascending id order.
+	Points []PointID
+	// Stats describes the work performed.
+	Stats Stats
+}
+
+func wrapResult(r *core.Result, err error) (*Result, error) {
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Points: fromPointIDs(r.Points),
+		Stats: Stats{
+			NodesExpanded: r.Stats.NodesExpanded,
+			NodesScanned:  r.Stats.NodesScanned,
+			RangeNN:       r.Stats.RangeNN,
+			Verifications: r.Stats.Verifications,
+			MatReads:      r.Stats.MatReads,
+			HeapPushes:    r.Stats.HeapPushes,
+			HeapPops:      r.Stats.HeapPops,
+		},
+	}, nil
+}
+
+// pointsArg accepts either a *NodePoints or a NodePointsView.
+type pointsArg interface{ nodeView() NodePointsView }
+
+func (ps *NodePoints) nodeView() NodePointsView   { return ps.View() }
+func (v NodePointsView) nodeView() NodePointsView { return v }
+
+type edgeArg interface{ edgeView() EdgePointsView }
+
+func (ps *EdgePoints) edgeView() EdgePointsView      { return ps.View() }
+func (ps *PagedEdgePoints) edgeView() EdgePointsView { return ps.View() }
+func (v EdgePointsView) edgeView() EdgePointsView    { return v }
+
+// RNN answers a monochromatic reverse k-nearest-neighbor query from node q
+// over a node-resident point set.
+func (db *DB) RNN(ps pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
+	view := ps.nodeView().v
+	qn := toNodeIDs([]NodeID{q})[0]
+	switch algo.kind {
+	case algoEager:
+		return wrapResult(db.searcher.EagerRkNN(view, qn, k))
+	case algoLazy:
+		return wrapResult(db.searcher.LazyRkNN(view, qn, k))
+	case algoLazyEP:
+		return wrapResult(db.searcher.LazyEPRkNN(view, qn, k))
+	case algoEagerM:
+		m, err := algo.materialized()
+		if err != nil {
+			return nil, err
+		}
+		return wrapResult(db.searcher.EagerMRkNN(view, m, qn, k))
+	default:
+		return wrapResult(db.searcher.BruteRkNN(view, qn, k))
+	}
+}
+
+// BichromaticRNN answers bRkNN: the candidates of cands closer to q than to
+// their k-th nearest site of sites.
+func (db *DB) BichromaticRNN(cands, sites pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
+	cv, sv := cands.nodeView().v, sites.nodeView().v
+	qn := toNodeIDs([]NodeID{q})[0]
+	switch algo.kind {
+	case algoEager:
+		return wrapResult(db.searcher.EagerBichromatic(cv, sv, qn, k))
+	case algoLazy:
+		return wrapResult(db.searcher.LazyBichromatic(cv, sv, qn, k))
+	case algoLazyEP:
+		return wrapResult(db.searcher.LazyEPBichromatic(cv, sv, qn, k))
+	case algoEagerM:
+		m, err := algo.materialized()
+		if err != nil {
+			return nil, err
+		}
+		return wrapResult(db.searcher.EagerMBichromatic(cv, sv, m, qn, k))
+	default:
+		return wrapResult(db.searcher.BruteBichromatic(cv, sv, qn, k))
+	}
+}
+
+// ContinuousRNN answers cRkNN(route): the union of the RkNN sets of every
+// route node (Section 5.1), computed in one traversal.
+func (db *DB) ContinuousRNN(ps pointsArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
+	view := ps.nodeView().v
+	r := toNodeIDs(route)
+	switch algo.kind {
+	case algoEager:
+		return wrapResult(db.searcher.EagerContinuous(view, r, k))
+	case algoLazy:
+		return wrapResult(db.searcher.LazyContinuous(view, r, k))
+	case algoLazyEP:
+		return wrapResult(db.searcher.LazyEPContinuous(view, r, k))
+	case algoEagerM:
+		m, err := algo.materialized()
+		if err != nil {
+			return nil, err
+		}
+		return wrapResult(db.searcher.EagerMContinuous(view, m, r, k))
+	default:
+		return wrapResult(db.searcher.BruteContinuous(view, r, k))
+	}
+}
+
+// EdgeRNN answers a monochromatic RkNN query at an arbitrary location over
+// an edge-resident point set (unrestricted networks, Section 5.2).
+func (db *DB) EdgeRNN(ps edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
+	view := ps.edgeView().v
+	loc := q.toLoc()
+	switch algo.kind {
+	case algoEager:
+		return wrapResult(db.searcher.UEagerRkNN(view, loc, k))
+	case algoLazy:
+		return wrapResult(db.searcher.ULazyRkNN(view, loc, k))
+	case algoLazyEP:
+		return wrapResult(db.searcher.ULazyEPRkNN(view, loc, k))
+	case algoEagerM:
+		m, err := algo.materialized()
+		if err != nil {
+			return nil, err
+		}
+		return wrapResult(db.searcher.UEagerMRkNN(view, m, loc, k))
+	default:
+		return wrapResult(db.searcher.UBruteRkNN(view, loc, k))
+	}
+}
+
+// EdgeBichromaticRNN answers bRkNN over edge-resident candidates and sites.
+func (db *DB) EdgeBichromaticRNN(cands, sites edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
+	cv, sv := cands.edgeView().v, sites.edgeView().v
+	loc := q.toLoc()
+	switch algo.kind {
+	case algoEager:
+		return wrapResult(db.searcher.UEagerBichromatic(cv, sv, loc, k))
+	case algoLazy:
+		return wrapResult(db.searcher.ULazyBichromatic(cv, sv, loc, k))
+	case algoLazyEP:
+		return wrapResult(db.searcher.ULazyEPBichromatic(cv, sv, loc, k))
+	case algoEagerM:
+		m, err := algo.materialized()
+		if err != nil {
+			return nil, err
+		}
+		return wrapResult(db.searcher.UEagerMBichromatic(cv, sv, m, loc, k))
+	default:
+		return wrapResult(db.searcher.UBruteBichromatic(cv, sv, loc, k))
+	}
+}
+
+// EdgeContinuousRNN answers cRkNN over a route on an unrestricted network.
+func (db *DB) EdgeContinuousRNN(ps edgeArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
+	view := ps.edgeView().v
+	r := toNodeIDs(route)
+	switch algo.kind {
+	case algoEager:
+		return wrapResult(db.searcher.UEagerContinuous(view, r, k))
+	case algoLazy:
+		return wrapResult(db.searcher.ULazyContinuous(view, r, k))
+	case algoLazyEP:
+		return wrapResult(db.searcher.ULazyEPContinuous(view, r, k))
+	case algoEagerM:
+		m, err := algo.materialized()
+		if err != nil {
+			return nil, err
+		}
+		return wrapResult(db.searcher.UEagerMContinuous(view, m, r, k))
+	default:
+		return wrapResult(db.searcher.UBruteContinuous(view, r, k))
+	}
+}
+
+func (a Algorithm) materialized() (*core.Materialized, error) {
+	if a.mat == nil || a.mat.m == nil {
+		return nil, fmt.Errorf("graphrnn: EagerM requires a Materialization (use db.MaterializeNodePoints / MaterializeEdgePoints)")
+	}
+	return a.mat.m, nil
+}
+
+// Neighbor is one k-nearest-neighbor result.
+type Neighbor struct {
+	P        PointID
+	Distance float64
+}
+
+// KNN returns the k nearest data points of node n in ascending distance
+// order (the forward counterpart of RNN; Section 3.1's NN search). Fewer
+// than k results are returned when the reachable component holds fewer
+// points.
+func (db *DB) KNN(ps pointsArg, n NodeID, k int) ([]Neighbor, error) {
+	out, err := db.searcher.KNN(ps.nodeView().v, toNodeIDs([]NodeID{n})[0], k)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(out), nil
+}
+
+// EdgeKNN returns the k nearest edge-resident data points of an arbitrary
+// location.
+func (db *DB) EdgeKNN(ps edgeArg, q Location, k int) ([]Neighbor, error) {
+	out, err := db.searcher.UKNN(ps.edgeView().v, q.toLoc(), k)
+	if err != nil {
+		return nil, err
+	}
+	return toNeighbors(out), nil
+}
+
+func toNeighbors(in []core.PointDist) []Neighbor {
+	out := make([]Neighbor, len(in))
+	for i, pd := range in {
+		out[i] = Neighbor{P: PointID(pd.P), Distance: pd.D}
+	}
+	return out
+}
