@@ -1,0 +1,131 @@
+package graphrnn
+
+import (
+	"runtime"
+	"sync"
+)
+
+// This file is the parallel batch-query layer: worker-pool fan-out of
+// independent RNN queries over the now concurrency-safe DB. It is the unit
+// the paper's experimental harness (and any serving front end) wants —
+// Efentakis & Pfoser (ReHub) and Buchnik & Cohen both treat concurrent
+// batched query execution as the baseline deployment mode.
+
+// BatchOptions configures batch execution.
+type BatchOptions struct {
+	// Parallelism is the number of worker goroutines. Zero or negative
+	// defaults to GOMAXPROCS. One worker degenerates to serial execution
+	// in submission order.
+	Parallelism int
+}
+
+func (o *BatchOptions) workers(n int) int {
+	w := 0
+	if o != nil {
+		w = o.Parallelism
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RNNQuery is one node-resident batch entry, used by both RNNBatch and
+// BichromaticRNNBatch (the point sets, not the query, distinguish the two).
+type RNNQuery struct {
+	// Q is the query node.
+	Q NodeID
+	// K is the query depth (k >= 1).
+	K int
+	// Algo selects the processing strategy.
+	Algo Algorithm
+}
+
+// BatchResult pairs one query's answer with its error; exactly one of the
+// two fields is non-nil.
+type BatchResult struct {
+	Result *Result
+	Err    error
+}
+
+// runBatch fans indices 0..n-1 out over a worker pool.
+func runBatch(n, workers int, run func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				run(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// RNNBatch answers a slice of monochromatic RkNN queries over one point set
+// concurrently and returns one BatchResult per query, in input order. Every
+// query runs to completion: an invalid entry (bad k, out-of-range node)
+// reports its error in its own slot without affecting the others. A nil or
+// zero-parallelism opt uses GOMAXPROCS workers.
+func (db *DB) RNNBatch(ps pointsArg, queries []RNNQuery, opt *BatchOptions) []BatchResult {
+	view := ps.nodeView()
+	out := make([]BatchResult, len(queries))
+	runBatch(len(queries), opt.workers(len(queries)), func(i int) {
+		q := queries[i]
+		out[i].Result, out[i].Err = db.RNN(view, q.Q, q.K, q.Algo)
+	})
+	return out
+}
+
+// BichromaticRNNBatch answers a slice of bichromatic RkNN queries over one
+// candidate/site pair concurrently, in input order.
+func (db *DB) BichromaticRNNBatch(cands, sites pointsArg, queries []RNNQuery, opt *BatchOptions) []BatchResult {
+	cv, sv := cands.nodeView(), sites.nodeView()
+	out := make([]BatchResult, len(queries))
+	runBatch(len(queries), opt.workers(len(queries)), func(i int) {
+		q := queries[i]
+		out[i].Result, out[i].Err = db.BichromaticRNN(cv, sv, q.Q, q.K, q.Algo)
+	})
+	return out
+}
+
+// EdgeRNNQuery is one monochromatic batch entry over an edge-resident point
+// set.
+type EdgeRNNQuery struct {
+	Q    Location
+	K    int
+	Algo Algorithm
+}
+
+// EdgeRNNBatch answers a slice of edge-resident RkNN queries concurrently,
+// in input order.
+func (db *DB) EdgeRNNBatch(ps edgeArg, queries []EdgeRNNQuery, opt *BatchOptions) []BatchResult {
+	view := ps.edgeView()
+	out := make([]BatchResult, len(queries))
+	runBatch(len(queries), opt.workers(len(queries)), func(i int) {
+		q := queries[i]
+		out[i].Result, out[i].Err = db.EdgeRNN(view, q.Q, q.K, q.Algo)
+	})
+	return out
+}

@@ -145,6 +145,88 @@ func BenchmarkQueryEagerM(b *testing.B) {
 	benchQueries(b, func(e *microEnv) graphrnn.Algorithm { return graphrnn.EagerM(e.mat) })
 }
 
+// Parallel variants: identical workload fanned out over GOMAXPROCS
+// goroutines with b.RunParallel, tracking throughput scaling of the
+// concurrent query path. Memory-backed so the numbers isolate CPU-side
+// contention (scratch pool, stats) from buffer-manager locking.
+func benchQueriesParallel(b *testing.B, k int, algo graphrnn.Algorithm) {
+	g, err := graphrnn.GenerateRoadNetwork(2006, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(2007, g.NumNodes()/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := ps.Points()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			qp := queries[i%len(queries)]
+			i++
+			qnode, _ := ps.NodeOf(qp)
+			if _, err := db.RNN(ps.Excluding(qp), qnode, k, algo); err != nil {
+				// b.Fatal must not run on a RunParallel worker goroutine.
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkQueryParallelEagerK1(b *testing.B) { benchQueriesParallel(b, 1, graphrnn.Eager()) }
+func BenchmarkQueryParallelEagerK4(b *testing.B) { benchQueriesParallel(b, 4, graphrnn.Eager()) }
+func BenchmarkQueryParallelLazyK1(b *testing.B)  { benchQueriesParallel(b, 1, graphrnn.Lazy()) }
+func BenchmarkQueryParallelLazyK4(b *testing.B)  { benchQueriesParallel(b, 4, graphrnn.Lazy()) }
+
+// Batch fan-out against single-goroutine serial execution of the same
+// query slice: the acceptance benchmark for >1 query in flight.
+func BenchmarkRNNBatch(b *testing.B) {
+	g, err := graphrnn.GenerateRoadNetwork(2006, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(2007, g.NumNodes()/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var queries []graphrnn.RNNQuery
+	for _, qp := range ps.Points()[:64] {
+		qnode, _ := ps.NodeOf(qp)
+		queries = append(queries, graphrnn.RNNQuery{Q: qnode, K: 2, Algo: graphrnn.Eager()})
+	}
+	for _, par := range []int{1, 4, 0} {
+		name := "serial"
+		switch par {
+		case 4:
+			name = "parallel4"
+		case 0:
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := &graphrnn.BatchOptions{Parallelism: par}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := db.RNNBatch(ps, queries, opt)
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // All-NN materialization build (Fig 8) on a 20K-node road network.
 func BenchmarkMaterializeBuild(b *testing.B) {
 	g, err := graphrnn.GenerateRoadNetwork(2006, 20000)

@@ -1,0 +1,312 @@
+// Command rnnserver serves RkNN queries over HTTP — the first serving
+// surface of the system. It generates one of the paper's network families,
+// places a random data set on it, and answers JSON queries concurrently on
+// top of the thread-safe DB.
+//
+// Usage:
+//
+//	rnnserver [-addr :8080] [-family road|brite|grid] [-nodes N]
+//	          [-density D] [-seed N] [-disk] [-buffer PAGES] [-maxk K]
+//
+// Endpoints:
+//
+//	GET  /rnn?node=N&k=K[&algo=eager|lazy|lazy-ep|eager-m|brute]
+//	POST /rnn/batch   {"queries":[{"node":N,"k":K,"algo":"eager"},...],
+//	                   "parallelism":0}
+//	GET  /knn?node=N&k=K
+//	GET  /stats
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"graphrnn"
+)
+
+type server struct {
+	db      *graphrnn.DB
+	ps      *graphrnn.NodePoints
+	mat     *graphrnn.Materialization
+	family  string
+	started time.Time
+	served  atomic.Int64
+	errors  atomic.Int64
+}
+
+type statsJSON struct {
+	NodesExpanded int64 `json:"nodes_expanded"`
+	NodesScanned  int64 `json:"nodes_scanned"`
+	RangeNN       int64 `json:"range_nn"`
+	Verifications int64 `json:"verifications"`
+	MatReads      int64 `json:"mat_reads"`
+	HeapPushes    int64 `json:"heap_pushes"`
+	HeapPops      int64 `json:"heap_pops"`
+}
+
+func toStatsJSON(s graphrnn.Stats) statsJSON {
+	return statsJSON{
+		NodesExpanded: s.NodesExpanded,
+		NodesScanned:  s.NodesScanned,
+		RangeNN:       s.RangeNN,
+		Verifications: s.Verifications,
+		MatReads:      s.MatReads,
+		HeapPushes:    s.HeapPushes,
+		HeapPops:      s.HeapPops,
+	}
+}
+
+type rnnResponse struct {
+	Node   graphrnn.NodeID    `json:"node"`
+	K      int                `json:"k"`
+	Algo   string             `json:"algo"`
+	Points []graphrnn.PointID `json:"points"`
+	Stats  statsJSON          `json:"stats"`
+}
+
+type errResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *server) algorithm(name string) (graphrnn.Algorithm, error) {
+	switch name {
+	case "", "eager":
+		return graphrnn.Eager(), nil
+	case "lazy":
+		return graphrnn.Lazy(), nil
+	case "lazy-ep", "lazyep":
+		return graphrnn.LazyEP(), nil
+	case "eager-m", "eagerm":
+		if s.mat == nil {
+			return graphrnn.Algorithm{}, fmt.Errorf("eager-m unavailable: server started with -maxk 0")
+		}
+		return graphrnn.EagerM(s.mat), nil
+	case "brute", "brute-force":
+		return graphrnn.BruteForce(), nil
+	default:
+		return graphrnn.Algorithm{}, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *server) fail(w http.ResponseWriter, code int, err error) {
+	s.errors.Add(1)
+	writeJSON(w, code, errResponse{Error: err.Error()})
+}
+
+func queryInts(r *http.Request) (node, k int, err error) {
+	node, err = strconv.Atoi(r.URL.Query().Get("node"))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad or missing node parameter")
+	}
+	k = 1
+	if v := r.URL.Query().Get("k"); v != "" {
+		if k, err = strconv.Atoi(v); err != nil {
+			return 0, 0, fmt.Errorf("bad k parameter")
+		}
+	}
+	return node, k, nil
+}
+
+func (s *server) handleRNN(w http.ResponseWriter, r *http.Request) {
+	node, k, err := queryInts(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	algoName := r.URL.Query().Get("algo")
+	algo, err := s.algorithm(algoName)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.db.RNN(s.ps, graphrnn.NodeID(node), k, algo)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.served.Add(1)
+	points := res.Points
+	if points == nil {
+		points = []graphrnn.PointID{}
+	}
+	writeJSON(w, http.StatusOK, rnnResponse{
+		Node: graphrnn.NodeID(node), K: k, Algo: algo.String(),
+		Points: points, Stats: toStatsJSON(res.Stats),
+	})
+}
+
+type batchRequest struct {
+	Queries []struct {
+		Node int    `json:"node"`
+		K    int    `json:"k"`
+		Algo string `json:"algo"`
+	} `json:"queries"`
+	Parallelism int `json:"parallelism"`
+}
+
+type batchEntry struct {
+	Points []graphrnn.PointID `json:"points,omitempty"`
+	Stats  *statsJSON         `json:"stats,omitempty"`
+	Error  string             `json:"error,omitempty"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	queries := make([]graphrnn.RNNQuery, len(req.Queries))
+	for i, q := range req.Queries {
+		algo, err := s.algorithm(q.Algo)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("query %d: %w", i, err))
+			return
+		}
+		k := q.K
+		if k == 0 {
+			k = 1
+		}
+		queries[i] = graphrnn.RNNQuery{Q: graphrnn.NodeID(q.Node), K: k, Algo: algo}
+	}
+	results := s.db.RNNBatch(s.ps, queries, &graphrnn.BatchOptions{Parallelism: req.Parallelism})
+	out := make([]batchEntry, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i] = batchEntry{Error: res.Err.Error()}
+			continue
+		}
+		st := toStatsJSON(res.Result.Stats)
+		points := res.Result.Points
+		if points == nil {
+			points = []graphrnn.PointID{}
+		}
+		out[i] = batchEntry{Points: points, Stats: &st}
+	}
+	s.served.Add(int64(len(results)))
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+type neighborJSON struct {
+	Point    graphrnn.PointID `json:"point"`
+	Distance float64          `json:"distance"`
+}
+
+func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
+	node, k, err := queryInts(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	nbrs, err := s.db.KNN(s.ps, graphrnn.NodeID(node), k)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.served.Add(1)
+	out := make([]neighborJSON, len(nbrs))
+	for i, n := range nbrs {
+		out[i] = neighborJSON{Point: n.P, Distance: n.Distance}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": node, "k": k, "neighbors": out})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	g := s.db.Graph()
+	io := s.db.IOStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"family":         s.family,
+		"nodes":          g.NumNodes(),
+		"edges":          g.NumEdges(),
+		"points":         s.ps.Len(),
+		"queries_served": s.served.Load(),
+		"query_errors":   s.errors.Load(),
+		"uptime_seconds": time.Since(s.started).Seconds(),
+		"io": map[string]int64{
+			"reads": io.Reads, "hits": io.Hits, "writes": io.Writes,
+		},
+	})
+}
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		family  = flag.String("family", "road", "network family: road, brite, grid")
+		nodes   = flag.Int("nodes", 10000, "approximate node count")
+		density = flag.Float64("density", 0.01, "data density |P|/|V|")
+		seed    = flag.Int64("seed", 1, "seed")
+		disk    = flag.Bool("disk", false, "serve the graph disk-backed through the LRU buffer")
+		buffer  = flag.Int("buffer", 256, "LRU buffer capacity in pages (disk-backed only)")
+		maxK    = flag.Int("maxk", 4, "materialize K-NN lists up to this k for eager-m (0 disables)")
+	)
+	flag.Parse()
+
+	var (
+		g   *graphrnn.Graph
+		err error
+	)
+	switch *family {
+	case "road":
+		g, err = graphrnn.GenerateRoadNetwork(*seed, *nodes)
+	case "brite":
+		g, err = graphrnn.GenerateBrite(*seed, *nodes, 4)
+	case "grid":
+		g, err = graphrnn.GenerateGrid(*seed, *nodes, 4)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	var opt *graphrnn.Options
+	if *disk {
+		opt = &graphrnn.Options{DiskBacked: true, BufferPages: *buffer}
+	}
+	db, err := graphrnn.Open(g, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := int(*density * float64(g.NumNodes()))
+	if count < 2 {
+		count = 2
+	}
+	ps, err := db.PlaceRandomNodePoints(*seed+1, count)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &server{db: db, ps: ps, family: *family, started: time.Now()}
+	if *maxK > 0 {
+		srv.mat, err = db.MaterializeNodePoints(ps, *maxK, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/rnn", srv.handleRNN)
+	mux.HandleFunc("/rnn/batch", srv.handleBatch)
+	mux.HandleFunc("/knn", srv.handleKNN)
+	mux.HandleFunc("/stats", srv.handleStats)
+
+	log.Printf("rnnserver: %s network |V|=%d |E|=%d |P|=%d, listening on %s",
+		*family, g.NumNodes(), g.NumEdges(), ps.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

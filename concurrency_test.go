@@ -1,0 +1,463 @@
+package graphrnn_test
+
+// Concurrency coverage for the thread-safe query path: parallel RNN /
+// EdgeRNN / BichromaticRNN queries, on memory- and disk-backed DBs, across
+// all five algorithms, each checked against the serial brute-force answer.
+// Run with -race to exercise the scratch-pool and buffer-manager locking.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"graphrnn"
+)
+
+func samePoints(got, want []graphrnn.PointID) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+type concEnv struct {
+	db      *graphrnn.DB
+	ps      *graphrnn.NodePoints
+	mat     *graphrnn.Materialization
+	queries []graphrnn.PointID
+}
+
+func newConcEnv(t *testing.T, diskBacked bool) *concEnv {
+	t.Helper()
+	g, err := graphrnn.GenerateGrid(31, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opt *graphrnn.Options
+	if diskBacked {
+		// A tiny buffer keeps eviction churning under concurrent faults.
+		opt = &graphrnn.Options{DiskBacked: true, BufferPages: 8}
+	}
+	db, err := graphrnn.Open(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(32, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := db.MaterializeNodePoints(ps, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &concEnv{db: db, ps: ps, mat: mat, queries: ps.Points()[:12]}
+}
+
+func concAlgorithms(e *concEnv) map[string]graphrnn.Algorithm {
+	return map[string]graphrnn.Algorithm{
+		"eager":   graphrnn.Eager(),
+		"lazy":    graphrnn.Lazy(),
+		"lazy-ep": graphrnn.LazyEP(),
+		"eager-m": graphrnn.EagerM(e.mat),
+		"brute":   graphrnn.BruteForce(),
+	}
+}
+
+// TestConcurrentRNN runs every algorithm from many goroutines at once and
+// checks each answer against the serial brute-force oracle computed up
+// front.
+func TestConcurrentRNN(t *testing.T) {
+	for _, backend := range []string{"memory", "disk"} {
+		t.Run(backend, func(t *testing.T) {
+			e := newConcEnv(t, backend == "disk")
+			// Serial oracle per (query, k).
+			type key struct {
+				q graphrnn.PointID
+				k int
+			}
+			want := make(map[key][]graphrnn.PointID)
+			ks := []int{1, 2, 4}
+			for _, qp := range e.queries {
+				qnode, _ := e.ps.NodeOf(qp)
+				view := e.ps.Excluding(qp)
+				for _, k := range ks {
+					res, err := e.db.RNN(view, qnode, k, graphrnn.BruteForce())
+					if err != nil {
+						t.Fatal(err)
+					}
+					want[key{qp, k}] = res.Points
+				}
+			}
+			var wg sync.WaitGroup
+			errc := make(chan error, len(e.queries)*len(ks)*5)
+			for name, algo := range concAlgorithms(e) {
+				for _, qp := range e.queries {
+					for _, k := range ks {
+						wg.Add(1)
+						go func(name string, algo graphrnn.Algorithm, qp graphrnn.PointID, k int) {
+							defer wg.Done()
+							qnode, _ := e.ps.NodeOf(qp)
+							res, err := e.db.RNN(e.ps.Excluding(qp), qnode, k, algo)
+							if err != nil {
+								errc <- fmt.Errorf("%s q=%d k=%d: %w", name, qp, k, err)
+								return
+							}
+							if !samePoints(res.Points, want[key{qp, k}]) {
+								errc <- fmt.Errorf("%s q=%d k=%d: got %v, want %v",
+									name, qp, k, res.Points, want[key{qp, k}])
+							}
+						}(name, algo, qp, k)
+					}
+				}
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+			// IOStats must remain callable during queries (covered above by
+			// the disk backend) and coherent afterwards.
+			if backend == "disk" && e.db.IOStats().Reads == 0 {
+				t.Fatal("disk-backed DB recorded no page reads")
+			}
+		})
+	}
+}
+
+// TestConcurrentEdgeRNN exercises the unrestricted (edge-resident) path,
+// whose lazy variant shares the same pooled counters.
+func TestConcurrentEdgeRNN(t *testing.T) {
+	for _, backend := range []string{"memory", "disk"} {
+		t.Run(backend, func(t *testing.T) {
+			g, err := graphrnn.GenerateRoadNetwork(33, 900)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var opt *graphrnn.Options
+			if backend == "disk" {
+				opt = &graphrnn.Options{DiskBacked: true, BufferPages: 8}
+			}
+			db, err := graphrnn.Open(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps, err := db.PlaceRandomEdgePoints(34, 50)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat, err := db.MaterializeEdgePoints(ps, 2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			queries := ps.Points()[:8]
+			want := make(map[graphrnn.PointID][]graphrnn.PointID)
+			for _, qp := range queries {
+				qloc, _ := ps.LocationOf(qp)
+				res, err := db.EdgeRNN(ps.Excluding(qp), qloc, 2, graphrnn.BruteForce())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[qp] = res.Points
+			}
+			algos := map[string]graphrnn.Algorithm{
+				"eager":   graphrnn.Eager(),
+				"lazy":    graphrnn.Lazy(),
+				"lazy-ep": graphrnn.LazyEP(),
+				"eager-m": graphrnn.EagerM(mat),
+				"brute":   graphrnn.BruteForce(),
+			}
+			var wg sync.WaitGroup
+			errc := make(chan error, len(queries)*len(algos))
+			for name, algo := range algos {
+				for _, qp := range queries {
+					wg.Add(1)
+					go func(name string, algo graphrnn.Algorithm, qp graphrnn.PointID) {
+						defer wg.Done()
+						qloc, _ := ps.LocationOf(qp)
+						res, err := db.EdgeRNN(ps.Excluding(qp), qloc, 2, algo)
+						if err != nil {
+							errc <- fmt.Errorf("%s q=%d: %w", name, qp, err)
+							return
+						}
+						if !samePoints(res.Points, want[qp]) {
+							errc <- fmt.Errorf("%s q=%d: got %v, want %v", name, qp, res.Points, want[qp])
+						}
+					}(name, algo, qp)
+				}
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentBichromaticRNN runs bichromatic queries from many
+// goroutines, again against the serial brute-force answer.
+func TestConcurrentBichromaticRNN(t *testing.T) {
+	for _, backend := range []string{"memory", "disk"} {
+		t.Run(backend, func(t *testing.T) {
+			g, err := graphrnn.GenerateGrid(35, 400, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var opt *graphrnn.Options
+			if backend == "disk" {
+				opt = &graphrnn.Options{DiskBacked: true, BufferPages: 8}
+			}
+			db, err := graphrnn.Open(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cands, err := db.PlaceRandomNodePoints(36, 30)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sites, err := db.PlaceRandomNodePoints(37, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mat, err := db.MaterializeNodePoints(sites, 2, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			qnodes := []graphrnn.NodeID{0, 7, 42, 99, 123, 200, 250, 399}
+			want := make(map[graphrnn.NodeID][]graphrnn.PointID)
+			for _, q := range qnodes {
+				res, err := db.BichromaticRNN(cands, sites, q, 2, graphrnn.BruteForce())
+				if err != nil {
+					t.Fatal(err)
+				}
+				want[q] = res.Points
+			}
+			algos := map[string]graphrnn.Algorithm{
+				"eager":   graphrnn.Eager(),
+				"lazy":    graphrnn.Lazy(),
+				"lazy-ep": graphrnn.LazyEP(),
+				"eager-m": graphrnn.EagerM(mat),
+				"brute":   graphrnn.BruteForce(),
+			}
+			var wg sync.WaitGroup
+			errc := make(chan error, len(qnodes)*len(algos))
+			for name, algo := range algos {
+				for _, q := range qnodes {
+					wg.Add(1)
+					go func(name string, algo graphrnn.Algorithm, q graphrnn.NodeID) {
+						defer wg.Done()
+						res, err := db.BichromaticRNN(cands, sites, q, 2, algo)
+						if err != nil {
+							errc <- fmt.Errorf("%s q=%d: %w", name, q, err)
+							return
+						}
+						if !samePoints(res.Points, want[q]) {
+							errc <- fmt.Errorf("%s q=%d: got %v, want %v", name, q, res.Points, want[q])
+						}
+					}(name, algo, q)
+				}
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentIOStats hammers IOStats / ResetIOStats while queries run,
+// which must be safe on a disk-backed DB (atomic counters).
+func TestConcurrentIOStats(t *testing.T) {
+	e := newConcEnv(t, true)
+	stop := make(chan struct{})
+	statsDone := make(chan struct{})
+	go func() {
+		defer close(statsDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = e.db.IOStats()
+				e.db.ResetIOStats()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			qp := e.queries[i%len(e.queries)]
+			qnode, _ := e.ps.NodeOf(qp)
+			for j := 0; j < 20; j++ {
+				if _, err := e.db.RNN(e.ps.Excluding(qp), qnode, 2, graphrnn.Eager()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	<-statsDone
+}
+
+// TestRNNBatch covers the batch layer: result/serial equality, empty
+// batches, and per-query error propagation for bad k and out-of-range
+// nodes.
+func TestRNNBatch(t *testing.T) {
+	e := newConcEnv(t, false)
+	var queries []graphrnn.RNNQuery
+	var want [][]graphrnn.PointID
+	for _, qp := range e.queries {
+		qnode, _ := e.ps.NodeOf(qp)
+		res, err := e.db.RNN(e.ps, qnode, 2, graphrnn.BruteForce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, graphrnn.RNNQuery{Q: qnode, K: 2, Algo: graphrnn.Lazy()})
+		want = append(want, res.Points)
+	}
+	for _, par := range []int{0, 1, 4, 32} {
+		results := e.db.RNNBatch(e.ps, queries, &graphrnn.BatchOptions{Parallelism: par})
+		if len(results) != len(queries) {
+			t.Fatalf("parallelism %d: %d results for %d queries", par, len(results), len(queries))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("parallelism %d query %d: %v", par, i, r.Err)
+			}
+			if !samePoints(r.Result.Points, want[i]) {
+				t.Fatalf("parallelism %d query %d: got %v, want %v", par, i, r.Result.Points, want[i])
+			}
+		}
+	}
+	// Nil options default to GOMAXPROCS.
+	if res := e.db.RNNBatch(e.ps, queries[:2], nil); len(res) != 2 || res[0].Err != nil {
+		t.Fatalf("nil options batch = %+v", res)
+	}
+}
+
+func TestRNNBatchEmpty(t *testing.T) {
+	e := newConcEnv(t, false)
+	if res := e.db.RNNBatch(e.ps, nil, nil); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+	if res := e.db.RNNBatch(e.ps, []graphrnn.RNNQuery{}, &graphrnn.BatchOptions{Parallelism: 8}); len(res) != 0 {
+		t.Fatalf("empty batch returned %d results", len(res))
+	}
+}
+
+func TestRNNBatchErrorPropagation(t *testing.T) {
+	e := newConcEnv(t, false)
+	good, _ := e.ps.NodeOf(e.queries[0])
+	queries := []graphrnn.RNNQuery{
+		{Q: good, K: 1, Algo: graphrnn.Eager()},             // valid
+		{Q: good, K: 0, Algo: graphrnn.Eager()},             // bad k
+		{Q: 1 << 20, K: 1, Algo: graphrnn.Lazy()},           // out-of-range node
+		{Q: -1, K: 1, Algo: graphrnn.LazyEP()},              // negative node
+		{Q: good, K: 2, Algo: graphrnn.EagerM(nil)},         // missing materialization
+		{Q: good, K: 1, Algo: graphrnn.BruteForce()},        // valid
+		{Q: good, K: 2, Algo: graphrnn.EagerM(e.mat)},       // valid
+		{Q: 1 << 20, K: 0, Algo: graphrnn.BruteForce()},     // doubly invalid
+		{Q: good, K: 1 << 20, Algo: graphrnn.EagerM(e.mat)}, // k beyond MaxK
+	}
+	results := e.db.RNNBatch(e.ps, queries, &graphrnn.BatchOptions{Parallelism: 4})
+	wantErr := []bool{false, true, true, true, true, false, false, true, true}
+	for i, r := range results {
+		if wantErr[i] && r.Err == nil {
+			t.Errorf("query %d: expected error, got %v", i, r.Result.Points)
+		}
+		if !wantErr[i] && r.Err != nil {
+			t.Errorf("query %d: unexpected error %v", i, r.Err)
+		}
+		if (r.Result == nil) == (r.Err == nil) {
+			t.Errorf("query %d: exactly one of Result/Err must be set, got %v / %v", i, r.Result, r.Err)
+		}
+	}
+}
+
+// TestBichromaticRNNBatch checks the bichromatic batch against serial
+// answers.
+func TestBichromaticRNNBatch(t *testing.T) {
+	g, err := graphrnn.GenerateGrid(38, 225, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := db.PlaceRandomNodePoints(39, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := db.PlaceRandomNodePoints(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qnodes := []graphrnn.NodeID{0, 5, 50, 111, 224}
+	var queries []graphrnn.RNNQuery
+	var want [][]graphrnn.PointID
+	for _, q := range qnodes {
+		res, err := db.BichromaticRNN(cands, sites, q, 1, graphrnn.BruteForce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, graphrnn.RNNQuery{Q: q, K: 1, Algo: graphrnn.Lazy()})
+		want = append(want, res.Points)
+	}
+	results := db.BichromaticRNNBatch(cands, sites, queries, &graphrnn.BatchOptions{Parallelism: 3})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if !samePoints(r.Result.Points, want[i]) {
+			t.Fatalf("query %d: got %v, want %v", i, r.Result.Points, want[i])
+		}
+	}
+}
+
+// TestEdgeRNNBatch checks the edge-resident batch helper.
+func TestEdgeRNNBatch(t *testing.T) {
+	g, err := graphrnn.GenerateRoadNetwork(41, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomEdgePoints(42, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := ps.Points()[:5]
+	var queries []graphrnn.EdgeRNNQuery
+	var want [][]graphrnn.PointID
+	for _, qp := range pts {
+		qloc, _ := ps.LocationOf(qp)
+		res, err := db.EdgeRNN(ps, qloc, 1, graphrnn.BruteForce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, graphrnn.EdgeRNNQuery{Q: qloc, K: 1, Algo: graphrnn.Eager()})
+		want = append(want, res.Points)
+	}
+	results := db.EdgeRNNBatch(ps, queries, &graphrnn.BatchOptions{Parallelism: 2})
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("query %d: %v", i, r.Err)
+		}
+		if !samePoints(r.Result.Points, want[i]) {
+			t.Fatalf("query %d: got %v, want %v", i, r.Result.Points, want[i])
+		}
+	}
+}

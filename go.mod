@@ -1,0 +1,3 @@
+module graphrnn
+
+go 1.24

@@ -160,8 +160,16 @@ type Options struct {
 	Path string
 }
 
-// DB is a queryable RNN database over one graph. It is not safe for
-// concurrent use; open one DB per goroutine over the same Graph if needed.
+// DB is a queryable RNN database over one graph.
+//
+// A DB is safe for concurrent use: queries (RNN, BichromaticRNN,
+// ContinuousRNN, their Edge variants, KNN, Distance, and the *Batch
+// helpers) may run from any number of goroutines, on memory- and
+// disk-backed DBs alike, and IOStats / ResetIOStats may be called while
+// queries are in flight. The exceptions are mutating operations: building
+// point sets (Place / Delete), materialization maintenance (InsertNode,
+// InsertEdge, DeletePoint), and DropCache require that no query is running
+// against the same state.
 type DB struct {
 	graph    *Graph
 	store    graph.Access
@@ -262,7 +270,7 @@ type IOStats struct {
 }
 
 // IOStats returns the adjacency file traffic; zero when the DB is not
-// disk-backed.
+// disk-backed. It is safe to call while queries run.
 func (db *DB) IOStats() IOStats {
 	if db.disk == nil {
 		return IOStats{}
@@ -271,7 +279,8 @@ func (db *DB) IOStats() IOStats {
 	return IOStats{Reads: s.Reads, Hits: s.Hits, Writes: s.Writes}
 }
 
-// ResetIOStats zeroes the adjacency I/O counters.
+// ResetIOStats zeroes the adjacency I/O counters. It is safe to call while
+// queries run.
 func (db *DB) ResetIOStats() {
 	if db.disk != nil {
 		db.disk.ResetStats()

@@ -133,7 +133,8 @@ func (s *Searcher) LazyBichromatic(cands, sites points.NodeView, qnode graph.Nod
 	main := s.acquire()
 	defer func() { s.harvest(&st, main); s.release(main) }()
 	main.begin()
-	s.counts.reset(s.g.NumNodes())
+	counts := s.acquireCounts()
+	defer s.releaseCounts(counts)
 	children := make(map[graph.NodeID][]*pq.Item[graph.NodeID])
 	target := singleTarget(qnode)
 	main.push(qnode, 0)
@@ -148,14 +149,14 @@ func (s *Searcher) LazyBichromatic(cands, sites points.NodeView, qnode graph.Nod
 			break
 		}
 		st.NodesExpanded++
-		if s.counts.get(n) >= int32(k) {
+		if counts.get(n) >= int32(k) {
 			continue // k sites closer than q: outside the region
 		}
 		if site, ok := sites.PointAt(n); ok && !seenSite[site] {
 			seenSite[site] = true
 			// Run the verification expansion purely for its pruning side
 			// effects (counter increments, heap-entry removal).
-			if _, err := s.lazyVerify(&st, sites, site, n, target, k, d, main, children); err != nil {
+			if _, err := s.lazyVerify(&st, sites, site, n, target, k, d, main, counts, children); err != nil {
 				return nil, err
 			}
 		}
@@ -172,7 +173,7 @@ func (s *Searcher) LazyBichromatic(cands, sites points.NodeView, qnode graph.Nod
 				results = append(results, p)
 			}
 		}
-		if s.counts.get(n) >= int32(k) {
+		if counts.get(n) >= int32(k) {
 			continue
 		}
 		var adjErr error

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"graphrnn/internal/graph"
 	"graphrnn/internal/points"
@@ -121,6 +122,8 @@ type Materialized struct {
 	numNodes int
 	bm       *storage.BufferManager
 	refs     []storage.RecRef
+	// pages recycles zero-capacity read buffers across List calls.
+	pages sync.Pool
 }
 
 const matEntrySize = 4 + 8
@@ -147,7 +150,9 @@ func (m *Materialized) List(n graph.NodeID, buf []MatEntry) ([]MatEntry, error) 
 		return nil, fmt.Errorf("core: materialized list of node %d out of range [0,%d)", n, m.numNodes)
 	}
 	ref := m.refs[n]
-	page, err := m.bm.Get(ref.Page)
+	scratch := m.pages.Get().([]byte)
+	defer m.pages.Put(scratch)
+	page, err := m.bm.GetInto(ref.Page, scratch)
 	if err != nil {
 		return nil, err
 	}
@@ -321,6 +326,7 @@ func (s *Searcher) MatBuild(seeds []MatSeed, maxK int, file storage.PagedFile, b
 		return nil, err
 	}
 	m.bm = storage.NewBufferManager(file, bufferPages)
+	m.pages.New = func() any { return make([]byte, m.bm.File().PageSize()) }
 	return m, nil
 }
 

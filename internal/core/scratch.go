@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"graphrnn/internal/graph"
 	"graphrnn/internal/pq"
 )
@@ -75,34 +77,46 @@ func (sc *scratch) pop() (n graph.NodeID, d float64, ok bool) {
 }
 
 // Searcher executes restricted-network RkNN queries against a graph. It
-// owns a small pool of scratch expansions (a main traversal plus the
-// sub-queries it spawns) so that repeated queries do not allocate. A
-// Searcher is not safe for concurrent use.
+// owns a pool of scratch expansions (a main traversal plus the sub-queries
+// it spawns) so that repeated queries rarely allocate. A Searcher is safe
+// for concurrent use: every query draws its traversal state (scratch
+// expansions, lazy counters) from sync.Pools, so independent queries never
+// share mutable state. Mutating operations on a Materialized (MatInsert,
+// MatDelete) still require exclusive access to that materialization.
 type Searcher struct {
-	g      graph.Access
-	free   []*scratch
-	counts lazyCounts
+	g       graph.Access
+	scratch sync.Pool // *scratch, sized to g.NumNodes()
+	counts  sync.Pool // *lazyCounts
 }
 
 // NewSearcher creates a Searcher over g.
 func NewSearcher(g graph.Access) *Searcher {
-	return &Searcher{g: g}
+	s := &Searcher{g: g}
+	s.scratch.New = func() any { return newScratch(g.NumNodes()) }
+	s.counts.New = func() any { return &lazyCounts{} }
+	return s
 }
 
 // Graph returns the underlying graph access.
 func (s *Searcher) Graph() graph.Access { return s.g }
 
 func (s *Searcher) acquire() *scratch {
-	if n := len(s.free); n > 0 {
-		sc := s.free[n-1]
-		s.free = s.free[:n-1]
-		return sc
-	}
-	return newScratch(s.g.NumNodes())
+	return s.scratch.Get().(*scratch)
 }
 
 func (s *Searcher) release(sc *scratch) {
-	s.free = append(s.free, sc)
+	s.scratch.Put(sc)
+}
+
+// acquireCounts returns lazy visit counters reset for a fresh query.
+func (s *Searcher) acquireCounts() *lazyCounts {
+	c := s.counts.Get().(*lazyCounts)
+	c.reset(s.g.NumNodes())
+	return c
+}
+
+func (s *Searcher) releaseCounts(c *lazyCounts) {
+	s.counts.Put(c)
 }
 
 func (s *Searcher) harvest(st *Stats, sc *scratch) {

@@ -338,7 +338,8 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 	}
 	w := s.newUWalk()
 	defer s.closeUWalk(&st, w)
-	s.counts.reset(s.g.NumNodes())
+	counts := s.acquireCounts()
+	defer s.releaseCounts(counts)
 	children := make(map[graph.NodeID][]*pq.Item[uEntry])
 
 	var adj []graph.Edge
@@ -385,7 +386,7 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 					verified[p] = true
 					loc, ok := sites.Loc(p)
 					if ok {
-						member, err := s.uLazyVerify(&st, sites, p, PointLoc(loc), target, k, d, w, children)
+						member, err := s.uLazyVerify(&st, sites, p, PointLoc(loc), target, k, d, w, counts, children)
 						if err != nil {
 							return nil, err
 						}
@@ -413,7 +414,7 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 		case uKindNode:
 			n := ent.node
 			st.NodesExpanded++
-			if s.counts.get(n) >= int32(k) {
+			if counts.get(n) >= int32(k) {
 				continue
 			}
 			var err error
@@ -473,7 +474,7 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 // uLazyVerify runs a verification expansion for point self (an upper bound
 // e away from the query) and applies the lazy pruning side effects to the
 // main walk.
-func (s *Searcher) uLazyVerify(st *Stats, sites points.EdgeView, self points.PointID, from Loc, target uTargetSpec, k int, e float64, main *uWalk, children map[graph.NodeID][]*pq.Item[uEntry]) (bool, error) {
+func (s *Searcher) uLazyVerify(st *Stats, sites points.EdgeView, self points.PointID, from Loc, target uTargetSpec, k int, e float64, main *uWalk, counts *lazyCounts, children map[graph.NodeID][]*pq.Item[uEntry]) (bool, error) {
 	st.Verifications++
 	// eX bounds the expansion; eStrict gates the counter side effects.
 	eX, eStrict := upperBound(e), strictBound(e)
@@ -543,7 +544,7 @@ func (s *Searcher) uLazyVerify(st *Stats, sites points.EdgeView, self points.Poi
 				eligible = dm < eStrict
 			}
 			if eligible {
-				if c := s.counts.add(m); c == int32(k) && main.sc.isClosed(m) {
+				if c := counts.add(m); c == int32(k) && main.sc.isClosed(m) {
 					for _, h := range children[m] {
 						main.heap.Remove(h)
 					}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"graphrnn/internal/graph"
 	"graphrnn/internal/storage"
@@ -24,6 +25,8 @@ type PagedEdgeSet struct {
 	dir  map[edgeKey]storage.RecRef
 	pts  []EdgePoint
 	live int
+	// pages recycles zero-capacity read buffers across PointsOn calls.
+	pages sync.Pool
 }
 
 // Record layout: count uint16, then count x { id int32, pos float64 },
@@ -97,6 +100,7 @@ func NewPagedEdgeSet(src *EdgeSet, file storage.PagedFile, bufferPages int) (*Pa
 		return nil, err
 	}
 	s.bm = storage.NewBufferManager(file, bufferPages)
+	s.pages.New = func() any { return make([]byte, file.PageSize()) }
 	return s, nil
 }
 
@@ -107,7 +111,9 @@ func (s *PagedEdgeSet) PointsOn(u, v graph.NodeID, buf []EdgePointRef) ([]EdgePo
 	if !ok {
 		return buf, nil
 	}
-	page, err := s.bm.Get(ref.Page)
+	scratch := s.pages.Get().([]byte)
+	defer s.pages.Put(scratch)
+	page, err := s.bm.GetInto(ref.Page, scratch)
 	if err != nil {
 		return nil, fmt.Errorf("points: edge (%d,%d): %w", u, v, err)
 	}

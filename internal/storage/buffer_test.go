@@ -3,6 +3,7 @@ package storage
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 )
 
@@ -244,5 +245,74 @@ func TestStatsArithmetic(t *testing.T) {
 	}
 	if a.IO() != 6 {
 		t.Fatalf("IO = %d", a.IO())
+	}
+}
+
+// TestBufferConcurrentGet hammers Get from many goroutines: same-page
+// faults must coalesce into one physical read (waiters count as hits), and
+// page contents must come back intact under eviction churn.
+func TestBufferConcurrentGet(t *testing.T) {
+	f := newTestFile(t, 64, 8)
+	bm := NewBufferManager(f, 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data, err := bm.Get(3)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if data[0] != 3 {
+				t.Errorf("page 3 content = %d", data[0])
+			}
+		}()
+	}
+	wg.Wait()
+	if s := bm.Stats(); s.Reads != 1 || s.Hits != 15 {
+		t.Fatalf("stats = %+v, want exactly one physical read", s)
+	}
+
+	// Tiny buffer: concurrent faults across pages with eviction churn.
+	bm2 := NewBufferManager(f, 2)
+	for round := 0; round < 4; round++ {
+		for p := 0; p < 8; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				data, err := bm2.Get(PageID(p))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if data[0] != byte(p) {
+					t.Errorf("page %d content = %d", p, data[0])
+				}
+			}(p)
+		}
+	}
+	wg.Wait()
+}
+
+// TestBufferConcurrentGetError checks that a failed fault propagates to all
+// coalesced waiters and is retried (not cached) afterwards.
+func TestBufferConcurrentGetError(t *testing.T) {
+	f := newTestFile(t, 64, 2)
+	bm := NewBufferManager(f, 4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := bm.Get(77); err == nil {
+				t.Error("out-of-range page read succeeded")
+			}
+		}()
+	}
+	wg.Wait()
+	// The failed page must not linger as a frame.
+	if _, err := bm.Get(1); err != nil {
+		t.Fatal(err)
 	}
 }

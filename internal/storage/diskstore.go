@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"graphrnn/internal/graph"
 )
@@ -13,10 +14,24 @@ import (
 // memory-resident — the analogue of pinning the directory levels of the
 // paper's node-id index — so the counted I/O is adjacency-page I/O, which is
 // what the paper's experiments report.
+//
+// A built DiskStore is read-only and safe for concurrent use: Adjacency
+// reads pages through the mutex-guarded BufferManager, and Stats /
+// ResetStats use its atomic counters, so they may run while queries are in
+// flight.
 type DiskStore struct {
 	bm       *BufferManager
 	index    []RecRef
 	numNodes int
+	// pages recycles zero-capacity read buffers across Adjacency calls so
+	// the NoBuffer measurement mode stays allocation-free per page access.
+	pages sync.Pool
+}
+
+func newDiskStore(bm *BufferManager, index []RecRef, numNodes int) *DiskStore {
+	s := &DiskStore{bm: bm, index: index, numNodes: numNodes}
+	s.pages.New = func() any { return make([]byte, bm.File().PageSize()) }
+	return s
 }
 
 // BuildDiskStore packs g into file following the given node order and
@@ -116,11 +131,7 @@ func BuildDiskStore(g *graph.Graph, file PagedFile, bufferPages int, order []gra
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	return &DiskStore{
-		bm:       NewBufferManager(file, bufferPages),
-		index:    index,
-		numNodes: g.NumNodes(),
-	}, nil
+	return newDiskStore(NewBufferManager(file, bufferPages), index, g.NumNodes()), nil
 }
 
 // NumNodes implements graph.Access.
@@ -134,8 +145,10 @@ func (s *DiskStore) Adjacency(n graph.NodeID, buf []graph.Edge) ([]graph.Edge, e
 	}
 	buf = buf[:0]
 	ref := s.index[n]
+	scratch := s.pages.Get().([]byte)
+	defer s.pages.Put(scratch)
 	for ref.Page != InvalidPage {
-		page, err := s.bm.Get(ref.Page)
+		page, err := s.bm.GetInto(ref.Page, scratch)
 		if err != nil {
 			return nil, fmt.Errorf("storage: adjacency of node %d: %w", n, err)
 		}
@@ -159,7 +172,7 @@ func (s *DiskStore) Buffer() *BufferManager { return s.bm }
 // pages from an alternative file with identical layout — a hook for
 // failure-injection tests and for reopening a previously built page file.
 func (s *DiskStore) WithFile(file PagedFile, bufferPages int) *DiskStore {
-	return &DiskStore{bm: NewBufferManager(file, bufferPages), index: s.index, numNodes: s.numNodes}
+	return newDiskStore(NewBufferManager(file, bufferPages), s.index, s.numNodes)
 }
 
 // Stats returns the I/O counters of the underlying buffer.

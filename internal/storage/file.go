@@ -42,6 +42,12 @@ type PagedFile interface {
 // for experiments: physical I/O is *accounted* by the buffer manager (the
 // cost model charges 10 ms per fault, following the paper) without paying
 // for real disk access, which keeps runs deterministic.
+//
+// Concurrent Reads are safe; Write and Append require that no other call
+// is in flight. That exclusion comes from the DB-level contract (no
+// mutating operation runs while queries are in flight), not from
+// BufferManager locking — faulting Gets read the file outside the buffer
+// mutex.
 type MemFile struct {
 	pageSize int
 	pages    [][]byte

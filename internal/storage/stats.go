@@ -10,7 +10,9 @@
 // needs.
 package storage
 
-// Stats accumulates physical I/O activity of a buffer manager.
+// Stats is a point-in-time snapshot of the physical I/O activity of a
+// buffer manager. The live counters are atomics inside BufferManager, so
+// snapshots may be taken while queries fault pages in.
 type Stats struct {
 	// Reads counts physical page reads (buffer faults).
 	Reads int64
