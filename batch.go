@@ -9,7 +9,9 @@ import (
 // independent RNN queries over the now concurrency-safe DB. It is the unit
 // the paper's experimental harness (and any serving front end) wants —
 // Efentakis & Pfoser (ReHub) and Buchnik & Cohen both treat concurrent
-// batched query execution as the baseline deployment mode.
+// batched query execution as the baseline deployment mode. Every Algorithm
+// works here, including HubLabel: the index's per-query scratch is pooled,
+// so batch workers share one HubLabelIndex freely.
 
 // BatchOptions configures batch execution.
 type BatchOptions struct {

@@ -118,6 +118,8 @@ func newMicroEnv(b *testing.B) *microEnv {
 func benchQueries(b *testing.B, algo func(*microEnv) graphrnn.Algorithm) {
 	e := newMicroEnv(b)
 	a := algo(e)
+	e.db.ResetIOStats()
+	e.mat.ResetIOStats()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		qp := e.queries[i%len(e.queries)]
@@ -126,6 +128,9 @@ func benchQueries(b *testing.B, algo func(*microEnv) graphrnn.Algorithm) {
 			b.Fatal(err)
 		}
 	}
+	b.StopTimer()
+	reads := e.db.IOStats().Reads + e.mat.IOStats().Reads
+	b.ReportMetric(float64(reads)/float64(b.N), "io_reads/op")
 }
 
 // R2NN query latency per algorithm on a 20K-node road network, D=0.01.
@@ -143,6 +148,103 @@ func BenchmarkQueryLazyEP(b *testing.B) {
 
 func BenchmarkQueryEagerM(b *testing.B) {
 	benchQueries(b, func(e *microEnv) graphrnn.Algorithm { return graphrnn.EagerM(e.mat) })
+}
+
+// R2NN query latency through the hub-label substrate on the identical
+// workload as the expansion benchmarks above (labels persisted into a
+// paged file and served through their own LRU buffer, so io_reads/op
+// reports label faults the way the other substrates report page faults) —
+// the BENCH_PR2.json claim that label intersection beats network expansion
+// at n >= 10k rides on this comparison.
+func BenchmarkQueryHubLabel(b *testing.B) {
+	e := newMicroEnv(b)
+	idx, err := e.db.BuildHubLabelIndex(e.ps, 4, &graphrnn.HubLabelOptions{DiskBacked: true, BufferPages: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := graphrnn.HubLabel(idx)
+	idx.ResetIOStats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qp := e.queries[i%len(e.queries)]
+		qnode, _ := e.ps.NodeOf(qp)
+		if _, err := e.db.RNN(e.ps.Excluding(qp), qnode, 2, a); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(idx.IOStats().Reads)/float64(b.N), "io_reads/op")
+}
+
+// BenchmarkCIQueries is the workload the CI bench-regression gate
+// (cmd/benchci, the bench job of ci.yml) tracks: the full fixed-seed query
+// set — every data point of the 20K-node road network queried once at k=2 —
+// as ONE benchmark op per algorithm, so -benchtime=1x yields a stable
+// average instead of a noisy single-query sample. BENCH_PR2.json is the
+// committed baseline of exactly these numbers.
+func BenchmarkCIQueries(b *testing.B) {
+	e := newMicroEnv(b)
+	hubIdx, err := e.db.BuildHubLabelIndex(e.ps, 4, &graphrnn.HubLabelOptions{DiskBacked: true, BufferPages: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	algos := []struct {
+		name string
+		algo graphrnn.Algorithm
+	}{
+		{"eager", graphrnn.Eager()},
+		{"lazy", graphrnn.Lazy()},
+		{"lazy-ep", graphrnn.LazyEP()},
+		{"eager-m", graphrnn.EagerM(e.mat)},
+		{"hub-label", graphrnn.HubLabel(hubIdx)},
+	}
+	for _, a := range algos {
+		b.Run(a.name, func(b *testing.B) {
+			e.db.ResetIOStats()
+			e.mat.ResetIOStats()
+			hubIdx.ResetIOStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, qp := range e.queries {
+					qnode, _ := e.ps.NodeOf(qp)
+					if _, err := e.db.RNN(e.ps.Excluding(qp), qnode, 2, a.algo); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			reads := e.db.IOStats().Reads + e.mat.IOStats().Reads + hubIdx.IOStats().Reads
+			b.ReportMetric(float64(reads)/float64(b.N), "io_reads/op")
+			b.ReportMetric(float64(len(e.queries)), "queries/op")
+		})
+	}
+}
+
+// One-off cost of the hub-label substrate: pruned-landmark labeling plus
+// reverse-index build on the 20K-node road network.
+func BenchmarkHubLabelBuild(b *testing.B) {
+	g, err := graphrnn.GenerateRoadNetwork(2006, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(2007, g.NumNodes()/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := db.BuildHubLabelIndex(ps, 4, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if idx.LabelEntries() == 0 {
+			b.Fatal("empty labeling")
+		}
+	}
 }
 
 // Parallel variants: identical workload fanned out over GOMAXPROCS

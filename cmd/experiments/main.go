@@ -5,7 +5,10 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|fig15|...|fig22b] [-full] [-seed N] [-queries N]
+//	experiments [-exp all|table1|table2|fig15|...|fig22b|hub] [-full] [-seed N] [-queries N]
+//
+// The extra "hub" experiment compares the hub-label substrate against the
+// paper's four algorithms on a restricted road-network workload.
 //
 // The default scale finishes in minutes on a laptop; -full runs the
 // paper-scale configuration (BRITE up to 360K nodes, SF-like 175K nodes,

@@ -1,31 +1,41 @@
 // Command rnnserver serves RkNN queries over HTTP — the first serving
 // surface of the system. It generates one of the paper's network families,
 // places a random data set on it, and answers JSON queries concurrently on
-// top of the thread-safe DB.
+// top of the thread-safe DB. The hub-label substrate can be built at
+// startup (-hublabel) or on demand (POST /index/hublabel) and selected per
+// query. The server shuts down gracefully on SIGINT/SIGTERM, draining
+// in-flight requests.
 //
 // Usage:
 //
 //	rnnserver [-addr :8080] [-family road|brite|grid] [-nodes N]
 //	          [-density D] [-seed N] [-disk] [-buffer PAGES] [-maxk K]
+//	          [-hublabel K]
 //
 // Endpoints:
 //
-//	GET  /rnn?node=N&k=K[&algo=eager|lazy|lazy-ep|eager-m|brute]
+//	GET  /rnn?node=N&k=K[&algo=eager|lazy|lazy-ep|eager-m|hub-label|brute]
 //	POST /rnn/batch   {"queries":[{"node":N,"k":K,"algo":"eager"},...],
 //	                   "parallelism":0}
 //	GET  /knn?node=N&k=K
+//	POST /index/hublabel   {"maxk":K}   build/replace the hub-label index
+//	GET  /healthz
 //	GET  /stats
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"graphrnn"
@@ -39,6 +49,9 @@ type server struct {
 	started time.Time
 	served  atomic.Int64
 	errors  atomic.Int64
+
+	hub      atomic.Pointer[graphrnn.HubLabelIndex]
+	hubBuild sync.Mutex // one build at a time
 }
 
 type statsJSON struct {
@@ -47,6 +60,8 @@ type statsJSON struct {
 	RangeNN       int64 `json:"range_nn"`
 	Verifications int64 `json:"verifications"`
 	MatReads      int64 `json:"mat_reads"`
+	LabelReads    int64 `json:"label_reads"`
+	LabelEntries  int64 `json:"label_entries"`
 	HeapPushes    int64 `json:"heap_pushes"`
 	HeapPops      int64 `json:"heap_pops"`
 }
@@ -58,6 +73,8 @@ func toStatsJSON(s graphrnn.Stats) statsJSON {
 		RangeNN:       s.RangeNN,
 		Verifications: s.Verifications,
 		MatReads:      s.MatReads,
+		LabelReads:    s.LabelReads,
+		LabelEntries:  s.LabelEntries,
 		HeapPushes:    s.HeapPushes,
 		HeapPops:      s.HeapPops,
 	}
@@ -88,6 +105,12 @@ func (s *server) algorithm(name string) (graphrnn.Algorithm, error) {
 			return graphrnn.Algorithm{}, fmt.Errorf("eager-m unavailable: server started with -maxk 0")
 		}
 		return graphrnn.EagerM(s.mat), nil
+	case "hub-label", "hublabel", "hub":
+		idx := s.hub.Load()
+		if idx == nil {
+			return graphrnn.Algorithm{}, fmt.Errorf("hub-label unavailable: build it with POST /index/hublabel or start with -hublabel K")
+		}
+		return graphrnn.HubLabel(idx), nil
 	case "brute", "brute-force":
 		return graphrnn.BruteForce(), nil
 	default:
@@ -228,10 +251,62 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"node": node, "k": k, "neighbors": out})
 }
 
+type hubBuildRequest struct {
+	MaxK int `json:"maxk"`
+}
+
+// handleHubBuild builds (or replaces) the hub-label index. The build runs
+// on the request goroutine — label construction is CPU-bound and can take
+// seconds on large graphs — and queries keep using the previous index (or
+// the expansion algorithms) until the swap. Builds are not cancelable: a
+// shutdown arriving mid-build drains until the grace period expires, then
+// the listener is force-closed (see main).
+func (s *server) handleHubBuild(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	req := hubBuildRequest{MaxK: 4}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	}
+	if req.MaxK < 1 {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("maxk must be >= 1, got %d", req.MaxK))
+		return
+	}
+	s.hubBuild.Lock()
+	defer s.hubBuild.Unlock()
+	start := time.Now()
+	idx, err := s.db.BuildHubLabelIndex(s.ps, req.MaxK, nil)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.hub.Store(idx)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"maxk":           idx.MaxK(),
+		"label_entries":  idx.LabelEntries(),
+		"avg_label_size": idx.AverageLabelSize(),
+		"build_seconds":  time.Since(start).Seconds(),
+	})
+}
+
+// handleHealthz is the liveness/readiness probe: by the time the listener
+// is up the graph and point set are built, so a 200 means queryable.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	g := s.db.Graph()
 	io := s.db.IOStats()
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"family":         s.family,
 		"nodes":          g.NumNodes(),
 		"edges":          g.NumEdges(),
@@ -242,19 +317,28 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"io": map[string]int64{
 			"reads": io.Reads, "hits": io.Hits, "writes": io.Writes,
 		},
-	})
+	}
+	if idx := s.hub.Load(); idx != nil {
+		stats["hublabel"] = map[string]any{
+			"maxk":           idx.MaxK(),
+			"label_entries":  idx.LabelEntries(),
+			"avg_label_size": idx.AverageLabelSize(),
+		}
+	}
+	writeJSON(w, http.StatusOK, stats)
 }
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		family  = flag.String("family", "road", "network family: road, brite, grid")
-		nodes   = flag.Int("nodes", 10000, "approximate node count")
-		density = flag.Float64("density", 0.01, "data density |P|/|V|")
-		seed    = flag.Int64("seed", 1, "seed")
-		disk    = flag.Bool("disk", false, "serve the graph disk-backed through the LRU buffer")
-		buffer  = flag.Int("buffer", 256, "LRU buffer capacity in pages (disk-backed only)")
-		maxK    = flag.Int("maxk", 4, "materialize K-NN lists up to this k for eager-m (0 disables)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		family   = flag.String("family", "road", "network family: road, brite, grid")
+		nodes    = flag.Int("nodes", 10000, "approximate node count")
+		density  = flag.Float64("density", 0.01, "data density |P|/|V|")
+		seed     = flag.Int64("seed", 1, "seed")
+		disk     = flag.Bool("disk", false, "serve the graph disk-backed through the LRU buffer")
+		buffer   = flag.Int("buffer", 256, "LRU buffer capacity in pages (disk-backed only)")
+		maxK     = flag.Int("maxk", 4, "materialize K-NN lists up to this k for eager-m (0 disables)")
+		hubLabel = flag.Int("hublabel", 0, "build the hub-label index up to this k at startup (0 defers to POST /index/hublabel)")
 	)
 	flag.Parse()
 
@@ -299,14 +383,53 @@ func main() {
 			log.Fatal(err)
 		}
 	}
+	if *hubLabel > 0 {
+		start := time.Now()
+		idx, err := db.BuildHubLabelIndex(ps, *hubLabel, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv.hub.Store(idx)
+		log.Printf("rnnserver: hub-label index built in %v (%d entries, %.1f avg label)",
+			time.Since(start).Round(time.Millisecond), idx.LabelEntries(), idx.AverageLabelSize())
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("/rnn", srv.handleRNN)
 	mux.HandleFunc("/rnn/batch", srv.handleBatch)
 	mux.HandleFunc("/knn", srv.handleKNN)
+	mux.HandleFunc("/index/hublabel", srv.handleHubBuild)
+	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.HandleFunc("/stats", srv.handleStats)
 
-	log.Printf("rnnserver: %s network |V|=%d |E|=%d |P|=%d, listening on %s",
-		*family, g.NumNodes(), g.NumEdges(), ps.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("rnnserver: %s network |V|=%d |E|=%d |P|=%d, listening on %s",
+			*family, g.NumNodes(), g.NumEdges(), ps.Len(), *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Print("rnnserver: shutting down, draining in-flight requests")
+	// 30s covers any query and all but the largest hub-label builds; a
+	// request that outlives the grace period (an in-flight build on a
+	// paper-scale graph) is cut off with a forced close and an honest
+	// non-zero exit.
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("rnnserver: drain incomplete after grace period (%v); forcing close", err)
+		httpSrv.Close()
+		os.Exit(1)
+	}
+	log.Print("rnnserver: stopped cleanly")
 }

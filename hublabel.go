@@ -1,0 +1,312 @@
+package graphrnn
+
+import (
+	"fmt"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/hublabel"
+	"graphrnn/internal/points"
+	"graphrnn/internal/storage"
+)
+
+// HubLabelIndex is the third query substrate, next to plain network
+// expansion and the materialized K-NN lists: a pruned-landmark 2-hop hub
+// labeling of the graph plus a ReHub-style reverse index over a tracked
+// node-resident point set (Efentakis & Pfoser). Queries through
+// HubLabel(idx) answer monochromatic, bichromatic and continuous RkNN by
+// label-list intersection — no network expansion at all — which makes them
+// orders of magnitude faster than eager/lazy on large networks, at the
+// price of a one-off labeling build.
+//
+// The index tracks the point set it was built over: mutate it through
+// InsertNode / DeletePoint and the hub lists and K-NN thresholds are
+// repaired incrementally. The labeling itself is per graph; a changed graph
+// requires a rebuild (BuildHubLabelIndex again) — there is no incremental
+// edge maintenance, by design.
+//
+// The labeling can be persisted into a paged file (Options.Path /
+// SaveTo) and served back through its own LRU buffer, so the expensive
+// build survives process restarts and label reads count I/O like every
+// other substrate.
+type HubLabelIndex struct {
+	db    *DB
+	idx   *hublabel.Index
+	lab   *hublabel.Labeling // retained when built in this process
+	store *hublabel.Store    // non-nil when labels are served paged
+	node  *NodePoints
+}
+
+// HubLabelOptions configures how the labeling is stored and served.
+type HubLabelOptions struct {
+	// DiskBacked serves labels from a paged file through an LRU buffer with
+	// counted I/O instead of from memory.
+	DiskBacked bool
+	// PageSize of the label file (default 4096).
+	PageSize int
+	// BufferPages of the label file's LRU buffer (default 64).
+	BufferPages int
+	// Path stores the label file on disk at this location (implies
+	// DiskBacked); empty keeps it in memory.
+	Path string
+}
+
+func (o *HubLabelOptions) defaults() (pageSize, buffer int, paged bool, path string) {
+	pageSize, buffer = storage.DefaultPageSize, 64
+	if o != nil {
+		if o.PageSize > 0 {
+			pageSize = o.PageSize
+		}
+		if o.BufferPages > 0 {
+			buffer = o.BufferPages
+		}
+		paged = o.DiskBacked || o.Path != ""
+		path = o.Path
+	}
+	return pageSize, buffer, paged, path
+}
+
+// BuildHubLabelIndex builds the 2-hop labeling of the graph (CPU-bound, one
+// pruned Dijkstra per node) and the reverse index over ps, materializing
+// K-NN thresholds for monochromatic queries up to maxK. The labeling build
+// reads the in-memory graph directly and performs no counted I/O.
+func (db *DB) BuildHubLabelIndex(ps *NodePoints, maxK int, opt *HubLabelOptions) (*HubLabelIndex, error) {
+	if maxK < 1 {
+		return nil, fmt.Errorf("graphrnn: maxK must be >= 1, got %d", maxK)
+	}
+	lab, err := hublabel.Build(db.graph.g)
+	if err != nil {
+		return nil, err
+	}
+	pageSize, buffer, paged, path := opt.defaults()
+	h := &HubLabelIndex{db: db, lab: lab, node: ps}
+	src := hublabel.Source(lab)
+	if paged {
+		var file storage.PagedFile
+		if path != "" {
+			osf, err := storage.CreateOSFile(path, pageSize)
+			if err != nil {
+				return nil, err
+			}
+			file = osf
+		} else {
+			file = storage.NewMemFile(pageSize)
+		}
+		if err := hublabel.Write(lab, file); err != nil {
+			file.Close()
+			return nil, err
+		}
+		h.store, err = hublabel.OpenStore(file, buffer)
+		if err != nil {
+			file.Close()
+			return nil, err
+		}
+		src = h.store
+	}
+	h.idx, err = hublabel.NewIndex(src, maxK, hubPointsOf(ps))
+	if err != nil {
+		h.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// OpenHubLabelIndex reopens a labeling previously persisted at path (via
+// Options.Path or SaveTo) and rebuilds the reverse index over ps — the
+// restart path: no pruned-landmark build runs, labels fault in through the
+// LRU buffer on demand.
+func (db *DB) OpenHubLabelIndex(ps *NodePoints, maxK int, path string, opt *HubLabelOptions) (*HubLabelIndex, error) {
+	_, buffer, _, _ := opt.defaults()
+	// The page size lives in the file header, so reopening needs no
+	// recollection of the build-time options.
+	pageSize, err := hublabel.FilePageSize(path)
+	if err != nil {
+		return nil, err
+	}
+	file, err := storage.OpenOSFile(path, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	store, err := hublabel.OpenStore(file, buffer)
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	if store.NumNodes() != db.store.NumNodes() {
+		file.Close()
+		return nil, fmt.Errorf("graphrnn: label file covers %d nodes, graph has %d",
+			store.NumNodes(), db.store.NumNodes())
+	}
+	h := &HubLabelIndex{db: db, store: store, node: ps}
+	h.idx, err = hublabel.NewIndex(store, maxK, hubPointsOf(ps))
+	if err != nil {
+		file.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// SaveTo persists the labeling into a fresh page file at path, so a later
+// process can OpenHubLabelIndex it. Only available on indexes built in this
+// process (an index reopened from a file is already persisted).
+func (h *HubLabelIndex) SaveTo(path string) error {
+	if h.lab == nil {
+		return fmt.Errorf("graphrnn: index was opened from a label file; it is already persisted")
+	}
+	pageSize := storage.DefaultPageSize
+	f, err := storage.CreateOSFile(path, pageSize)
+	if err != nil {
+		return err
+	}
+	if err := hublabel.Write(h.lab, f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Close releases the label file, if any. Queries must not be in flight.
+func (h *HubLabelIndex) Close() error {
+	if h.store != nil {
+		return h.store.Close()
+	}
+	return nil
+}
+
+// MaxK returns the largest monochromatic query k the thresholds support
+// (bichromatic queries are not bounded by it).
+func (h *HubLabelIndex) MaxK() int { return h.idx.MaxK() }
+
+// LabelEntries returns the total number of hub label entries.
+func (h *HubLabelIndex) LabelEntries() int {
+	if h.store != nil {
+		return h.store.Entries()
+	}
+	return h.lab.Entries()
+}
+
+// AverageLabelSize returns the mean label entries per node.
+func (h *HubLabelIndex) AverageLabelSize() float64 {
+	if h.store != nil {
+		return h.store.AverageLabelSize()
+	}
+	return h.lab.AverageLabelSize()
+}
+
+// IOStats returns the label-file traffic; zero when labels are served from
+// memory.
+func (h *HubLabelIndex) IOStats() IOStats {
+	if h.store == nil {
+		return IOStats{}
+	}
+	s := h.store.Stats()
+	return IOStats{Reads: s.Reads, Hits: s.Hits, Writes: s.Writes}
+}
+
+// ResetIOStats zeroes the label-file counters.
+func (h *HubLabelIndex) ResetIOStats() {
+	if h.store != nil {
+		h.store.ResetStats()
+	}
+}
+
+// DropCache empties the label buffer (cold-start experiments).
+func (h *HubLabelIndex) DropCache() error {
+	if h.store == nil {
+		return nil
+	}
+	return h.store.Buffer().Invalidate()
+}
+
+// InsertNode places a new point on node n of the tracked point set and
+// incrementally repairs the hub lists and thresholds. Requires exclusive
+// access, like every mutating operation.
+func (h *HubLabelIndex) InsertNode(n NodeID) (PointID, Stats, error) {
+	if h.node == nil {
+		return -1, Stats{}, fmt.Errorf("graphrnn: hub-label index does not track a point set")
+	}
+	p, err := h.node.Place(n)
+	if err != nil {
+		return -1, Stats{}, err
+	}
+	st, err := h.idx.Insert(points.PointID(p), graph.NodeID(n))
+	return p, hubStats(st), err
+}
+
+// DeletePoint removes point p from the tracked set, repairing the affected
+// hub lists and thresholds.
+func (h *HubLabelIndex) DeletePoint(p PointID) (Stats, error) {
+	if h.node == nil {
+		return Stats{}, fmt.Errorf("graphrnn: hub-label index does not track a point set")
+	}
+	if err := h.node.Delete(p); err != nil {
+		return Stats{}, err
+	}
+	st, err := h.idx.Delete(points.PointID(p))
+	return hubStats(st), err
+}
+
+func hubPointsOf(ps *NodePoints) []hublabel.PointOnNode {
+	ids := ps.Points()
+	out := make([]hublabel.PointOnNode, 0, len(ids))
+	for _, p := range ids {
+		n, _ := ps.NodeOf(p)
+		out = append(out, hublabel.PointOnNode{P: points.PointID(p), Node: graph.NodeID(n)})
+	}
+	return out
+}
+
+func hubStats(st hublabel.QueryStats) Stats {
+	return Stats{
+		LabelReads:    st.LabelReads,
+		LabelEntries:  st.Entries,
+		Verifications: st.Fallbacks,
+	}
+}
+
+// hiddenIn identifies the point an exclusion view hides. Views produced by
+// Excluding resolve in O(1); the index best-effort-validates that the view
+// matches the tracked set and errors on a detectable mismatch (like
+// EagerM, the substrate answers over the set it was built on).
+func (h *HubLabelIndex) hiddenIn(v points.NodeView) (points.PointID, error) {
+	return h.idx.HiddenIn(v)
+}
+
+// runRNN executes a monochromatic query through the index.
+func (h *HubLabelIndex) runRNN(v points.NodeView, q NodeID, k int) (*Result, error) {
+	hidden, err := h.hiddenIn(v)
+	if err != nil {
+		return nil, err
+	}
+	pts, st, err := h.idx.RkNN(graph.NodeID(q), k, hidden)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Points: fromPointIDs(pts), Stats: hubStats(st)}, nil
+}
+
+// runContinuous executes a route query through the index.
+func (h *HubLabelIndex) runContinuous(v points.NodeView, route []NodeID, k int) (*Result, error) {
+	hidden, err := h.hiddenIn(v)
+	if err != nil {
+		return nil, err
+	}
+	pts, st, err := h.idx.ContinuousRkNN(toNodeIDs(route), k, hidden)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Points: fromPointIDs(pts), Stats: hubStats(st)}, nil
+}
+
+// runBichromatic executes a bichromatic query: sites come from the index,
+// candidates from the caller's view.
+func (h *HubLabelIndex) runBichromatic(cands, sites points.NodeView, q NodeID, k int) (*Result, error) {
+	hiddenSite, err := h.hiddenIn(sites)
+	if err != nil {
+		return nil, err
+	}
+	pts, st, err := h.idx.BichromaticRkNN(cands, graph.NodeID(q), k, hiddenSite)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Points: fromPointIDs(pts), Stats: hubStats(st)}, nil
+}

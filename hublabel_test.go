@@ -1,0 +1,476 @@
+package graphrnn_test
+
+// Public-surface coverage for the hub-label substrate: property tests
+// against the brute-force oracle on every generated topology, persistence
+// round-trips (build → save → close → reopen → identical answers),
+// incremental maintenance, and concurrent batch queries (run with -race).
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"graphrnn"
+)
+
+type hubEnv struct {
+	db  *graphrnn.DB
+	ps  *graphrnn.NodePoints
+	idx *graphrnn.HubLabelIndex
+}
+
+func newHubEnv(t *testing.T, g *graphrnn.Graph, seed int64, count, maxK int, opt *graphrnn.HubLabelOptions) *hubEnv {
+	t.Helper()
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(seed, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.BuildHubLabelIndex(ps, maxK, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hubEnv{db: db, ps: ps, idx: idx}
+}
+
+func hubTopologies(t *testing.T) map[string]*graphrnn.Graph {
+	t.Helper()
+	road, err := graphrnn.GenerateRoadNetwork(101, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brite, err := graphrnn.GenerateBrite(102, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := graphrnn.GenerateGrid(103, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graphrnn.Graph{"road": road, "brite": brite, "grid": grid}
+}
+
+// TestHubLabelAgainstOracle checks RNN answers through the public API
+// against brute force on road, brite and grid topologies, memory- and
+// disk-served labels alike.
+func TestHubLabelAgainstOracle(t *testing.T) {
+	for name, g := range hubTopologies(t) {
+		for _, backend := range []string{"memory", "paged"} {
+			t.Run(name+"/"+backend, func(t *testing.T) {
+				var opt *graphrnn.HubLabelOptions
+				if backend == "paged" {
+					opt = &graphrnn.HubLabelOptions{DiskBacked: true, BufferPages: 8}
+				}
+				e := newHubEnv(t, g, 104, g.NumNodes()/10, 4, opt)
+				algo := graphrnn.HubLabel(e.idx)
+				for _, qp := range e.ps.Points()[:12] {
+					qnode, _ := e.ps.NodeOf(qp)
+					view := e.ps.Excluding(qp)
+					for _, k := range []int{1, 2, 4} {
+						want, err := e.db.RNN(view, qnode, k, graphrnn.BruteForce())
+						if err != nil {
+							t.Fatal(err)
+						}
+						got, err := e.db.RNN(view, qnode, k, algo)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if !samePoints(got.Points, want.Points) {
+							t.Fatalf("q=%d k=%d: got %v, want %v", qp, k, got.Points, want.Points)
+						}
+					}
+				}
+				if backend == "paged" && e.idx.IOStats().Reads == 0 {
+					t.Fatal("paged index reported no label reads")
+				}
+			})
+		}
+	}
+}
+
+// TestHubLabelContinuousAndBichromatic covers the route and bichromatic
+// entry points through the public dispatch.
+func TestHubLabelContinuousAndBichromatic(t *testing.T) {
+	g, err := graphrnn.GenerateRoadNetwork(111, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(112, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.BuildHubLabelIndex(ps, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := graphrnn.HubLabel(idx)
+	for trial := 0; trial < 8; trial++ {
+		route := db.RandomWalkRoute(int64(200+trial), 5)
+		want, err := db.ContinuousRNN(ps, route, 2, graphrnn.BruteForce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.ContinuousRNN(ps, route, 2, algo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(got.Points, want.Points) {
+			t.Fatalf("route %v: got %v, want %v", route, got.Points, want.Points)
+		}
+	}
+	// Bichromatic: the index tracks the sites; k may exceed MaxK.
+	cands, err := db.PlaceRandomNodePoints(113, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []graphrnn.NodeID{0, 17, 123, 321} {
+		for _, k := range []int{1, 3} {
+			want, err := db.BichromaticRNN(cands, ps, q, k, graphrnn.BruteForce())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db.BichromaticRNN(cands, ps, q, k, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePoints(got.Points, want.Points) {
+				t.Fatalf("q=%d k=%d: got %v, want %v", q, k, got.Points, want.Points)
+			}
+		}
+	}
+}
+
+// TestHubLabelPersistence saves a labeling, reopens it from disk, and
+// checks that the reopened index answers every query identically.
+func TestHubLabelPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "labels.hub")
+	g, err := graphrnn.GenerateGrid(121, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(122, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A non-default page size must round-trip: the header records it and
+	// OpenHubLabelIndex discovers it without the original options.
+	built, err := db.BuildHubLabelIndex(ps, 3, &graphrnn.HubLabelOptions{Path: path, PageSize: 1024, BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type answer struct {
+		q graphrnn.NodeID
+		k int
+		r []graphrnn.PointID
+	}
+	var answers []answer
+	for q := 0; q < g.NumNodes(); q += 37 {
+		for _, k := range []int{1, 3} {
+			res, err := db.RNN(ps, graphrnn.NodeID(q), k, graphrnn.HubLabel(built))
+			if err != nil {
+				t.Fatal(err)
+			}
+			answers = append(answers, answer{graphrnn.NodeID(q), k, res.Points})
+		}
+	}
+	if err := built.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A "restarted process": a fresh DB over the same graph reopens the
+	// label file instead of rebuilding.
+	db2, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps2, err := db2.PlaceRandomNodePoints(122, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := db2.OpenHubLabelIndex(ps2, 3, path, &graphrnn.HubLabelOptions{BufferPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.LabelEntries() == 0 || reopened.AverageLabelSize() <= 0 {
+		t.Fatalf("reopened index reports %d entries", reopened.LabelEntries())
+	}
+	for _, a := range answers {
+		res, err := db2.RNN(ps2, a.q, a.k, graphrnn.HubLabel(reopened))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(res.Points, a.r) {
+			t.Fatalf("q=%d k=%d after reopen: got %v, want %v", a.q, a.k, res.Points, a.r)
+		}
+	}
+
+	// SaveTo from a memory-built index round-trips the same way.
+	mem, err := db.BuildHubLabelIndex(ps, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path2 := filepath.Join(dir, "labels2.hub")
+	if err := mem.SaveTo(path2); err != nil {
+		t.Fatal(err)
+	}
+	again, err := db.OpenHubLabelIndex(ps, 3, path2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	for _, a := range answers[:6] {
+		res, err := db.RNN(ps, a.q, a.k, graphrnn.HubLabel(again))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(res.Points, a.r) {
+			t.Fatalf("q=%d k=%d after SaveTo round trip: got %v, want %v", a.q, a.k, res.Points, a.r)
+		}
+	}
+	if err := again.SaveTo(path2); err == nil {
+		t.Fatal("SaveTo on a reopened index must refuse")
+	}
+}
+
+// TestHubLabelMaintenance mutates the tracked set through the index and
+// checks answers stay oracle-identical.
+func TestHubLabelMaintenance(t *testing.T) {
+	g, err := graphrnn.GenerateBrite(131, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(132, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.BuildHubLabelIndex(ps, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := graphrnn.HubLabel(idx)
+	check := func(step string) {
+		t.Helper()
+		for q := 0; q < g.NumNodes(); q += 53 {
+			want, err := db.RNN(ps, graphrnn.NodeID(q), 2, graphrnn.BruteForce())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db.RNN(ps, graphrnn.NodeID(q), 2, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePoints(got.Points, want.Points) {
+				t.Fatalf("%s q=%d: got %v, want %v", step, q, got.Points, want.Points)
+			}
+		}
+	}
+	check("initial")
+	// Insert on free nodes, delete a few points, re-check each time.
+	var inserted []graphrnn.PointID
+	for n := 0; len(inserted) < 5 && n < g.NumNodes(); n++ {
+		if _, taken := ps.PointAt(graphrnn.NodeID(n)); taken {
+			continue
+		}
+		p, _, err := idx.InsertNode(graphrnn.NodeID(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted = append(inserted, p)
+		check(fmt.Sprintf("insert %d", p))
+	}
+	for _, p := range inserted[:3] {
+		if _, err := idx.DeletePoint(p); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("delete %d", p))
+	}
+}
+
+// TestHubLabelInsertAfterTrailingDelete builds the index over a point set
+// whose highest id has been deleted — the index's id space is then shorter
+// than the set's — and checks that InsertNode still keeps the two in sync.
+func TestHubLabelInsertAfterTrailingDelete(t *testing.T) {
+	g, err := graphrnn.GenerateGrid(161, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := db.NewNodePoints()
+	for n := 0; n < 10; n++ {
+		if _, err := ps.Place(graphrnn.NodeID(n * 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ps.Delete(9); err != nil { // highest id leaves a trailing gap
+		t.Fatal(err)
+	}
+	idx, err := db.BuildHubLabelIndex(ps, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _, err := idx.InsertNode(99) // NodeSet assigns id 10, beyond the gap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 10 {
+		t.Fatalf("inserted point id = %d, want 10", p)
+	}
+	for q := 0; q < g.NumNodes(); q += 13 {
+		want, err := db.RNN(ps, graphrnn.NodeID(q), 2, graphrnn.BruteForce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := db.RNN(ps, graphrnn.NodeID(q), 2, graphrnn.HubLabel(idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(got.Points, want.Points) {
+			t.Fatalf("q=%d: got %v, want %v", q, got.Points, want.Points)
+		}
+	}
+}
+
+// TestHubLabelBatchConcurrent fans batch queries through the hub-label
+// algorithm from many goroutines (the -race target for the new substrate).
+func TestHubLabelBatchConcurrent(t *testing.T) {
+	g, err := graphrnn.GenerateGrid(141, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(142, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paged labels with a tiny buffer keep the label buffer churning under
+	// concurrent faults.
+	idx, err := db.BuildHubLabelIndex(ps, 4, &graphrnn.HubLabelOptions{DiskBacked: true, BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := graphrnn.AlgorithmHubLabel(idx)
+	var queries []graphrnn.RNNQuery
+	var want [][]graphrnn.PointID
+	for _, qp := range ps.Points() {
+		qnode, _ := ps.NodeOf(qp)
+		res, err := db.RNN(ps, qnode, 2, graphrnn.BruteForce())
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, graphrnn.RNNQuery{Q: qnode, K: 2, Algo: algo})
+		want = append(want, res.Points)
+	}
+	for _, par := range []int{1, 4, 16} {
+		results := db.RNNBatch(ps, queries, &graphrnn.BatchOptions{Parallelism: par})
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("parallelism %d query %d: %v", par, i, r.Err)
+			}
+			if !samePoints(r.Result.Points, want[i]) {
+				t.Fatalf("parallelism %d query %d: got %v, want %v", par, i, r.Result.Points, want[i])
+			}
+		}
+	}
+	// Raw goroutine fan-out over single queries, mixing hidden-point views.
+	var wg sync.WaitGroup
+	errc := make(chan error, len(ps.Points()))
+	for _, qp := range ps.Points() {
+		wg.Add(1)
+		go func(qp graphrnn.PointID) {
+			defer wg.Done()
+			qnode, _ := ps.NodeOf(qp)
+			res, err := db.RNN(ps.Excluding(qp), qnode, 4, algo)
+			if err != nil {
+				errc <- err
+				return
+			}
+			wantRes, err := db.RNN(ps.Excluding(qp), qnode, 4, graphrnn.BruteForce())
+			if err != nil {
+				errc <- err
+				return
+			}
+			if !samePoints(res.Points, wantRes.Points) {
+				errc <- fmt.Errorf("q=%d: got %v, want %v", qp, res.Points, wantRes.Points)
+			}
+		}(qp)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestHubLabelErrors covers the public validation paths.
+func TestHubLabelErrors(t *testing.T) {
+	g, err := graphrnn.GenerateGrid(151, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(152, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.BuildHubLabelIndex(ps, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RNN(ps, 0, 1, graphrnn.HubLabel(nil)); err == nil {
+		t.Fatal("nil index accepted")
+	}
+	if _, err := db.RNN(ps, 0, 3, graphrnn.HubLabel(idx)); err == nil {
+		t.Fatal("k beyond MaxK accepted")
+	}
+	// A view over a different point set must be rejected — both when the
+	// sizes differ and when a same-size set merely places points elsewhere.
+	other, err := db.PlaceRandomNodePoints(153, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RNN(other, 0, 1, graphrnn.HubLabel(idx)); err == nil {
+		t.Fatal("foreign point set accepted")
+	}
+	sameSize, err := db.PlaceRandomNodePoints(155, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.RNN(sameSize, 0, 1, graphrnn.HubLabel(idx)); err == nil {
+		t.Fatal("same-size foreign point set accepted")
+	}
+	// Edge-resident queries are not supported by this substrate.
+	eps, err := db.PlaceRandomEdgePoints(154, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.EdgeRNN(eps, graphrnn.NodeLocation(0), 1, graphrnn.HubLabel(idx)); err == nil {
+		t.Fatal("edge-resident query accepted")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"graphrnn/internal/core"
 	"graphrnn/internal/gen"
 	"graphrnn/internal/graph"
+	"graphrnn/internal/hublabel"
 	"graphrnn/internal/points"
 	"graphrnn/internal/storage"
 )
@@ -52,10 +53,16 @@ const (
 	AlgoEagerM Algo = "EM"
 	AlgoLazy   Algo = "L"
 	AlgoLazyEP Algo = "LP"
+	// AlgoHub is the hub-label substrate ("HL"), beyond the paper: queries
+	// answered by label intersection instead of network expansion.
+	AlgoHub Algo = "HL"
 )
 
 // AllAlgos is the column order of the paper's figures.
 var AllAlgos = []Algo{AlgoEager, AlgoEagerM, AlgoLazy, AlgoLazyEP}
+
+// AllSubstrates adds the hub-label column to the paper's four algorithms.
+var AllSubstrates = []Algo{AlgoEager, AlgoEagerM, AlgoLazy, AlgoLazyEP, AlgoHub}
 
 // EagerLazy restricts to the two basic algorithms (Tables 1-2, Fig 21).
 var EagerLazy = []Algo{AlgoEager, AlgoLazy}
@@ -115,6 +122,9 @@ type env struct {
 	edgePts *points.EdgeSet
 	pagedEP *points.PagedEdgeSet
 	mat     *core.Materialized
+
+	hubStore *hublabel.Store
+	hubIdx   *hublabel.Index
 }
 
 func newEnv(g *graph.Graph, bufferPages int) (*env, error) {
@@ -172,6 +182,32 @@ func (e *env) materializeEdge(maxK int) error {
 	return nil
 }
 
+// buildHubLabel builds the 2-hop labeling, persists it into a paged memory
+// file served through its own LRU buffer (so label I/O is counted like the
+// other substrates), and indexes the node point set for queries up to maxK.
+func (e *env) buildHubLabel(maxK int) error {
+	lab, err := hublabel.Build(e.g)
+	if err != nil {
+		return err
+	}
+	file := newMemPageFile()
+	if err := hublabel.Write(lab, file); err != nil {
+		return err
+	}
+	store, err := hublabel.OpenStore(file, MatBufferPages)
+	if err != nil {
+		return err
+	}
+	e.hubStore = store
+	pts := make([]hublabel.PointOnNode, 0, e.nodePts.Len())
+	for _, p := range e.nodePts.Points() {
+		n, _ := e.nodePts.NodeOf(p)
+		pts = append(pts, hublabel.PointOnNode{P: p, Node: n})
+	}
+	e.hubIdx, err = hublabel.NewIndex(store, maxK, pts)
+	return err
+}
+
 // io sums physical transfers across every paged component.
 func (e *env) io() int64 {
 	total := e.store.Stats().IO()
@@ -180,6 +216,9 @@ func (e *env) io() int64 {
 	}
 	if e.pagedEP != nil {
 		total += e.pagedEP.Stats().IO()
+	}
+	if e.hubStore != nil {
+		total += e.hubStore.Stats().IO()
 	}
 	return total
 }
@@ -197,6 +236,11 @@ func (e *env) coldStart() error {
 	}
 	if e.pagedEP != nil {
 		if err := e.pagedEP.Buffer().Invalidate(); err != nil {
+			return err
+		}
+	}
+	if e.hubStore != nil {
+		if err := e.hubStore.Buffer().Invalidate(); err != nil {
 			return err
 		}
 	}

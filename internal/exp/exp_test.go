@@ -10,8 +10,8 @@ func tinyScale() Scale { return Scale{Queries: 3, Seed: 99} }
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registered %d experiments, want 12 (2 tables + 10 figures)", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registered %d experiments, want 13 (2 tables + 10 figures + hub substrate)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -101,15 +101,19 @@ func TestHarnessSmokeSmallExperiments(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	if err := e.buildHubLabel(2); err != nil {
+		t.Fatal(err)
+	}
 	queries := e.nodePts.Points()[:4]
-	row, err := e.restrictedRow(queries, 2, AllAlgos, false)
+	row, err := e.restrictedRow(queries, 2, AllSubstrates, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(row) != 4 {
+	if len(row) != 5 {
 		t.Fatalf("row has %d entries", len(row))
 	}
-	// Results must agree across algorithms (same workload, same k).
+	// Results must agree across algorithms (same workload, same k) — the
+	// hub-label column included.
 	for i := 1; i < len(row); i++ {
 		if row[i].Results != row[0].Results {
 			t.Fatalf("algorithms disagree on result counts: %v", row)

@@ -32,6 +32,7 @@ func All() []Experiment {
 		{"fig21", "Fig 21: cost vs buffer size (SF-like, D=0.01, k=1)", Fig21},
 		{"fig22a", "Fig 22a: update cost vs D (SF-like, K=1)", Fig22a},
 		{"fig22b", "Fig 22b: update cost vs K (SF-like, D=0.01)", Fig22b},
+		{"hub", "Hub-label substrate vs |V| (road-like restricted, D=0.01, k=1)", HubSubstrate},
 	}
 }
 
@@ -49,8 +50,10 @@ func Find(name string) (Experiment, bool) {
 // density at 0.1; see Section 6).
 var densities = []float64{0.0025, 0.005, 0.01, 0.02, 0.04, 0.08}
 
-// restrictedQuery dispatches one restricted monochromatic query.
-func (e *env) restrictedQuery(a Algo, view points.NodeView, qnode graph.NodeID, k int) (*core.Result, error) {
+// restrictedQuery dispatches one restricted monochromatic query. hidden is
+// the point excluded by view (points.NoPoint for none) — the hub-label
+// substrate needs it explicitly, the expansion algorithms read the view.
+func (e *env) restrictedQuery(a Algo, view points.NodeView, qnode graph.NodeID, k int, hidden points.PointID) (*core.Result, error) {
 	switch a {
 	case AlgoEager:
 		return e.searcher.EagerRkNN(view, qnode, k)
@@ -60,6 +63,15 @@ func (e *env) restrictedQuery(a Algo, view points.NodeView, qnode graph.NodeID, 
 		return e.searcher.LazyRkNN(view, qnode, k)
 	case AlgoLazyEP:
 		return e.searcher.LazyEPRkNN(view, qnode, k)
+	case AlgoHub:
+		if e.hubIdx == nil {
+			return nil, fmt.Errorf("exp: hub-label index not built for this environment")
+		}
+		pts, _, err := e.hubIdx.RkNN(qnode, k, hidden)
+		if err != nil {
+			return nil, err
+		}
+		return &core.Result{Points: pts}, nil
 	}
 	return nil, fmt.Errorf("exp: unknown algorithm %q", a)
 }
@@ -89,7 +101,7 @@ func (e *env) restrictedRow(queries []points.PointID, k int, algos []Algo, coldP
 			if !ok {
 				return nil, fmt.Errorf("exp: query point %d missing", qp)
 			}
-			return e.restrictedQuery(a, points.ExcludeNode(e.nodePts, qp), qnode, k)
+			return e.restrictedQuery(a, points.ExcludeNode(e.nodePts, qp), qnode, k, qp)
 		})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a, err)
@@ -512,6 +524,53 @@ func Fig21(s Scale) (*Table, error) {
 			return nil, err
 		}
 		t.Xs = append(t.Xs, fmt.Sprintf("%d", buf))
+		t.Cells = append(t.Cells, row)
+	}
+	return t, nil
+}
+
+// HubSubstrate compares all five substrates on a road-like restricted
+// workload (node-resident points, D=0.01, k=1) across network sizes — the
+// setting where 2-hop labels shine: every query is a handful of label
+// intersections while the expansion algorithms traverse the network. Not a
+// paper figure; it measures the extension against the paper's algorithms
+// under the paper's cost model.
+func HubSubstrate(s Scale) (*Table, error) {
+	sizes := []int{10000, 20000}
+	if s.Full {
+		sizes = []int{40000, 90000, 175000}
+	}
+	t := &Table{
+		ID:      "Hub",
+		Title:   "hub-label substrate vs |V|, road-like restricted, D=0.01, k=1",
+		XLabel:  "|V|",
+		Columns: AllSubstrates,
+	}
+	for _, n := range sizes {
+		g, err := gen.RoadNetwork(gen.RoadConfig{Seed: s.seed(), Nodes: n})
+		if err != nil {
+			return nil, err
+		}
+		e, err := newEnv(g, s.bufferPages())
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(s.seed() + 23))
+		if err := e.withNodePoints(rng, max(2, int(0.01*float64(g.NumNodes())))); err != nil {
+			return nil, err
+		}
+		if err := e.materializeNode(1); err != nil {
+			return nil, err
+		}
+		if err := e.buildHubLabel(1); err != nil {
+			return nil, err
+		}
+		queries := gen.SampleQueries(rng, e.nodePts.Points(), s.queries())
+		row, err := e.restrictedRow(queries, 1, AllSubstrates, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Xs = append(t.Xs, fmt.Sprintf("%d", g.NumNodes()))
 		t.Cells = append(t.Cells, row)
 	}
 	return t, nil

@@ -1,0 +1,625 @@
+package hublabel
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"graphrnn/internal/core"
+	"graphrnn/internal/gen"
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/storage"
+)
+
+// dijkstra computes single-source distances over an Access.
+func dijkstra(g graph.Access, src graph.NodeID) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	st := newDijkstraState(n)
+	st.begin()
+	st.push(src, 0)
+	var err error
+	for {
+		v, d, ok := st.pop()
+		if !ok {
+			return dist
+		}
+		dist[v] = d
+		if st.adj, err = g.Adjacency(v, st.adj); err != nil {
+			panic(err)
+		}
+		for _, e := range st.adj {
+			st.push(e.To, d+e.W)
+		}
+	}
+}
+
+// testGraphs builds the three generated topologies at test scale.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	road, err := gen.RoadNetwork(gen.RoadConfig{Seed: 11, Nodes: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brite, err := gen.Brite(gen.BriteConfig{Seed: 12, Nodes: 400, AvgDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := gen.Grid(gen.GridConfig{Seed: 13, Nodes: 400, Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{"road": road, "brite": brite, "grid": grid}
+}
+
+// TestLabelingDistances checks label-derived distances against Dijkstra on
+// every generated topology.
+func TestLabelingDistances(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			l, err := Build(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l.Directed() {
+				t.Fatal("undirected build reports directed")
+			}
+			rng := rand.New(rand.NewSource(99))
+			var ob, ib []Entry
+			for trial := 0; trial < 30; trial++ {
+				u := graph.NodeID(rng.Intn(g.NumNodes()))
+				want := dijkstra(g, u)
+				for _, v := range []graph.NodeID{u, graph.NodeID(rng.Intn(g.NumNodes())), graph.NodeID(rng.Intn(g.NumNodes()))} {
+					got, err := Dist(l, u, v, ob, ib)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !sameDist(got, want[v]) {
+						t.Fatalf("d(%d,%d) = %v, want %v", u, v, got, want[v])
+					}
+				}
+			}
+			if l.AverageLabelSize() <= 0 {
+				t.Fatalf("average label size %v", l.AverageLabelSize())
+			}
+		})
+	}
+}
+
+// sameDist compares distances with a relative tolerance absorbing float
+// association differences between label sums and Dijkstra sums.
+func sameDist(a, b float64) bool {
+	if math.IsInf(a, 1) || math.IsInf(b, 1) {
+		return math.IsInf(a, 1) && math.IsInf(b, 1)
+	}
+	diff := math.Abs(a - b)
+	return diff <= 1e-9*(1+math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// testDigraph orients a generated graph with asymmetric weights.
+func testDigraph(t *testing.T, seed int64) *graph.Digraph {
+	t.Helper()
+	g, err := gen.Grid(gen.GridConfig{Seed: seed, Nodes: 225, Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	b := graph.NewDigraphBuilder(g.NumNodes())
+	g.ForEachEdge(func(u, v graph.NodeID, w float64) {
+		if err := b.AddArc(u, v, w*(0.5+rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.AddArc(v, u, w*(0.5+rng.Float64())); err != nil {
+			t.Fatal(err)
+		}
+	})
+	d, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDigraphLabelingDistances checks forward/backward labels on a directed
+// graph with asymmetric weights.
+func TestDigraphLabelingDistances(t *testing.T) {
+	d := testDigraph(t, 21)
+	l, err := BuildDigraph(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.Directed() {
+		t.Fatal("digraph build reports undirected")
+	}
+	rng := rand.New(rand.NewSource(22))
+	var ob, ib []Entry
+	for trial := 0; trial < 20; trial++ {
+		u := graph.NodeID(rng.Intn(d.NumNodes()))
+		want := dijkstra(d.Out(), u)
+		for k := 0; k < 4; k++ {
+			v := graph.NodeID(rng.Intn(d.NumNodes()))
+			got, err := Dist(l, u, v, ob, ib)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameDist(got, want[v]) {
+				t.Fatalf("d(%d→%d) = %v, want %v", u, v, got, want[v])
+			}
+		}
+	}
+}
+
+// roundTrip persists l into a fresh memory page file and reopens it.
+func roundTrip(t *testing.T, l *Labeling, pageSize, bufferPages int) *Store {
+	t.Helper()
+	f := storage.NewMemFile(pageSize)
+	if err := Write(l, f); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(f, bufferPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreRoundTrip checks that a persisted labeling serves identical
+// labels, across page sizes that force chunking, for both directions.
+func TestStoreRoundTrip(t *testing.T) {
+	graphs := testGraphs(t)
+	for name, g := range graphs {
+		for _, pageSize := range []int{128, 4096} {
+			t.Run(fmt.Sprintf("%s/page%d", name, pageSize), func(t *testing.T) {
+				l, err := Build(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				s := roundTrip(t, l, pageSize, 16)
+				if s.NumNodes() != l.NumNodes() || s.Directed() != l.Directed() || s.Entries() != l.Entries() {
+					t.Fatalf("store header (%d,%v,%d) != labeling (%d,%v,%d)",
+						s.NumNodes(), s.Directed(), s.Entries(), l.NumNodes(), l.Directed(), l.Entries())
+				}
+				var a, b []Entry
+				for v := graph.NodeID(0); int(v) < l.NumNodes(); v++ {
+					if a, err = l.OutLabel(v, a); err != nil {
+						t.Fatal(err)
+					}
+					if b, err = s.OutLabel(v, b); err != nil {
+						t.Fatal(err)
+					}
+					if !sameEntries(a, b) {
+						t.Fatalf("node %d label mismatch: %v vs %v", v, a, b)
+					}
+				}
+				if s.Stats().Reads == 0 {
+					t.Fatal("store served labels without any physical reads")
+				}
+			})
+		}
+	}
+	// Directed round trip exercises the two-sided directory.
+	d := testDigraph(t, 23)
+	l, err := BuildDigraph(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := roundTrip(t, l, 256, 8)
+	var a, b []Entry
+	for v := graph.NodeID(0); int(v) < l.NumNodes(); v++ {
+		for side := 0; side < 2; side++ {
+			if side == 0 {
+				a, _ = l.OutLabel(v, a)
+				b, err = s.OutLabel(v, b)
+			} else {
+				a, _ = l.InLabel(v, a)
+				b, err = s.InLabel(v, b)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameEntries(a, b) {
+				t.Fatalf("node %d side %d mismatch", v, side)
+			}
+		}
+	}
+	// Load must reconstruct the full labeling.
+	f := storage.NewMemFile(256)
+	if err := Write(l, f); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Entries() != l.Entries() || l2.Directed() != l.Directed() {
+		t.Fatalf("Load: %d entries directed=%v, want %d/%v", l2.Entries(), l2.Directed(), l.Entries(), l.Directed())
+	}
+}
+
+func sameEntries(a, b []Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestOpenStoreRejectsGarbage covers the header validation paths.
+func TestOpenStoreRejectsGarbage(t *testing.T) {
+	f := storage.NewMemFile(4096)
+	if _, err := OpenStore(f, 4); err == nil {
+		t.Fatal("empty file accepted")
+	}
+	if _, err := f.Append(make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(f, 4); err == nil {
+		t.Fatal("zero page accepted as header")
+	}
+	g, err := gen.Grid(gen.GridConfig{Seed: 1, Nodes: 16, Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Write(l, f); err == nil {
+		t.Fatal("Write into non-empty file accepted")
+	}
+}
+
+// oracle wraps the core brute-force searcher as the ground truth.
+func oracle(g graph.Access) *core.Searcher { return core.NewSearcher(g) }
+
+func samePoints(a, b []points.PointID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexRkNNAgainstOracle checks monochromatic answers against the
+// brute-force oracle on every generated topology, with and without the
+// query's own point excluded, for several k.
+func TestIndexRkNNAgainstOracle(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			l, err := Build(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(41))
+			ps, err := gen.PlaceNodePoints(rng, g.NumNodes(), g.NumNodes()/10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			idx, err := NewIndex(l, 4, pointsOf(ps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr := oracle(g)
+			for _, qp := range ps.Points()[:15] {
+				qnode, _ := ps.NodeOf(qp)
+				for _, k := range []int{1, 2, 4} {
+					// Query at a data point, own point excluded (the
+					// paper's workload).
+					want, err := sr.BruteRkNN(points.ExcludeNode(ps, qp), qnode, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err := idx.RkNN(qnode, k, qp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !samePoints(got, want.Points) {
+						t.Fatalf("k=%d q=%d hidden: got %v, want %v", k, qp, got, want.Points)
+					}
+					// Same query with the point visible.
+					want, err = sr.BruteRkNN(ps, qnode, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _, err = idx.RkNN(qnode, k, points.NoPoint)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !samePoints(got, want.Points) {
+						t.Fatalf("k=%d q=%d visible: got %v, want %v", k, qp, got, want.Points)
+					}
+				}
+			}
+			// Queries from plain nodes too.
+			for trial := 0; trial < 10; trial++ {
+				qnode := graph.NodeID(rng.Intn(g.NumNodes()))
+				want, err := sr.BruteRkNN(ps, qnode, 2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := idx.RkNN(qnode, 2, points.NoPoint)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !samePoints(got, want.Points) {
+					t.Fatalf("node %d: got %v, want %v", qnode, got, want.Points)
+				}
+			}
+		})
+	}
+}
+
+func pointsOf(ps *points.NodeSet) []PointOnNode {
+	var out []PointOnNode
+	for _, p := range ps.Points() {
+		n, _ := ps.NodeOf(p)
+		out = append(out, PointOnNode{P: p, Node: n})
+	}
+	return out
+}
+
+// TestIndexContinuousAgainstOracle checks the route variant.
+func TestIndexContinuousAgainstOracle(t *testing.T) {
+	g, err := gen.RoadNetwork(gen.RoadConfig{Seed: 51, Nodes: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(52))
+	ps, err := gen.PlaceNodePoints(rng, g.NumNodes(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndex(l, 2, pointsOf(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := oracle(g)
+	for trial := 0; trial < 12; trial++ {
+		route := gen.RandomWalkRoute(rng, g, 1+rng.Intn(8))
+		for _, k := range []int{1, 2} {
+			want, err := sr.BruteContinuous(ps, route, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := idx.ContinuousRkNN(route, k, points.NoPoint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePoints(got, want.Points) {
+				t.Fatalf("route %v k=%d: got %v, want %v", route, k, got, want.Points)
+			}
+		}
+	}
+}
+
+// TestIndexBichromaticAgainstOracle checks bRkNN against the oracle,
+// including k beyond the materialized maxK (bichromatic is unbounded).
+func TestIndexBichromaticAgainstOracle(t *testing.T) {
+	g, err := gen.Brite(gen.BriteConfig{Seed: 61, Nodes: 300, AvgDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(62))
+	sites, err := gen.PlaceNodePoints(rng, g.NumNodes(), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands, err := gen.PlaceNodePoints(rng, g.NumNodes(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndex(l, 1, pointsOf(sites))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := oracle(g)
+	for trial := 0; trial < 15; trial++ {
+		qnode := graph.NodeID(rng.Intn(g.NumNodes()))
+		for _, k := range []int{1, 2, 5} {
+			want, err := sr.BruteBichromatic(cands, sites, qnode, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, err := idx.BichromaticRkNN(cands, qnode, k, points.NoPoint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePoints(got, want.Points) {
+				t.Fatalf("q=%d k=%d: got %v, want %v", qnode, k, got, want.Points)
+			}
+		}
+	}
+}
+
+// TestIndexMaintenance interleaves inserts and deletes with full answer
+// checks: after every mutation a fresh index over the same point set must
+// agree with the incrementally maintained one on every query.
+func TestIndexMaintenance(t *testing.T) {
+	g, err := gen.Grid(gen.GridConfig{Seed: 71, Nodes: 225, Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(72))
+	ps := points.NewNodeSet(g.NumNodes())
+	var placed []points.PointID
+	for len(placed) < 20 {
+		n := graph.NodeID(rng.Intn(g.NumNodes()))
+		if p, err := ps.Place(n); err == nil {
+			placed = append(placed, p)
+		}
+	}
+	idx, err := NewIndex(l, 3, pointsOf(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := oracle(g)
+	check := func(step string) {
+		t.Helper()
+		for trial := 0; trial < 8; trial++ {
+			qnode := graph.NodeID(rng.Intn(g.NumNodes()))
+			for _, k := range []int{1, 3} {
+				want, err := sr.BruteRkNN(ps, qnode, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := idx.RkNN(qnode, k, points.NoPoint)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !samePoints(got, want.Points) {
+					t.Fatalf("%s q=%d k=%d: got %v, want %v", step, qnode, k, got, want.Points)
+				}
+			}
+		}
+	}
+	check("initial")
+	for round := 0; round < 12; round++ {
+		if rng.Intn(2) == 0 && len(placed) > 4 {
+			i := rng.Intn(len(placed))
+			p := placed[i]
+			placed = append(placed[:i], placed[i+1:]...)
+			if err := ps.Delete(p); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := idx.Delete(p); err != nil {
+				t.Fatal(err)
+			}
+			check(fmt.Sprintf("round %d delete %d", round, p))
+		} else {
+			n := graph.NodeID(rng.Intn(g.NumNodes()))
+			p, err := ps.Place(n)
+			if err != nil {
+				continue // node taken
+			}
+			placed = append(placed, p)
+			if _, err := idx.Insert(p, n); err != nil {
+				t.Fatal(err)
+			}
+			check(fmt.Sprintf("round %d insert %d", round, p))
+		}
+	}
+	if idx.Len() != len(placed) {
+		t.Fatalf("index holds %d points, want %d", idx.Len(), len(placed))
+	}
+}
+
+// TestIndexErrors covers the validation paths.
+func TestIndexErrors(t *testing.T) {
+	g, err := gen.Grid(gen.GridConfig{Seed: 81, Nodes: 64, Degree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewIndex(l, 0, nil); err == nil {
+		t.Fatal("maxK 0 accepted")
+	}
+	idx, err := NewIndex(l, 2, []PointOnNode{{P: 0, Node: 1}, {P: 1, Node: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := idx.RkNN(0, 0, points.NoPoint); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, _, err := idx.RkNN(-1, 1, points.NoPoint); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if _, _, err := idx.RkNN(0, 3, points.NoPoint); err == nil {
+		t.Fatal("k beyond maxK accepted")
+	}
+	if _, _, err := idx.ContinuousRkNN(nil, 1, points.NoPoint); err == nil {
+		t.Fatal("empty route accepted")
+	}
+	if _, err := idx.Insert(0, 5); err == nil {
+		t.Fatal("duplicate point id accepted")
+	}
+	if _, err := idx.Insert(-1, 5); err == nil {
+		t.Fatal("negative point id accepted")
+	}
+	if _, err := idx.Delete(7); err == nil {
+		t.Fatal("delete of missing point accepted")
+	}
+	// Ids beyond the current range extend the index (trailing deleted ids
+	// leave the set's id space ahead of the index).
+	if _, err := idx.Insert(5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := idx.NodeOf(5); !ok || n != 3 {
+		t.Fatalf("NodeOf(5) = %d,%v after gap insert", n, ok)
+	}
+	if idx.Len() != 3 {
+		t.Fatalf("Len = %d after gap insert", idx.Len())
+	}
+}
+
+// TestIndexOverStore runs the oracle comparison with labels served through
+// the paged store, confirming the I/O-accounted path answers identically.
+func TestIndexOverStore(t *testing.T) {
+	g, err := gen.RoadNetwork(gen.RoadConfig{Seed: 91, Nodes: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := roundTrip(t, l, 512, 8)
+	rng := rand.New(rand.NewSource(92))
+	ps, err := gen.PlaceNodePoints(rng, g.NumNodes(), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := NewIndex(s, 2, pointsOf(ps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := oracle(g)
+	s.ResetStats()
+	for trial := 0; trial < 10; trial++ {
+		qnode := graph.NodeID(rng.Intn(g.NumNodes()))
+		want, err := sr.BruteRkNN(ps, qnode, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, qs, err := idx.RkNN(qnode, 2, points.NoPoint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !samePoints(got, want.Points) {
+			t.Fatalf("q=%d: got %v, want %v", qnode, got, want.Points)
+		}
+		if qs.LabelReads == 0 {
+			t.Fatal("query reported no label reads")
+		}
+	}
+	if io := s.Stats(); io.Reads+io.Hits == 0 {
+		t.Fatal("paged store served queries without logical I/O")
+	}
+}

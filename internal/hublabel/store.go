@@ -1,0 +1,404 @@
+package hublabel
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/storage"
+)
+
+// On-disk layout (little endian), built on the repository's generic slotted
+// pages so labelings survive process restarts:
+//
+//	page 0          header: magic "GRNHUBL1", version, page size, numNodes,
+//	                directed, directory start page, directory page count,
+//	                entry total
+//	pages 1..D-1    label chunk records in node order (out label, then in
+//	                label for directed graphs); one record holds
+//	                [flags u8][count u16] count×[hub u32][dist f64],
+//	                flag bit 0 = more chunks follow in the next slot
+//	pages D..       the directory: one packed 8-byte entry per label
+//	                ([page i32][slot u16][pad u16]) pointing at the first
+//	                chunk of each node's label, node-major, out before in
+//
+// Chunks of one label always occupy consecutive slots (continuing at slot 0
+// of the next page), so a reader only needs the first chunk's address.
+
+const (
+	storeMagic   = "GRNHUBL1"
+	storeVersion = 1
+
+	// Header field offsets: magic [0:8), version [8:12), pageSize [12:16),
+	// numNodes [16:20), directed [20], pad [21:24), dirStart [24:28),
+	// dirPages [28:32), entries [32:40).
+	headerSize   = 40
+	dirEntrySize = 8
+	entrySize    = 4 + 8
+	chunkHeader  = 1 + 2
+
+	flagMore = 1
+)
+
+type dirEnt struct {
+	page storage.PageID
+	slot uint16
+}
+
+// Write persists l into an empty paged file. The file's page 0 becomes the
+// header; label and directory pages follow.
+func Write(l *Labeling, f storage.PagedFile) error {
+	if f.NumPages() != 0 {
+		return fmt.Errorf("hublabel: refusing to write labeling into non-empty file (%d pages)", f.NumPages())
+	}
+	pageSize := f.PageSize()
+	if pageSize < headerSize || storage.MaxRecordPayload(pageSize) < chunkHeader+entrySize {
+		return fmt.Errorf("hublabel: page size %d cannot hold one label entry", pageSize)
+	}
+	// Reserve page 0 for the header.
+	if _, err := f.Append(make([]byte, pageSize)); err != nil {
+		return err
+	}
+
+	sides := 1
+	if l.directed {
+		sides = 2
+	}
+	dir := make([]dirEnt, l.numNodes*sides)
+	builder := storage.NewRecordPageBuilder(pageSize)
+	nextPage := storage.PageID(1)
+	var buf []Entry
+
+	flush := func() error {
+		if builder.Empty() {
+			return nil
+		}
+		if _, err := f.Append(builder.Bytes()); err != nil {
+			return err
+		}
+		nextPage++
+		builder.Reset()
+		return nil
+	}
+
+	writeLabel := func(di int, label []Entry) error {
+		first := true
+		for {
+			// Fit as many entries as the current page allows; open a fresh
+			// page when not even one fits.
+			maxEntries := (builder.FreeBytes() - chunkHeader) / entrySize
+			if maxEntries < 1 && !builder.Empty() {
+				if err := flush(); err != nil {
+					return err
+				}
+				maxEntries = (builder.FreeBytes() - chunkHeader) / entrySize
+			}
+			count := len(label)
+			more := false
+			if count > maxEntries {
+				count = maxEntries
+				more = true
+			}
+			rec := make([]byte, chunkHeader+count*entrySize)
+			if more {
+				rec[0] = flagMore
+			}
+			binary.LittleEndian.PutUint16(rec[1:], uint16(count))
+			for i, e := range label[:count] {
+				off := chunkHeader + i*entrySize
+				binary.LittleEndian.PutUint32(rec[off:], uint32(e.Hub))
+				binary.LittleEndian.PutUint64(rec[off+4:], math.Float64bits(e.Dist))
+			}
+			slot, ok := builder.TryAdd(rec)
+			if !ok {
+				return fmt.Errorf("hublabel: label chunk of %d entries does not fit a fresh page", count)
+			}
+			if first {
+				dir[di] = dirEnt{page: nextPage, slot: uint16(slot)}
+				first = false
+			}
+			label = label[count:]
+			if !more {
+				return nil
+			}
+		}
+	}
+
+	for v := graph.NodeID(0); int(v) < l.numNodes; v++ {
+		buf = l.out.label(v, buf)
+		if err := writeLabel(int(v)*sides, buf); err != nil {
+			return err
+		}
+		if l.directed {
+			buf = l.in.label(v, buf)
+			if err := writeLabel(int(v)*sides+1, buf); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+
+	// Directory pages.
+	dirStart := nextPage
+	perPage := pageSize / dirEntrySize
+	page := make([]byte, pageSize)
+	for i := 0; i < len(dir); i += perPage {
+		for j := range page {
+			page[j] = 0
+		}
+		for j := 0; j < perPage && i+j < len(dir); j++ {
+			off := j * dirEntrySize
+			binary.LittleEndian.PutUint32(page[off:], uint32(dir[i+j].page))
+			binary.LittleEndian.PutUint16(page[off+4:], dir[i+j].slot)
+		}
+		if _, err := f.Append(page); err != nil {
+			return err
+		}
+		nextPage++
+	}
+
+	// Final header.
+	hdr := make([]byte, pageSize)
+	copy(hdr, storeMagic)
+	binary.LittleEndian.PutUint32(hdr[8:], storeVersion)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(pageSize))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(l.numNodes))
+	if l.directed {
+		hdr[20] = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(dirStart))
+	binary.LittleEndian.PutUint32(hdr[28:], uint32(nextPage-dirStart))
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(l.Entries()))
+	return f.Write(0, hdr)
+}
+
+// FilePageSize reads the page size a persisted labeling was written with,
+// so callers can open the file with matching pages without knowing the
+// original options.
+func FilePageSize(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	hdr := make([]byte, headerSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return 0, fmt.Errorf("hublabel: read header of %s: %w", path, err)
+	}
+	if string(hdr[:8]) != storeMagic {
+		return 0, fmt.Errorf("hublabel: %s: bad magic %q", path, hdr[:8])
+	}
+	return int(binary.LittleEndian.Uint32(hdr[12:])), nil
+}
+
+// Store serves a persisted labeling through an LRU buffer. The directory is
+// held in memory (8 bytes per label); label pages fault in on demand and
+// are counted in Stats. A Store is safe for concurrent readers.
+type Store struct {
+	file     storage.PagedFile
+	buffer   *storage.BufferManager
+	numNodes int
+	directed bool
+	entries  int
+	dir      []dirEnt
+	pageSize int
+	pagePool sync.Pool // []byte page buffers for capacity-0 reads
+}
+
+// OpenStore opens a labeling previously persisted with Write, reading label
+// pages through an LRU buffer of bufferPages pages.
+func OpenStore(f storage.PagedFile, bufferPages int) (*Store, error) {
+	pageSize := f.PageSize()
+	if f.NumPages() == 0 {
+		return nil, fmt.Errorf("hublabel: empty label file")
+	}
+	hdr := make([]byte, pageSize)
+	if err := f.Read(0, hdr); err != nil {
+		return nil, err
+	}
+	if string(hdr[:8]) != storeMagic {
+		return nil, fmt.Errorf("hublabel: bad magic %q", hdr[:8])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != storeVersion {
+		return nil, fmt.Errorf("hublabel: unsupported version %d", v)
+	}
+	if ps := int(binary.LittleEndian.Uint32(hdr[12:])); ps != pageSize {
+		return nil, fmt.Errorf("hublabel: label file was written with %d-byte pages, opened with %d (use FilePageSize)", ps, pageSize)
+	}
+	numNodes := int(binary.LittleEndian.Uint32(hdr[16:]))
+	directed := hdr[20] == 1
+	dirStart := storage.PageID(binary.LittleEndian.Uint32(hdr[24:]))
+	dirPages := int(binary.LittleEndian.Uint32(hdr[28:]))
+	entries := int(binary.LittleEndian.Uint64(hdr[32:]))
+
+	sides := 1
+	if directed {
+		sides = 2
+	}
+	dir := make([]dirEnt, 0, numNodes*sides)
+	perPage := pageSize / dirEntrySize
+	page := make([]byte, pageSize)
+	for p := 0; p < dirPages; p++ {
+		if err := f.Read(dirStart+storage.PageID(p), page); err != nil {
+			return nil, err
+		}
+		for j := 0; j < perPage && len(dir) < numNodes*sides; j++ {
+			off := j * dirEntrySize
+			dir = append(dir, dirEnt{
+				page: storage.PageID(binary.LittleEndian.Uint32(page[off:])),
+				slot: binary.LittleEndian.Uint16(page[off+4:]),
+			})
+		}
+	}
+	if len(dir) != numNodes*sides {
+		return nil, fmt.Errorf("hublabel: directory holds %d of %d entries", len(dir), numNodes*sides)
+	}
+	s := &Store{
+		file:     f,
+		buffer:   storage.NewBufferManager(f, bufferPages),
+		numNodes: numNodes,
+		directed: directed,
+		entries:  entries,
+		dir:      dir,
+		pageSize: pageSize,
+	}
+	s.pagePool.New = func() any {
+		b := make([]byte, pageSize)
+		return &b
+	}
+	return s, nil
+}
+
+// NumNodes implements Source.
+func (s *Store) NumNodes() int { return s.numNodes }
+
+// Directed implements Source.
+func (s *Store) Directed() bool { return s.directed }
+
+// Entries returns the total number of label entries (both sides).
+func (s *Store) Entries() int { return s.entries }
+
+// AverageLabelSize returns the mean entries per node per side.
+func (s *Store) AverageLabelSize() float64 {
+	if s.numNodes == 0 {
+		return 0
+	}
+	sides := 1
+	if s.directed {
+		sides = 2
+	}
+	return float64(s.entries) / float64(s.numNodes*sides)
+}
+
+// Stats returns the label-file I/O counters.
+func (s *Store) Stats() storage.Stats { return s.buffer.Stats() }
+
+// ResetStats zeroes the label-file I/O counters.
+func (s *Store) ResetStats() { s.buffer.ResetStats() }
+
+// Buffer exposes the LRU buffer (cold-start experiments).
+func (s *Store) Buffer() *storage.BufferManager { return s.buffer }
+
+// Close closes the underlying file.
+func (s *Store) Close() error { return s.file.Close() }
+
+// OutLabel implements Source.
+func (s *Store) OutLabel(n graph.NodeID, buf []Entry) ([]Entry, error) {
+	sides := 1
+	if s.directed {
+		sides = 2
+	}
+	if n < 0 || int(n) >= s.numNodes {
+		return nil, fmt.Errorf("hublabel: node %d out of range [0,%d)", n, s.numNodes)
+	}
+	return s.readLabel(s.dir[int(n)*sides], buf)
+}
+
+// InLabel implements Source.
+func (s *Store) InLabel(n graph.NodeID, buf []Entry) ([]Entry, error) {
+	if n < 0 || int(n) >= s.numNodes {
+		return nil, fmt.Errorf("hublabel: node %d out of range [0,%d)", n, s.numNodes)
+	}
+	if !s.directed {
+		return s.readLabel(s.dir[n], buf)
+	}
+	return s.readLabel(s.dir[int(n)*2+1], buf)
+}
+
+func (s *Store) readLabel(at dirEnt, buf []Entry) ([]Entry, error) {
+	buf = buf[:0]
+	scratch := s.pagePool.Get().(*[]byte)
+	defer s.pagePool.Put(scratch)
+	pid, slot := at.page, int(at.slot)
+	for {
+		page, err := s.buffer.GetInto(pid, *scratch)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := storage.ReadRecordSlot(page, s.pageSize, slot)
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) < chunkHeader {
+			return nil, fmt.Errorf("hublabel: truncated label chunk on page %d slot %d", pid, slot)
+		}
+		count := int(binary.LittleEndian.Uint16(rec[1:]))
+		if len(rec) < chunkHeader+count*entrySize {
+			return nil, fmt.Errorf("hublabel: corrupt label chunk on page %d slot %d", pid, slot)
+		}
+		for i := 0; i < count; i++ {
+			off := chunkHeader + i*entrySize
+			buf = append(buf, Entry{
+				Hub:  graph.NodeID(binary.LittleEndian.Uint32(rec[off:])),
+				Dist: math.Float64frombits(binary.LittleEndian.Uint64(rec[off+4:])),
+			})
+		}
+		if rec[0]&flagMore == 0 {
+			return buf, nil
+		}
+		if slot+1 < storage.RecordSlotCount(page) {
+			slot++
+		} else {
+			pid++
+			slot = 0
+		}
+	}
+}
+
+// Load reads a persisted labeling fully into memory.
+func Load(f storage.PagedFile) (*Labeling, error) {
+	s, err := OpenStore(f, 1)
+	if err != nil {
+		return nil, err
+	}
+	n := s.numNodes
+	out := make([][]Entry, n)
+	var in [][]Entry
+	if s.directed {
+		in = make([][]Entry, n)
+	}
+	var buf []Entry
+	for v := graph.NodeID(0); int(v) < n; v++ {
+		if buf, err = s.OutLabel(v, buf); err != nil {
+			return nil, err
+		}
+		out[v] = append([]Entry(nil), buf...)
+		if s.directed {
+			if buf, err = s.InLabel(v, buf); err != nil {
+				return nil, err
+			}
+			in[v] = append([]Entry(nil), buf...)
+		}
+	}
+	l := &Labeling{numNodes: n, directed: s.directed, out: finalize(n, out)}
+	if s.directed {
+		l.in = finalize(n, in)
+	}
+	return l, nil
+}

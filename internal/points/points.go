@@ -122,11 +122,28 @@ func (s *NodeSet) Points() []PointID {
 	return out
 }
 
+// HiddenPointView is implemented by views that hide exactly one point of an
+// underlying set; indexes that track the full set (hub-label) use it to
+// recover the hidden id in O(1) instead of scanning.
+type HiddenPointView interface {
+	NodeView
+	// HiddenPoint returns the id the view hides.
+	HiddenPoint() PointID
+	// Unhidden returns the full underlying view.
+	Unhidden() NodeView
+}
+
 // excludeNode hides one point from a NodeView.
 type excludeNode struct {
 	NodeView
 	hidden PointID
 }
+
+// HiddenPoint implements HiddenPointView.
+func (e excludeNode) HiddenPoint() PointID { return e.hidden }
+
+// Unhidden implements HiddenPointView.
+func (e excludeNode) Unhidden() NodeView { return e.NodeView }
 
 // ExcludeNode returns a view of v with point hidden removed; hiding NoPoint
 // returns v unchanged.

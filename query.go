@@ -10,6 +10,7 @@ import (
 type Algorithm struct {
 	kind algoKind
 	mat  *Materialization
+	hub  *HubLabelIndex
 }
 
 type algoKind int
@@ -19,6 +20,7 @@ const (
 	algoLazy
 	algoLazyEP
 	algoEagerM
+	algoHub
 	algoBrute
 )
 
@@ -38,6 +40,16 @@ func LazyEP() Algorithm { return Algorithm{kind: algoLazyEP} }
 // have been built over the queried point set (bichromatic: over the sites).
 func EagerM(m *Materialization) Algorithm { return Algorithm{kind: algoEagerM, mat: m} }
 
+// HubLabel answers by hub-label intersection over idx — no network
+// expansion at all. idx must have been built over the queried point set
+// (bichromatic: over the sites); monochromatic and continuous queries
+// support k <= idx.MaxK(). Node-resident point sets only.
+func HubLabel(idx *HubLabelIndex) Algorithm { return Algorithm{kind: algoHub, hub: idx} }
+
+// AlgorithmHubLabel is the explicit name of the hub-label strategy, as used
+// by the serving and experiment surfaces; it is HubLabel.
+var AlgorithmHubLabel = HubLabel
+
 // BruteForce verifies every data point; the oracle the paper's Section 3.1
 // dismisses as a baseline. Useful for testing and tiny graphs.
 func BruteForce() Algorithm { return Algorithm{kind: algoBrute} }
@@ -53,6 +65,8 @@ func (a Algorithm) String() string {
 		return "lazy-EP"
 	case algoEagerM:
 		return "eager-M"
+	case algoHub:
+		return "hub-label"
 	default:
 		return "brute-force"
 	}
@@ -71,6 +85,10 @@ type Stats struct {
 	Verifications int64
 	// MatReads counts materialized list lookups (eager-M).
 	MatReads int64
+	// LabelReads counts hub label fetches (hub-label).
+	LabelReads int64
+	// LabelEntries counts label and hub-list entries scanned (hub-label).
+	LabelEntries int64
 	// HeapPushes and HeapPops count priority-queue traffic.
 	HeapPushes int64
 	HeapPops   int64
@@ -132,6 +150,12 @@ func (db *DB) RNN(ps pointsArg, q NodeID, k int, algo Algorithm) (*Result, error
 			return nil, err
 		}
 		return wrapResult(db.searcher.EagerMRkNN(view, m, qn, k))
+	case algoHub:
+		h, err := algo.hubIndex()
+		if err != nil {
+			return nil, err
+		}
+		return h.runRNN(view, q, k)
 	default:
 		return wrapResult(db.searcher.BruteRkNN(view, qn, k))
 	}
@@ -155,6 +179,12 @@ func (db *DB) BichromaticRNN(cands, sites pointsArg, q NodeID, k int, algo Algor
 			return nil, err
 		}
 		return wrapResult(db.searcher.EagerMBichromatic(cv, sv, m, qn, k))
+	case algoHub:
+		h, err := algo.hubIndex()
+		if err != nil {
+			return nil, err
+		}
+		return h.runBichromatic(cv, sv, q, k)
 	default:
 		return wrapResult(db.searcher.BruteBichromatic(cv, sv, qn, k))
 	}
@@ -178,6 +208,12 @@ func (db *DB) ContinuousRNN(ps pointsArg, route []NodeID, k int, algo Algorithm)
 			return nil, err
 		}
 		return wrapResult(db.searcher.EagerMContinuous(view, m, r, k))
+	case algoHub:
+		h, err := algo.hubIndex()
+		if err != nil {
+			return nil, err
+		}
+		return h.runContinuous(view, route, k)
 	default:
 		return wrapResult(db.searcher.BruteContinuous(view, r, k))
 	}
@@ -201,6 +237,8 @@ func (db *DB) EdgeRNN(ps edgeArg, q Location, k int, algo Algorithm) (*Result, e
 			return nil, err
 		}
 		return wrapResult(db.searcher.UEagerMRkNN(view, m, loc, k))
+	case algoHub:
+		return nil, errHubEdge()
 	default:
 		return wrapResult(db.searcher.UBruteRkNN(view, loc, k))
 	}
@@ -223,6 +261,8 @@ func (db *DB) EdgeBichromaticRNN(cands, sites edgeArg, q Location, k int, algo A
 			return nil, err
 		}
 		return wrapResult(db.searcher.UEagerMBichromatic(cv, sv, m, loc, k))
+	case algoHub:
+		return nil, errHubEdge()
 	default:
 		return wrapResult(db.searcher.UBruteBichromatic(cv, sv, loc, k))
 	}
@@ -245,6 +285,8 @@ func (db *DB) EdgeContinuousRNN(ps edgeArg, route []NodeID, k int, algo Algorith
 			return nil, err
 		}
 		return wrapResult(db.searcher.UEagerMContinuous(view, m, r, k))
+	case algoHub:
+		return nil, errHubEdge()
 	default:
 		return wrapResult(db.searcher.UBruteContinuous(view, r, k))
 	}
@@ -255,6 +297,17 @@ func (a Algorithm) materialized() (*core.Materialized, error) {
 		return nil, fmt.Errorf("graphrnn: EagerM requires a Materialization (use db.MaterializeNodePoints / MaterializeEdgePoints)")
 	}
 	return a.mat.m, nil
+}
+
+func (a Algorithm) hubIndex() (*HubLabelIndex, error) {
+	if a.hub == nil || a.hub.idx == nil {
+		return nil, fmt.Errorf("graphrnn: HubLabel requires a HubLabelIndex (use db.BuildHubLabelIndex)")
+	}
+	return a.hub, nil
+}
+
+func errHubEdge() error {
+	return fmt.Errorf("graphrnn: hub-label supports node-resident point sets only")
 }
 
 // Neighbor is one k-nearest-neighbor result.
