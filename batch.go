@@ -1,24 +1,40 @@
 package graphrnn
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
 
 // This file is the parallel batch-query layer: worker-pool fan-out of
-// independent RNN queries over the now concurrency-safe DB. It is the unit
-// the paper's experimental harness (and any serving front end) wants —
+// independent RNN queries over the concurrency-safe DB. It is the unit the
+// paper's experimental harness (and any serving front end) wants —
 // Efentakis & Pfoser (ReHub) and Buchnik & Cohen both treat concurrent
 // batched query execution as the baseline deployment mode. Every Algorithm
 // works here, including HubLabel: the index's per-query scratch is pooled,
 // so batch workers share one HubLabelIndex freely.
+//
+// Batches are context-aware: the *Context variants stop dispatching once
+// the batch context is canceled (queued queries are marked, not run, and
+// in-flight ones abandon within one expansion step), FailFast turns the
+// first error into a batch-level cancellation, and PerQuery applies a
+// deadline/budget to every entry individually.
 
 // BatchOptions configures batch execution.
 type BatchOptions struct {
 	// Parallelism is the number of worker goroutines. Zero or negative
 	// defaults to GOMAXPROCS. One worker degenerates to serial execution
-	// in submission order.
+	// in submission order. Every batch call reports the worker count
+	// actually used (Parallelism capped by the batch size).
 	Parallelism int
+	// FailFast cancels the remainder of the batch after the first
+	// failing query: queued entries report ErrCanceled without running.
+	FailFast bool
+	// PerQuery bounds every query of the batch individually (deadline
+	// and work budget), as if issued through its own Context entry point.
+	PerQuery *QueryOptions
 }
 
 func (o *BatchOptions) workers(n int) int {
@@ -38,6 +54,15 @@ func (o *BatchOptions) workers(n int) int {
 	return w
 }
 
+func (o *BatchOptions) perQuery() *QueryOptions {
+	if o == nil {
+		return nil
+	}
+	return o.PerQuery
+}
+
+func (o *BatchOptions) failFast() bool { return o != nil && o.FailFast }
+
 // RNNQuery is one node-resident batch entry, used by both RNNBatch and
 // BichromaticRNNBatch (the point sets, not the query, distinguish the two).
 type RNNQuery struct {
@@ -49,23 +74,48 @@ type RNNQuery struct {
 	Algo Algorithm
 }
 
-// BatchResult pairs one query's answer with its error; exactly one of the
-// two fields is non-nil.
+// BatchResult pairs one query's answer with its error. On success Err is
+// nil; on an execution-control error (cancellation, deadline, budget)
+// Result may still carry the partial answer and its stats.
 type BatchResult struct {
 	Result *Result
 	Err    error
 }
 
-// runBatch fans indices 0..n-1 out over a worker pool.
-func runBatch(n, workers int, run func(i int)) {
+// batchCanceledErr marks an entry whose batch was canceled before the
+// entry started.
+func batchCanceledErr(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return fmt.Errorf("%w: batch deadline passed before the query started", ErrDeadlineExceeded)
+	}
+	return fmt.Errorf("%w: batch canceled before the query started", ErrCanceled)
+}
+
+// runBatch fans indices 0..n-1 out over a worker pool under ctx and
+// returns the worker count used. Once ctx is canceled (externally, by a
+// batch deadline, or by FailFast) no further queries start: undispatched
+// entries are marked with a typed cancellation error.
+func runBatch(ctx context.Context, n, workers int, failFast bool, out []BatchResult, run func(ctx context.Context, i int)) int {
 	if n == 0 {
-		return
+		return 0
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	do := func(i int) {
+		if ctx.Err() != nil {
+			out[i] = BatchResult{Err: batchCanceledErr(ctx)}
+			return
+		}
+		run(ctx, i)
+		if failFast && out[i].Err != nil {
+			cancel()
+		}
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			run(i)
+			do(i)
 		}
-		return
+		return 1
 	}
 	next := make(chan int)
 	var wg sync.WaitGroup
@@ -74,42 +124,66 @@ func runBatch(n, workers int, run func(i int)) {
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				run(i)
+				do(i)
 			}
 		}()
 	}
+dispatch:
 	for i := 0; i < n; i++ {
-		next <- i
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			// Stop feeding the pool; everything not yet dispatched is
+			// marked canceled without running.
+			for j := i; j < n; j++ {
+				out[j] = BatchResult{Err: batchCanceledErr(ctx)}
+			}
+			break dispatch
+		}
 	}
 	close(next)
 	wg.Wait()
+	return workers
 }
 
 // RNNBatch answers a slice of monochromatic RkNN queries over one point set
-// concurrently and returns one BatchResult per query, in input order. Every
-// query runs to completion: an invalid entry (bad k, out-of-range node)
-// reports its error in its own slot without affecting the others. A nil or
-// zero-parallelism opt uses GOMAXPROCS workers.
-func (db *DB) RNNBatch(ps pointsArg, queries []RNNQuery, opt *BatchOptions) []BatchResult {
+// concurrently and returns one BatchResult per query, in input order, plus
+// the worker count used. Every query runs to completion: an invalid entry
+// (bad k, out-of-range node) reports its error in its own slot without
+// affecting the others. A nil or zero-parallelism opt uses GOMAXPROCS
+// workers.
+func (db *DB) RNNBatch(ps pointsArg, queries []RNNQuery, opt *BatchOptions) ([]BatchResult, int) {
+	return db.RNNBatchContext(context.Background(), ps, queries, opt)
+}
+
+// RNNBatchContext is RNNBatch under a batch context: cancel ctx (or set a
+// deadline on it) to stop the whole batch, opt.PerQuery to bound each
+// entry, opt.FailFast to abandon the rest after the first error.
+func (db *DB) RNNBatchContext(ctx context.Context, ps pointsArg, queries []RNNQuery, opt *BatchOptions) ([]BatchResult, int) {
 	view := ps.nodeView()
 	out := make([]BatchResult, len(queries))
-	runBatch(len(queries), opt.workers(len(queries)), func(i int) {
+	workers := runBatch(ctx, len(queries), opt.workers(len(queries)), opt.failFast(), out, func(ctx context.Context, i int) {
 		q := queries[i]
-		out[i].Result, out[i].Err = db.RNN(view, q.Q, q.K, q.Algo)
+		out[i].Result, out[i].Err = db.RNNContext(ctx, view, q.Q, q.K, q.Algo, opt.perQuery())
 	})
-	return out
+	return out, workers
 }
 
 // BichromaticRNNBatch answers a slice of bichromatic RkNN queries over one
 // candidate/site pair concurrently, in input order.
-func (db *DB) BichromaticRNNBatch(cands, sites pointsArg, queries []RNNQuery, opt *BatchOptions) []BatchResult {
+func (db *DB) BichromaticRNNBatch(cands, sites pointsArg, queries []RNNQuery, opt *BatchOptions) ([]BatchResult, int) {
+	return db.BichromaticRNNBatchContext(context.Background(), cands, sites, queries, opt)
+}
+
+// BichromaticRNNBatchContext is BichromaticRNNBatch under a batch context.
+func (db *DB) BichromaticRNNBatchContext(ctx context.Context, cands, sites pointsArg, queries []RNNQuery, opt *BatchOptions) ([]BatchResult, int) {
 	cv, sv := cands.nodeView(), sites.nodeView()
 	out := make([]BatchResult, len(queries))
-	runBatch(len(queries), opt.workers(len(queries)), func(i int) {
+	workers := runBatch(ctx, len(queries), opt.workers(len(queries)), opt.failFast(), out, func(ctx context.Context, i int) {
 		q := queries[i]
-		out[i].Result, out[i].Err = db.BichromaticRNN(cv, sv, q.Q, q.K, q.Algo)
+		out[i].Result, out[i].Err = db.BichromaticRNNContext(ctx, cv, sv, q.Q, q.K, q.Algo, opt.perQuery())
 	})
-	return out
+	return out, workers
 }
 
 // EdgeRNNQuery is one monochromatic batch entry over an edge-resident point
@@ -122,12 +196,17 @@ type EdgeRNNQuery struct {
 
 // EdgeRNNBatch answers a slice of edge-resident RkNN queries concurrently,
 // in input order.
-func (db *DB) EdgeRNNBatch(ps edgeArg, queries []EdgeRNNQuery, opt *BatchOptions) []BatchResult {
+func (db *DB) EdgeRNNBatch(ps edgeArg, queries []EdgeRNNQuery, opt *BatchOptions) ([]BatchResult, int) {
+	return db.EdgeRNNBatchContext(context.Background(), ps, queries, opt)
+}
+
+// EdgeRNNBatchContext is EdgeRNNBatch under a batch context.
+func (db *DB) EdgeRNNBatchContext(ctx context.Context, ps edgeArg, queries []EdgeRNNQuery, opt *BatchOptions) ([]BatchResult, int) {
 	view := ps.edgeView()
 	out := make([]BatchResult, len(queries))
-	runBatch(len(queries), opt.workers(len(queries)), func(i int) {
+	workers := runBatch(ctx, len(queries), opt.workers(len(queries)), opt.failFast(), out, func(ctx context.Context, i int) {
 		q := queries[i]
-		out[i].Result, out[i].Err = db.EdgeRNN(view, q.Q, q.K, q.Algo)
+		out[i].Result, out[i].Err = db.EdgeRNNContext(ctx, view, q.Q, q.K, q.Algo, opt.perQuery())
 	})
-	return out
+	return out, workers
 }

@@ -11,7 +11,9 @@ package graphrnn_test
 // query algorithms and maintenance operations follow at the bottom.
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"graphrnn"
 	"graphrnn/internal/exp"
@@ -203,6 +205,7 @@ func BenchmarkCIQueries(b *testing.B) {
 			e.db.ResetIOStats()
 			e.mat.ResetIOStats()
 			hubIdx.ResetIOStats()
+			e.db.BufferPool().ResetStats()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				for _, qp := range e.queries {
@@ -216,6 +219,55 @@ func BenchmarkCIQueries(b *testing.B) {
 			reads := e.db.IOStats().Reads + e.mat.IOStats().Reads + hubIdx.IOStats().Reads
 			b.ReportMetric(float64(reads)/float64(b.N), "io_reads/op")
 			b.ReportMetric(float64(len(e.queries)), "queries/op")
+			// All three substrates fault through one shared pool; its hit
+			// rate is the unified cache-effectiveness number benchci
+			// records next to io_reads/op.
+			b.ReportMetric(e.db.PoolStats().HitRate(), "pool_hit_rate")
+		})
+	}
+}
+
+// BenchmarkBudgetedQueries measures the engine layer's overhead and
+// payoff: the tracked eager workload under a per-query node budget (and a
+// generous deadline), reporting how much of the unbounded work budgeted
+// queries still perform. The unlimited sub-benchmark is the context-path
+// overhead probe: identical work to BenchmarkCIQueries/eager, plus the
+// per-step exec checks.
+func BenchmarkBudgetedQueries(b *testing.B) {
+	e := newMicroEnv(b)
+	for _, bench := range []struct {
+		name   string
+		budget int64
+	}{
+		{"unlimited", 0},
+		{"budget50k", 50000},
+		{"budget5k", 5000},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			opt := &graphrnn.QueryOptions{
+				Timeout: time.Minute,
+				Budget:  graphrnn.Budget{MaxNodes: bench.budget},
+			}
+			e.db.ResetIOStats()
+			var work, members int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, qp := range e.queries {
+					qnode, _ := e.ps.NodeOf(qp)
+					res, err := e.db.RNNContext(context.Background(), e.ps.Excluding(qp), qnode, 2, graphrnn.Eager(), opt)
+					if err != nil && !graphrnn.IsExecErr(err) {
+						b.Fatal(err)
+					}
+					if res != nil {
+						work += res.Stats.NodesExpanded + res.Stats.NodesScanned
+						members += int64(len(res.Points))
+					}
+				}
+			}
+			b.StopTimer()
+			ops := float64(b.N) * float64(len(e.queries))
+			b.ReportMetric(float64(work)/ops, "nodes/query")
+			b.ReportMetric(float64(members)/ops, "members/query")
 		})
 	}
 }
@@ -318,7 +370,7 @@ func BenchmarkRNNBatch(b *testing.B) {
 			opt := &graphrnn.BatchOptions{Parallelism: par}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				results := db.RNNBatch(ps, queries, opt)
+				results, _ := db.RNNBatch(ps, queries, opt)
 				for _, r := range results {
 					if r.Err != nil {
 						b.Fatal(r.Err)

@@ -211,6 +211,14 @@ func compare(baselinePath string, baseline *File, current *File, threshold float
 			switch {
 			case !has:
 				failures = append(failures, fmt.Sprintf("%s: metric %s disappeared", base.Name, k))
+			case higherIsBetter(k):
+				// Inverted polarity: a drop beyond the threshold is the
+				// regression (e.g. the buffer-pool hit rate collapsing).
+				if basev > 0 && nowv/basev < 1-threshold {
+					verdict = "REGRESSION"
+					failures = append(failures, fmt.Sprintf("%s: %s %g -> %g (%+.1f%%, limit -%.0f%%)",
+						base.Name, k, basev, nowv, (nowv/basev-1)*100, threshold*100))
+				}
 			case basev == 0 && nowv > 0:
 				verdict = "REGRESSION"
 				failures = append(failures, fmt.Sprintf("%s: %s went 0 -> %g", base.Name, k, nowv))
@@ -229,6 +237,11 @@ func compare(baselinePath string, baseline *File, current *File, threshold float
 	fmt.Printf("benchci: no regressions against %s (threshold +%.0f%%)\n", baselinePath, threshold*100)
 	return nil
 }
+
+// higherIsBetter reports whether metric k improves upward (cache hit
+// rates), inverting the regression rule: everything else tracked by the
+// bench job (ns/op, io_reads/op) is a cost where higher is worse.
+func higherIsBetter(k string) bool { return strings.HasSuffix(k, "hit_rate") }
 
 func sortedKeys(m map[string]float64) []string {
 	keys := make([]string, 0, len(m))

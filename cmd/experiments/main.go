@@ -5,10 +5,12 @@
 //
 // Usage:
 //
-//	experiments [-exp all|table1|table2|fig15|...|fig22b|hub] [-full] [-seed N] [-queries N]
+//	experiments [-exp all|table1|table2|fig15|...|fig22b|hub|budget] [-full] [-seed N] [-queries N]
 //
 // The extra "hub" experiment compares the hub-label substrate against the
-// paper's four algorithms on a restricted road-network workload.
+// paper's four algorithms on a restricted road-network workload; "budget"
+// measures answer degradation under the engine layer's per-query node
+// budgets (beyond the paper, like "hub").
 //
 // The default scale finishes in minutes on a laptop; -full runs the
 // paper-scale configuration (BRITE up to 360K nodes, SF-like 175K nodes,

@@ -6,26 +6,33 @@
 // query. The server shuts down gracefully on SIGINT/SIGTERM, draining
 // in-flight requests.
 //
+// Every query runs under the request's context plus the -query-timeout
+// deadline (tightenable per request with ?timeout=50ms): a disconnecting
+// client cancels its query mid-expansion, and a query that outlives its
+// deadline answers 504 instead of occupying a worker to completion.
+//
 // Usage:
 //
 //	rnnserver [-addr :8080] [-family road|brite|grid] [-nodes N]
 //	          [-density D] [-seed N] [-disk] [-buffer PAGES] [-maxk K]
-//	          [-hublabel K]
+//	          [-hublabel K] [-query-timeout D]
 //
 // Endpoints:
 //
 //	GET  /rnn?node=N&k=K[&algo=eager|lazy|lazy-ep|eager-m|hub-label|brute]
+//	                   [&timeout=50ms]
 //	POST /rnn/batch   {"queries":[{"node":N,"k":K,"algo":"eager"},...],
-//	                   "parallelism":0}
-//	GET  /knn?node=N&k=K
+//	                   "parallelism":0, "fail_fast":false}
+//	GET  /knn?node=N&k=K[&timeout=50ms]
 //	POST /index/hublabel   {"maxk":K}   build/replace the hub-label index
 //	GET  /healthz
-//	GET  /stats
+//	GET  /stats            includes the shared buffer pool (per-tenant)
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -49,9 +56,45 @@ type server struct {
 	started time.Time
 	served  atomic.Int64
 	errors  atomic.Int64
+	// queryTimeout is the default per-query deadline (-query-timeout);
+	// zero means none. A request may tighten (never widen) it with a
+	// ?timeout= parameter. Expired queries answer 504.
+	queryTimeout time.Duration
+	timeouts     atomic.Int64
 
 	hub      atomic.Pointer[graphrnn.HubLabelIndex]
 	hubBuild sync.Mutex // one build at a time
+}
+
+// queryOptions resolves the per-query deadline of one request: the server
+// default, optionally tightened by a ?timeout= duration parameter.
+func (s *server) queryOptions(r *http.Request) (*graphrnn.QueryOptions, error) {
+	timeout := s.queryTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad timeout parameter %q (want a positive Go duration, e.g. 50ms)", v)
+		}
+		if timeout == 0 || d < timeout {
+			timeout = d
+		}
+	}
+	if timeout == 0 {
+		return nil, nil
+	}
+	return &graphrnn.QueryOptions{Timeout: timeout}, nil
+}
+
+// failQuery maps a query error onto an HTTP status: 504 for a deadline
+// that expired server-side, 400 for everything else (bad parameters,
+// client-canceled requests included — the client is gone anyway).
+func (s *server) failQuery(w http.ResponseWriter, err error) {
+	if errors.Is(err, graphrnn.ErrDeadlineExceeded) {
+		s.timeouts.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, err)
+		return
+	}
+	s.fail(w, http.StatusBadRequest, err)
 }
 
 type statsJSON struct {
@@ -155,9 +198,14 @@ func (s *server) handleRNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.db.RNN(s.ps, graphrnn.NodeID(node), k, algo)
+	opt, err := s.queryOptions(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.db.RNNContext(r.Context(), s.ps, graphrnn.NodeID(node), k, algo, opt)
+	if err != nil {
+		s.failQuery(w, err)
 		return
 	}
 	s.served.Add(1)
@@ -178,6 +226,8 @@ type batchRequest struct {
 		Algo string `json:"algo"`
 	} `json:"queries"`
 	Parallelism int `json:"parallelism"`
+	// FailFast abandons the rest of the batch after the first error.
+	FailFast bool `json:"fail_fast"`
 }
 
 type batchEntry struct {
@@ -209,7 +259,15 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = graphrnn.RNNQuery{Q: graphrnn.NodeID(q.Node), K: k, Algo: algo}
 	}
-	results := s.db.RNNBatch(s.ps, queries, &graphrnn.BatchOptions{Parallelism: req.Parallelism})
+	var perQuery *graphrnn.QueryOptions
+	if s.queryTimeout > 0 {
+		perQuery = &graphrnn.QueryOptions{Timeout: s.queryTimeout}
+	}
+	results, workers := s.db.RNNBatchContext(r.Context(), s.ps, queries, &graphrnn.BatchOptions{
+		Parallelism: req.Parallelism,
+		FailFast:    req.FailFast,
+		PerQuery:    perQuery,
+	})
 	out := make([]batchEntry, len(results))
 	for i, res := range results {
 		if res.Err != nil {
@@ -224,7 +282,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out[i] = batchEntry{Points: points, Stats: &st}
 	}
 	s.served.Add(int64(len(results)))
-	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	writeJSON(w, http.StatusOK, map[string]any{"results": out, "workers": workers})
 }
 
 type neighborJSON struct {
@@ -238,9 +296,14 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	nbrs, err := s.db.KNN(s.ps, graphrnn.NodeID(node), k)
+	opt, err := s.queryOptions(r)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	nbrs, err := s.db.KNNContext(r.Context(), s.ps, graphrnn.NodeID(node), k, opt)
+	if err != nil {
+		s.failQuery(w, err)
 		return
 	}
 	s.served.Add(1)
@@ -306,6 +369,15 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	g := s.db.Graph()
 	io := s.db.IOStats()
+	pool := s.db.PoolStats()
+	tenants := make([]map[string]any, 0, len(pool.Tenants))
+	for _, t := range pool.Tenants {
+		tenants = append(tenants, map[string]any{
+			"name": t.Name, "reads": t.Reads, "hits": t.Hits,
+			"writes": t.Writes, "evictions": t.Evictions,
+			"frames": t.Frames, "quota": t.Quota,
+		})
+	}
 	stats := map[string]any{
 		"family":         s.family,
 		"nodes":          g.NumNodes(),
@@ -313,9 +385,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"points":         s.ps.Len(),
 		"queries_served": s.served.Load(),
 		"query_errors":   s.errors.Load(),
+		"query_timeouts": s.timeouts.Load(),
 		"uptime_seconds": time.Since(s.started).Seconds(),
 		"io": map[string]int64{
 			"reads": io.Reads, "hits": io.Hits, "writes": io.Writes,
+		},
+		"pool": map[string]any{
+			"capacity":  pool.Capacity,
+			"reads":     pool.Reads,
+			"hits":      pool.Hits,
+			"writes":    pool.Writes,
+			"evictions": pool.Evictions,
+			"hit_rate":  pool.HitRate(),
+			"tenants":   tenants,
 		},
 	}
 	if idx := s.hub.Load(); idx != nil {
@@ -339,6 +421,7 @@ func main() {
 		buffer   = flag.Int("buffer", 256, "LRU buffer capacity in pages (disk-backed only)")
 		maxK     = flag.Int("maxk", 4, "materialize K-NN lists up to this k for eager-m (0 disables)")
 		hubLabel = flag.Int("hublabel", 0, "build the hub-label index up to this k at startup (0 defers to POST /index/hublabel)")
+		queryTO  = flag.Duration("query-timeout", 0, "per-query deadline; expired queries answer 504 (0 disables)")
 	)
 	flag.Parse()
 
@@ -376,7 +459,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &server{db: db, ps: ps, family: *family, started: time.Now()}
+	srv := &server{db: db, ps: ps, family: *family, started: time.Now(), queryTimeout: *queryTO}
 	if *maxK > 0 {
 		srv.mat, err = db.MaterializeNodePoints(ps, *maxK, nil)
 		if err != nil {

@@ -326,7 +326,7 @@ func TestRNNBatch(t *testing.T) {
 		want = append(want, res.Points)
 	}
 	for _, par := range []int{0, 1, 4, 32} {
-		results := e.db.RNNBatch(e.ps, queries, &graphrnn.BatchOptions{Parallelism: par})
+		results, _ := e.db.RNNBatch(e.ps, queries, &graphrnn.BatchOptions{Parallelism: par})
 		if len(results) != len(queries) {
 			t.Fatalf("parallelism %d: %d results for %d queries", par, len(results), len(queries))
 		}
@@ -340,17 +340,17 @@ func TestRNNBatch(t *testing.T) {
 		}
 	}
 	// Nil options default to GOMAXPROCS.
-	if res := e.db.RNNBatch(e.ps, queries[:2], nil); len(res) != 2 || res[0].Err != nil {
+	if res, _ := e.db.RNNBatch(e.ps, queries[:2], nil); len(res) != 2 || res[0].Err != nil {
 		t.Fatalf("nil options batch = %+v", res)
 	}
 }
 
 func TestRNNBatchEmpty(t *testing.T) {
 	e := newConcEnv(t, false)
-	if res := e.db.RNNBatch(e.ps, nil, nil); len(res) != 0 {
+	if res, _ := e.db.RNNBatch(e.ps, nil, nil); len(res) != 0 {
 		t.Fatalf("empty batch returned %d results", len(res))
 	}
-	if res := e.db.RNNBatch(e.ps, []graphrnn.RNNQuery{}, &graphrnn.BatchOptions{Parallelism: 8}); len(res) != 0 {
+	if res, _ := e.db.RNNBatch(e.ps, []graphrnn.RNNQuery{}, &graphrnn.BatchOptions{Parallelism: 8}); len(res) != 0 {
 		t.Fatalf("empty batch returned %d results", len(res))
 	}
 }
@@ -369,7 +369,7 @@ func TestRNNBatchErrorPropagation(t *testing.T) {
 		{Q: 1 << 20, K: 0, Algo: graphrnn.BruteForce()},     // doubly invalid
 		{Q: good, K: 1 << 20, Algo: graphrnn.EagerM(e.mat)}, // k beyond MaxK
 	}
-	results := e.db.RNNBatch(e.ps, queries, &graphrnn.BatchOptions{Parallelism: 4})
+	results, _ := e.db.RNNBatch(e.ps, queries, &graphrnn.BatchOptions{Parallelism: 4})
 	wantErr := []bool{false, true, true, true, true, false, false, true, true}
 	for i, r := range results {
 		if wantErr[i] && r.Err == nil {
@@ -414,7 +414,7 @@ func TestBichromaticRNNBatch(t *testing.T) {
 		queries = append(queries, graphrnn.RNNQuery{Q: q, K: 1, Algo: graphrnn.Lazy()})
 		want = append(want, res.Points)
 	}
-	results := db.BichromaticRNNBatch(cands, sites, queries, &graphrnn.BatchOptions{Parallelism: 3})
+	results, _ := db.BichromaticRNNBatch(cands, sites, queries, &graphrnn.BatchOptions{Parallelism: 3})
 	for i, r := range results {
 		if r.Err != nil {
 			t.Fatalf("query %d: %v", i, r.Err)
@@ -451,7 +451,7 @@ func TestEdgeRNNBatch(t *testing.T) {
 		queries = append(queries, graphrnn.EdgeRNNQuery{Q: qloc, K: 1, Algo: graphrnn.Eager()})
 		want = append(want, res.Points)
 	}
-	results := db.EdgeRNNBatch(ps, queries, &graphrnn.BatchOptions{Parallelism: 2})
+	results, _ := db.EdgeRNNBatch(ps, queries, &graphrnn.BatchOptions{Parallelism: 2})
 	for i, r := range results {
 		if r.Err != nil {
 			t.Fatalf("query %d: %v", i, r.Err)

@@ -1,0 +1,179 @@
+package graphrnn
+
+import (
+	"context"
+	"time"
+
+	"graphrnn/internal/exec"
+)
+
+// This file is the engine layer of the execution model: every public query
+// entry point has a Context variant that threads cancellation, a per-query
+// deadline and work budgets through the algorithm loops in internal/core
+// and the hub-label intersection path. The plain variants (RNN, KNN, ...)
+// are the unbounded special case and pay no bookkeeping.
+//
+// # Error taxonomy
+//
+//	ErrCanceled         the context was canceled mid-flight
+//	ErrDeadlineExceeded the context's or QueryOptions' deadline passed
+//	ErrBudgetExceeded   the query exhausted MaxNodes or MaxIOReads
+//
+// All three are returned wrapped; match them with errors.Is. Alongside the
+// error the query returns a partial *Result: the members confirmed and the
+// work counted up to the point it was abandoned. A query issued with an
+// already-expired deadline fails upfront, before any page I/O.
+//
+// Cancellation is polled on every main-expansion step and every
+// exec.CheckStride pops inside sub-expansions, so a canceled query returns
+// within one expansion step.
+
+// Typed execution errors, re-exported from the engine substrate.
+var (
+	// ErrCanceled reports that the query's context was canceled.
+	ErrCanceled = exec.ErrCanceled
+	// ErrDeadlineExceeded reports that the query's deadline passed.
+	ErrDeadlineExceeded = exec.ErrDeadlineExceeded
+	// ErrBudgetExceeded reports that the query exhausted its work budget.
+	ErrBudgetExceeded = exec.ErrBudgetExceeded
+)
+
+// IsExecErr reports whether err is one of the typed execution-control
+// errors — the errors that accompany a partial Result rather than
+// invalidate it.
+func IsExecErr(err error) bool { return exec.IsExecErr(err) }
+
+// Budget caps the work one query may perform. The zero Budget is
+// unlimited.
+type Budget struct {
+	// MaxNodes bounds the total nodes popped by the query: the main
+	// expansion plus every sub-query (range-NN probes, verifications, the
+	// lazy-EP point heap). 0 = unlimited.
+	MaxNodes int64
+	// MaxIOReads bounds the physical page reads observed on the DB's
+	// buffer pool while the query runs. Under concurrent traffic the
+	// charge is approximate: overlapping queries' faults count toward
+	// whichever budget trips first. 0 = unlimited.
+	MaxIOReads int64
+}
+
+// QueryOptions bounds one query issued through a Context entry point. A
+// nil *QueryOptions applies only the context's own cancellation/deadline.
+type QueryOptions struct {
+	// Timeout, when positive, derives a per-query deadline from the
+	// context at query start (the tighter of the two deadlines wins).
+	Timeout time.Duration
+	// Budget caps the query's work.
+	Budget Budget
+}
+
+// newExec builds the execution context of one query: the per-query
+// deadline, the budget, and the I/O counter hook of the DB's buffer pool.
+// It fails upfront — before the caller performs any page I/O — when the
+// deadline has already passed or the context is already canceled. cancel
+// must be called when the query finishes to release the timeout timer.
+func (db *DB) newExec(ctx context.Context, opt *QueryOptions) (ec *exec.Ctx, cancel func(), err error) {
+	cancel = func() {}
+	if opt != nil && opt.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+	}
+	var b exec.Budget
+	if opt != nil {
+		b = exec.Budget(opt.Budget)
+	}
+	var io func() int64
+	if b.MaxIOReads > 0 {
+		io = db.pool.p.Reads
+	}
+	ec = exec.New(ctx, b, io)
+	if err := ec.Check(0); err != nil {
+		cancel()
+		return nil, nil, err
+	}
+	return ec, cancel, nil
+}
+
+// RNNContext is RNN under a context: the query stops with a typed error
+// (and a partial Result) when ctx is canceled, a deadline passes, or the
+// budget runs out.
+func (db *DB) RNNContext(ctx context.Context, ps pointsArg, q NodeID, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
+	ec, cancel, err := db.newExec(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return db.runRNN(ec, ps, q, k, algo)
+}
+
+// BichromaticRNNContext is BichromaticRNN under a context.
+func (db *DB) BichromaticRNNContext(ctx context.Context, cands, sites pointsArg, q NodeID, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
+	ec, cancel, err := db.newExec(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return db.runBichromaticRNN(ec, cands, sites, q, k, algo)
+}
+
+// ContinuousRNNContext is ContinuousRNN under a context.
+func (db *DB) ContinuousRNNContext(ctx context.Context, ps pointsArg, route []NodeID, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
+	ec, cancel, err := db.newExec(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return db.runContinuousRNN(ec, ps, route, k, algo)
+}
+
+// EdgeRNNContext is EdgeRNN under a context.
+func (db *DB) EdgeRNNContext(ctx context.Context, ps edgeArg, q Location, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
+	ec, cancel, err := db.newExec(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return db.runEdgeRNN(ec, ps, q, k, algo)
+}
+
+// EdgeBichromaticRNNContext is EdgeBichromaticRNN under a context.
+func (db *DB) EdgeBichromaticRNNContext(ctx context.Context, cands, sites edgeArg, q Location, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
+	ec, cancel, err := db.newExec(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return db.runEdgeBichromaticRNN(ec, cands, sites, q, k, algo)
+}
+
+// EdgeContinuousRNNContext is EdgeContinuousRNN under a context.
+func (db *DB) EdgeContinuousRNNContext(ctx context.Context, ps edgeArg, route []NodeID, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
+	ec, cancel, err := db.newExec(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	return db.runEdgeContinuousRNN(ec, ps, route, k, algo)
+}
+
+// KNNContext is KNN under a context. On a typed execution error the
+// neighbors found so far are returned alongside it.
+func (db *DB) KNNContext(ctx context.Context, ps pointsArg, n NodeID, k int, opt *QueryOptions) ([]Neighbor, error) {
+	ec, cancel, err := db.newExec(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	out, err := db.searcher.Bound(ec).KNN(ps.nodeView().v, toNodeIDs([]NodeID{n})[0], k)
+	return toNeighbors(out), err
+}
+
+// EdgeKNNContext is EdgeKNN under a context.
+func (db *DB) EdgeKNNContext(ctx context.Context, ps edgeArg, q Location, k int, opt *QueryOptions) ([]Neighbor, error) {
+	ec, cancel, err := db.newExec(ctx, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	out, err := db.searcher.Bound(ec).UKNN(ps.edgeView().v, q.toLoc(), k)
+	return toNeighbors(out), err
+}

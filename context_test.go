@@ -1,0 +1,489 @@
+package graphrnn_test
+
+// Execution-model coverage: cancellation, deadlines and budgets threaded
+// through every algorithm (run with -race), upfront deadline checks doing
+// no I/O, partial results, the shared buffer pool with per-tenant quotas,
+// batch fail-fast/cancellation, and the regression test for hub-label
+// stats surviving to the public API.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"graphrnn"
+)
+
+type ctxEnv struct {
+	db  *graphrnn.DB
+	ps  *graphrnn.NodePoints
+	mat *graphrnn.Materialization
+}
+
+// newCtxEnv builds a workload slow enough that a millisecond-scale
+// deadline reliably lands mid-expansion: a 6400-node grid with few points,
+// so every algorithm expands large regions per query.
+func newCtxEnv(t *testing.T, diskBacked bool) *ctxEnv {
+	t.Helper()
+	g, err := graphrnn.GenerateGrid(7, 6400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opt *graphrnn.Options
+	if diskBacked {
+		opt = &graphrnn.Options{DiskBacked: true, BufferPages: 16}
+	}
+	db, err := graphrnn.Open(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(8, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := db.MaterializeNodePoints(ps, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &ctxEnv{db: db, ps: ps, mat: mat}
+}
+
+func (e *ctxEnv) algos() map[string]graphrnn.Algorithm {
+	return map[string]graphrnn.Algorithm{
+		"eager":   graphrnn.Eager(),
+		"lazy":    graphrnn.Lazy(),
+		"lazy-ep": graphrnn.LazyEP(),
+		"eager-m": graphrnn.EagerM(e.mat),
+		"brute":   graphrnn.BruteForce(),
+	}
+}
+
+func (e *ctxEnv) slowQuery(t *testing.T) (graphrnn.NodePointsView, graphrnn.NodeID) {
+	t.Helper()
+	qp := e.ps.Points()[0]
+	qnode, _ := e.ps.NodeOf(qp)
+	return e.ps.Excluding(qp), qnode
+}
+
+// TestDeadlineMidExpansion: a deadline far shorter than the query lands
+// mid-flight on each of the five algorithms; the query must return a typed
+// ErrDeadlineExceeded promptly, with partial stats proving it both started
+// and stopped early.
+func TestDeadlineMidExpansion(t *testing.T) {
+	e := newCtxEnv(t, false)
+	view, qnode := e.slowQuery(t)
+	for name, algo := range e.algos() {
+		t.Run(name, func(t *testing.T) {
+			// Baseline: the full query finishes and does real work.
+			full, err := e.db.RNN(view, qnode, 4, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fullWork := full.Stats.NodesExpanded + full.Stats.NodesScanned
+			if fullWork < 1000 {
+				t.Fatalf("workload too small to interrupt: %d nodes", fullWork)
+			}
+			start := time.Now()
+			res, err := e.db.RNNContext(context.Background(), view, qnode, 4, algo,
+				&graphrnn.QueryOptions{Timeout: time.Millisecond})
+			elapsed := time.Since(start)
+			if err == nil {
+				t.Skip("query finished inside 1ms on this machine; nothing to interrupt")
+			}
+			if !errors.Is(err, graphrnn.ErrDeadlineExceeded) {
+				t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+			}
+			if !graphrnn.IsExecErr(err) {
+				t.Fatalf("IsExecErr(%v) = false", err)
+			}
+			if res == nil {
+				t.Fatal("no partial result alongside the exec error")
+			}
+			work := res.Stats.NodesExpanded + res.Stats.NodesScanned
+			if work == 0 {
+				t.Fatal("partial stats empty: deadline did not land mid-flight")
+			}
+			if work >= fullWork {
+				t.Fatalf("interrupted query did all the work: %d >= %d", work, fullWork)
+			}
+			if elapsed > 5*time.Second {
+				t.Fatalf("abandoning the query took %v", elapsed)
+			}
+		})
+	}
+}
+
+// TestCancelMidExpansion cancels the context from another goroutine while
+// each algorithm runs, asserting prompt return with ErrCanceled and no
+// goroutine leak. Run with -race, this also exercises the pooled scratch
+// under early returns.
+func TestCancelMidExpansion(t *testing.T) {
+	e := newCtxEnv(t, false)
+	view, qnode := e.slowQuery(t)
+	before := runtime.NumGoroutine()
+	for name, algo := range e.algos() {
+		t.Run(name, func(t *testing.T) {
+			canceled := false
+			for attempt := 0; attempt < 20 && !canceled; attempt++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				go func() {
+					time.Sleep(500 * time.Microsecond)
+					cancel()
+				}()
+				res, err := e.db.RNNContext(ctx, view, qnode, 4, algo, nil)
+				cancel()
+				if err == nil {
+					continue // finished before the cancel landed; retry
+				}
+				if !errors.Is(err, graphrnn.ErrCanceled) {
+					t.Fatalf("err = %v, want ErrCanceled", err)
+				}
+				if res == nil {
+					t.Fatal("no partial result alongside ErrCanceled")
+				}
+				canceled = true
+			}
+			if !canceled {
+				t.Skip("query always finished before the cancel on this machine")
+			}
+			// The pooled scratch must be intact: the same query still
+			// answers correctly after the aborted runs.
+			want, err := e.db.RNN(view, qnode, 4, graphrnn.BruteForce())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.db.RNN(view, qnode, 4, algo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePoints(got.Points, want.Points) {
+				t.Fatalf("after cancellations: got %v, want %v", got.Points, want.Points)
+			}
+		})
+	}
+	// Cancellation must not leave worker goroutines behind.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+// TestExpiredDeadlineNoIO: a query issued with an already-expired deadline
+// fails upfront and performs no page I/O at all.
+func TestExpiredDeadlineNoIO(t *testing.T) {
+	e := newCtxEnv(t, true)
+	view, qnode := e.slowQuery(t)
+	e.db.BufferPool().ResetStats()
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	for name, algo := range e.algos() {
+		res, err := e.db.RNNContext(ctx, view, qnode, 2, algo, nil)
+		if !errors.Is(err, graphrnn.ErrDeadlineExceeded) {
+			t.Fatalf("%s: err = %v, want ErrDeadlineExceeded", name, err)
+		}
+		if res != nil {
+			t.Fatalf("%s: result for an unstarted query", name)
+		}
+	}
+	// Hub-label lookups honor the expired deadline too.
+	idx, err := e.db.BuildHubLabelIndex(e.ps, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.db.BufferPool().ResetStats()
+	if _, err := e.db.RNNContext(ctx, view, qnode, 2, graphrnn.HubLabel(idx), nil); !errors.Is(err, graphrnn.ErrDeadlineExceeded) {
+		t.Fatalf("hub-label: err = %v, want ErrDeadlineExceeded", err)
+	}
+	if st := e.db.PoolStats(); st.Reads != 0 || st.Hits != 0 {
+		t.Fatalf("expired-deadline queries touched pages: %+v", st.IOStats)
+	}
+}
+
+// TestBudgetExceeded: MaxNodes stops a query within one polling stride of
+// the budget; MaxIOReads stops a disk-backed query.
+func TestBudgetExceeded(t *testing.T) {
+	e := newCtxEnv(t, false)
+	view, qnode := e.slowQuery(t)
+	for name, algo := range e.algos() {
+		t.Run(name, func(t *testing.T) {
+			const budget = 500
+			res, err := e.db.RNNContext(context.Background(), view, qnode, 4, algo,
+				&graphrnn.QueryOptions{Budget: graphrnn.Budget{MaxNodes: budget}})
+			if !errors.Is(err, graphrnn.ErrBudgetExceeded) {
+				t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+			}
+			if res == nil {
+				t.Fatal("no partial result alongside ErrBudgetExceeded")
+			}
+			work := res.Stats.NodesExpanded + res.Stats.NodesScanned
+			if work <= budget/2 || work > budget+256 {
+				t.Fatalf("stopped at %d nodes, budget %d", work, budget)
+			}
+		})
+	}
+	t.Run("io", func(t *testing.T) {
+		disk := newCtxEnv(t, true)
+		dview, dq := disk.slowQuery(t)
+		if err := disk.db.DropCache(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := disk.db.RNNContext(context.Background(), dview, dq, 4, graphrnn.Eager(),
+			&graphrnn.QueryOptions{Budget: graphrnn.Budget{MaxIOReads: 4}})
+		if !errors.Is(err, graphrnn.ErrBudgetExceeded) {
+			t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+		}
+		if res == nil {
+			t.Fatal("no partial result alongside ErrBudgetExceeded")
+		}
+	})
+}
+
+// TestHubLabelStatsAtPublicAPI is the regression test for wrapResult
+// dropping LabelReads/LabelEntries: a hub-label query through the public
+// API must report nonzero label counters.
+func TestHubLabelStatsAtPublicAPI(t *testing.T) {
+	e := newCtxEnv(t, false)
+	idx, err := e.db.BuildHubLabelIndex(e.ps, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, qnode := e.slowQuery(t)
+	res, err := e.db.RNN(view, qnode, 2, graphrnn.HubLabel(idx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LabelReads == 0 {
+		t.Fatal("hub-label query reports zero LabelReads at the public API")
+	}
+	if res.Stats.LabelEntries == 0 {
+		t.Fatal("hub-label query reports zero LabelEntries at the public API")
+	}
+	// The Context variant carries them too.
+	res, err = e.db.RNNContext(context.Background(), view, qnode, 2, graphrnn.HubLabel(idx),
+		&graphrnn.QueryOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.LabelReads == 0 || res.Stats.LabelEntries == 0 {
+		t.Fatalf("context hub-label query dropped label counters: %+v", res.Stats)
+	}
+}
+
+// TestSharedBufferPool: graph pages, materialized lists and hub-label
+// pages demonstrably share one pool — one stats source whose aggregate is
+// the per-tenant sum — and a tenant quota is enforced.
+func TestSharedBufferPool(t *testing.T) {
+	g, err := graphrnn.GenerateGrid(7, 2500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, &graphrnn.Options{DiskBacked: true, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(8, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := db.MaterializeNodePoints(ps, 4, &graphrnn.MatOptions{BufferPages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.BuildHubLabelIndex(ps, 2, &graphrnn.HubLabelOptions{DiskBacked: true, BufferPages: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, qp := range ps.Points()[:10] {
+		qnode, _ := ps.NodeOf(qp)
+		view := ps.Excluding(qp)
+		for _, algo := range []graphrnn.Algorithm{graphrnn.Eager(), graphrnn.EagerM(mat), graphrnn.HubLabel(idx)} {
+			if _, err := db.RNN(view, qnode, 2, algo); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := db.PoolStats()
+	names := map[string]graphrnn.TenantIOStats{}
+	var sum graphrnn.IOStats
+	for _, ten := range st.Tenants {
+		names[ten.Name] = ten
+		sum.Reads += ten.Reads
+		sum.Hits += ten.Hits
+		sum.Writes += ten.Writes
+		sum.Evictions += ten.Evictions
+	}
+	for _, want := range []string{"graph", "mat", "hublabel"} {
+		ten, ok := names[want]
+		if !ok {
+			t.Fatalf("tenant %q missing from pool (have %v)", want, st.Tenants)
+		}
+		if ten.Reads+ten.Hits == 0 {
+			t.Fatalf("tenant %q saw no traffic", want)
+		}
+	}
+	if st.IOStats != sum {
+		t.Fatalf("pool aggregate %+v != tenant sum %+v", st.IOStats, sum)
+	}
+	// The mat tenant's quota of 2 frames is enforced under load.
+	if f := names["mat"].Frames; f > 2 {
+		t.Fatalf("mat tenant holds %d frames, quota 2", f)
+	}
+	if q := names["mat"].Quota; q != 2 {
+		t.Fatalf("mat quota = %d, want 2", q)
+	}
+	// Substrate-level stats remain the same tenant counters (single
+	// source): the DB's adjacency view equals the graph tenant.
+	if got := db.IOStats(); got != names["graph"].IOStats {
+		t.Fatalf("db.IOStats() %+v != graph tenant %+v", got, names["graph"].IOStats)
+	}
+	// A paged edge-point snapshot attaches as its own tenant and Close
+	// detaches it again (no tenant leak across repeated snapshots).
+	hasTenant := func(name string) bool {
+		for _, ten := range db.PoolStats().Tenants {
+			if ten.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	pep, err := db.NewEdgePoints().Paged(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasTenant("edgepoints") {
+		t.Fatal("edgepoints tenant missing after Paged")
+	}
+	if err := pep.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if hasTenant("edgepoints") {
+		t.Fatal("edgepoints tenant still attached after Close")
+	}
+	if err := pep.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestBatchCancellationAndWorkers covers the batch layer's engine
+// semantics: reported worker counts, fail-fast, and batch-level
+// cancellation marking undispatched entries instead of running them.
+func TestBatchCancellationAndWorkers(t *testing.T) {
+	e := newCtxEnv(t, false)
+	qp := e.ps.Points()[0]
+	qnode, _ := e.ps.NodeOf(qp)
+
+	// Worker count is capped by the batch size.
+	queries := []graphrnn.RNNQuery{
+		{Q: qnode, K: 1, Algo: graphrnn.Eager()},
+		{Q: qnode, K: 2, Algo: graphrnn.Eager()},
+	}
+	if _, workers := e.db.RNNBatch(e.ps, queries, &graphrnn.BatchOptions{Parallelism: 8}); workers != 2 {
+		t.Fatalf("workers = %d, want 2 (capped by batch size)", workers)
+	}
+
+	// Fail-fast: an invalid entry cancels everything behind it.
+	ff := []graphrnn.RNNQuery{
+		{Q: qnode, K: 1, Algo: graphrnn.Eager()},
+		{Q: qnode, K: -1, Algo: graphrnn.Eager()}, // invalid: fails
+		{Q: qnode, K: 1, Algo: graphrnn.Eager()},
+		{Q: qnode, K: 2, Algo: graphrnn.Eager()},
+	}
+	results, workers := e.db.RNNBatch(e.ps, ff, &graphrnn.BatchOptions{Parallelism: 1, FailFast: true})
+	if workers != 1 {
+		t.Fatalf("workers = %d, want 1", workers)
+	}
+	if results[0].Err != nil {
+		t.Fatalf("entry 0: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("invalid entry did not fail")
+	}
+	canceled := 0
+	for _, r := range results[2:] {
+		if errors.Is(r.Err, graphrnn.ErrCanceled) {
+			canceled++
+		}
+	}
+	if canceled != 2 {
+		t.Fatalf("fail-fast canceled %d of 2 queued entries: %+v", canceled, results)
+	}
+
+	// A batch issued under a canceled context runs nothing.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, _ = e.db.RNNBatchContext(ctx, e.ps, queries, &graphrnn.BatchOptions{Parallelism: 2})
+	for i, r := range results {
+		if !errors.Is(r.Err, graphrnn.ErrCanceled) {
+			t.Fatalf("entry %d of a canceled batch: err = %v", i, r.Err)
+		}
+	}
+
+	// Per-query budgets apply to every entry.
+	results, _ = e.db.RNNBatch(e.ps, []graphrnn.RNNQuery{{Q: qnode, K: 4, Algo: graphrnn.Eager()}},
+		&graphrnn.BatchOptions{PerQuery: &graphrnn.QueryOptions{Budget: graphrnn.Budget{MaxNodes: 100}}})
+	if !errors.Is(results[0].Err, graphrnn.ErrBudgetExceeded) {
+		t.Fatalf("per-query budget: err = %v", results[0].Err)
+	}
+}
+
+// TestKNNContext: the forward search honors deadlines and budgets too.
+func TestKNNContext(t *testing.T) {
+	e := newCtxEnv(t, false)
+	_, qnode := e.slowQuery(t)
+	if _, err := e.db.KNNContext(context.Background(), e.ps, qnode, 4, nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := e.db.KNNContext(ctx, e.ps, qnode, 4, nil); !errors.Is(err, graphrnn.ErrDeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrDeadlineExceeded", err)
+	}
+	_, err := e.db.KNNContext(context.Background(), e.ps, qnode, 24,
+		&graphrnn.QueryOptions{Budget: graphrnn.Budget{MaxNodes: 64}})
+	if !errors.Is(err, graphrnn.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+}
+
+// TestEdgeContextVariants smoke-tests the unrestricted Context entry
+// points: budget errors surface and unbounded calls still match RNN.
+func TestEdgeContextVariants(t *testing.T) {
+	g, err := graphrnn.GenerateGrid(9, 2500, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomEdgePoints(10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := graphrnn.NodeLocation(0)
+	want, err := db.EdgeRNN(ps, q, 2, graphrnn.Eager())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.EdgeRNNContext(context.Background(), ps, q, 2, graphrnn.Eager(),
+		&graphrnn.QueryOptions{Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !samePoints(got.Points, want.Points) {
+		t.Fatalf("EdgeRNNContext %v != EdgeRNN %v", got.Points, want.Points)
+	}
+	res, err := db.EdgeRNNContext(context.Background(), ps, q, 4, graphrnn.Lazy(),
+		&graphrnn.QueryOptions{Budget: graphrnn.Budget{MaxNodes: 50}})
+	if !errors.Is(err, graphrnn.ErrBudgetExceeded) {
+		t.Fatalf("err = %v, want ErrBudgetExceeded", err)
+	}
+	if res == nil {
+		t.Fatal("no partial result")
+	}
+}

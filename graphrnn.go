@@ -158,6 +158,12 @@ type Options struct {
 	// Path, when non-empty, stores the page file on disk at this location
 	// instead of in memory.
 	Path string
+	// Pool, when non-nil, serves the graph's pages from the given shared
+	// buffer pool instead of a DB-private one; BufferPages becomes the
+	// graph tenant's frame quota within it. Every substrate the DB builds
+	// later (materializations, hub labels, paged edge points) joins the
+	// same pool.
+	Pool *BufferPool
 }
 
 // DB is a queryable RNN database over one graph.
@@ -175,6 +181,13 @@ type DB struct {
 	store    graph.Access
 	disk     *storage.DiskStore
 	searcher *core.Searcher
+	// pool is the shared buffer pool every paged substrate of this DB
+	// attaches to (graph pages, materialized lists, hub labels, paged
+	// edge points). DB-owned pools are elastic: each attach grows the
+	// capacity by the substrate's BufferPages, so defaults behave like
+	// the former independent buffers. A pool passed through Options.Pool
+	// keeps its fixed capacity and quotas partition it.
+	pool *BufferPool
 }
 
 // Layout chooses the order in which adjacency lists are packed into pages
@@ -217,17 +230,22 @@ func OpenWithLayout(g *Graph, opt *Options, layout Layout) (*DB, error) {
 		return nil, fmt.Errorf("graphrnn: nil graph")
 	}
 	db := &DB{graph: g}
+	if opt != nil && opt.Pool != nil {
+		db.pool = opt.Pool
+	} else {
+		db.pool = newElasticPool()
+	}
 	if opt != nil && opt.DiskBacked {
 		pageSize := opt.PageSize
 		if pageSize == 0 {
 			pageSize = storage.DefaultPageSize
 		}
-		bufferPages := opt.BufferPages
-		if bufferPages == 0 && !opt.NoBuffer {
-			bufferPages = 256
+		quota := opt.BufferPages
+		if quota == 0 && !opt.NoBuffer && opt.Pool == nil {
+			quota = 256
 		}
 		if opt.NoBuffer {
-			bufferPages = 0
+			quota = storage.NoCache
 		}
 		var file storage.PagedFile
 		if opt.Path != "" {
@@ -243,7 +261,8 @@ func OpenWithLayout(g *Graph, opt *Options, layout Layout) (*DB, error) {
 		if layout.order != nil {
 			order = layout.order(g.g)
 		}
-		ds, err := storage.BuildDiskStore(g.g, file, bufferPages, order)
+		bm := db.pool.attach("graph", file, quota)
+		ds, err := storage.BuildDiskStoreBuffer(g.g, file, bm, 0, order)
 		if err != nil {
 			return nil, err
 		}
@@ -267,6 +286,17 @@ type IOStats struct {
 	Hits int64
 	// Writes counts physical page writes.
 	Writes int64
+	// Evictions counts frames pushed out by LRU replacement.
+	Evictions int64
+}
+
+// HitRate returns the fraction of logical reads served from the buffer,
+// or 0 when nothing was read.
+func (s IOStats) HitRate() float64 {
+	if s.Reads+s.Hits == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Reads+s.Hits)
 }
 
 // IOStats returns the adjacency file traffic; zero when the DB is not
@@ -275,8 +305,7 @@ func (db *DB) IOStats() IOStats {
 	if db.disk == nil {
 		return IOStats{}
 	}
-	s := db.disk.Stats()
-	return IOStats{Reads: s.Reads, Hits: s.Hits, Writes: s.Writes}
+	return ioStatsOf(db.disk.Stats())
 }
 
 // ResetIOStats zeroes the adjacency I/O counters. It is safe to call while

@@ -3,6 +3,8 @@ package graphrnn
 import (
 	"fmt"
 
+	"graphrnn/internal/core"
+	"graphrnn/internal/exec"
 	"graphrnn/internal/graph"
 	"graphrnn/internal/hublabel"
 	"graphrnn/internal/points"
@@ -95,8 +97,10 @@ func (db *DB) BuildHubLabelIndex(ps *NodePoints, maxK int, opt *HubLabelOptions)
 			file.Close()
 			return nil, err
 		}
-		h.store, err = hublabel.OpenStore(file, buffer)
+		bm := db.pool.attach("hublabel", file, buffer)
+		h.store, err = hublabel.OpenStoreBuffer(file, bm)
 		if err != nil {
+			_ = bm.Detach()
 			file.Close()
 			return nil, err
 		}
@@ -126,12 +130,15 @@ func (db *DB) OpenHubLabelIndex(ps *NodePoints, maxK int, path string, opt *HubL
 	if err != nil {
 		return nil, err
 	}
-	store, err := hublabel.OpenStore(file, buffer)
+	bm := db.pool.attach("hublabel", file, buffer)
+	store, err := hublabel.OpenStoreBuffer(file, bm)
 	if err != nil {
+		_ = bm.Detach()
 		file.Close()
 		return nil, err
 	}
 	if store.NumNodes() != db.store.NumNodes() {
+		_ = bm.Detach()
 		file.Close()
 		return nil, fmt.Errorf("graphrnn: label file covers %d nodes, graph has %d",
 			store.NumNodes(), db.store.NumNodes())
@@ -164,9 +171,13 @@ func (h *HubLabelIndex) SaveTo(path string) error {
 	return f.Close()
 }
 
-// Close releases the label file, if any. Queries must not be in flight.
+// Close detaches the label pages from the shared buffer pool and releases
+// the label file, if any. Queries must not be in flight.
 func (h *HubLabelIndex) Close() error {
 	if h.store != nil {
+		if err := h.store.Buffer().Detach(); err != nil {
+			return err
+		}
 		return h.store.Close()
 	}
 	return nil
@@ -256,7 +267,14 @@ func hubPointsOf(ps *NodePoints) []hublabel.PointOnNode {
 }
 
 func hubStats(st hublabel.QueryStats) Stats {
-	return Stats{
+	return statsOf(coreHubStats(st))
+}
+
+// coreHubStats maps hub-label query counters onto core.Stats, so the
+// hub-label dispatch flows through the same wrapResult as every expansion
+// algorithm (and its LabelReads/LabelEntries survive to the public API).
+func coreHubStats(st hublabel.QueryStats) core.Stats {
+	return core.Stats{
 		LabelReads:    st.LabelReads,
 		LabelEntries:  st.Entries,
 		Verifications: st.Fallbacks,
@@ -271,42 +289,42 @@ func (h *HubLabelIndex) hiddenIn(v points.NodeView) (points.PointID, error) {
 	return h.idx.HiddenIn(v)
 }
 
-// runRNN executes a monochromatic query through the index.
-func (h *HubLabelIndex) runRNN(v points.NodeView, q NodeID, k int) (*Result, error) {
+// runRNN executes a monochromatic query through the index under ec.
+func (h *HubLabelIndex) runRNN(ec *exec.Ctx, v points.NodeView, q NodeID, k int) (*core.Result, error) {
 	hidden, err := h.hiddenIn(v)
 	if err != nil {
 		return nil, err
 	}
-	pts, st, err := h.idx.RkNN(graph.NodeID(q), k, hidden)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Points: fromPointIDs(pts), Stats: hubStats(st)}, nil
+	pts, st, err := h.idx.RkNNExec(ec, graph.NodeID(q), k, hidden)
+	return hubResult(pts, st, err)
 }
 
-// runContinuous executes a route query through the index.
-func (h *HubLabelIndex) runContinuous(v points.NodeView, route []NodeID, k int) (*Result, error) {
+// runContinuous executes a route query through the index under ec.
+func (h *HubLabelIndex) runContinuous(ec *exec.Ctx, v points.NodeView, route []NodeID, k int) (*core.Result, error) {
 	hidden, err := h.hiddenIn(v)
 	if err != nil {
 		return nil, err
 	}
-	pts, st, err := h.idx.ContinuousRkNN(toNodeIDs(route), k, hidden)
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Points: fromPointIDs(pts), Stats: hubStats(st)}, nil
+	pts, st, err := h.idx.ContinuousRkNNExec(ec, toNodeIDs(route), k, hidden)
+	return hubResult(pts, st, err)
 }
 
 // runBichromatic executes a bichromatic query: sites come from the index,
 // candidates from the caller's view.
-func (h *HubLabelIndex) runBichromatic(cands, sites points.NodeView, q NodeID, k int) (*Result, error) {
+func (h *HubLabelIndex) runBichromatic(ec *exec.Ctx, cands, sites points.NodeView, q NodeID, k int) (*core.Result, error) {
 	hiddenSite, err := h.hiddenIn(sites)
 	if err != nil {
 		return nil, err
 	}
-	pts, st, err := h.idx.BichromaticRkNN(cands, graph.NodeID(q), k, hiddenSite)
-	if err != nil {
+	pts, st, err := h.idx.BichromaticRkNNExec(ec, cands, graph.NodeID(q), k, hiddenSite)
+	return hubResult(pts, st, err)
+}
+
+// hubResult shapes a hub-label answer like a core result: on an
+// execution-control error the partial stats ride along with it.
+func hubResult(pts []points.PointID, st hublabel.QueryStats, err error) (*core.Result, error) {
+	if err != nil && !exec.IsExecErr(err) {
 		return nil, err
 	}
-	return &Result{Points: fromPointIDs(pts), Stats: hubStats(st)}, nil
+	return &core.Result{Points: pts, Stats: coreHubStats(st)}, err
 }

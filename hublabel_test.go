@@ -385,7 +385,7 @@ func TestHubLabelBatchConcurrent(t *testing.T) {
 		want = append(want, res.Points)
 	}
 	for _, par := range []int{1, 4, 16} {
-		results := db.RNNBatch(ps, queries, &graphrnn.BatchOptions{Parallelism: par})
+		results, _ := db.RNNBatch(ps, queries, &graphrnn.BatchOptions{Parallelism: par})
 		for i, r := range results {
 			if r.Err != nil {
 				t.Fatalf("parallelism %d query %d: %v", par, i, r.Err)

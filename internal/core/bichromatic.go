@@ -42,10 +42,13 @@ func (s *Searcher) EagerBichromatic(cands, sites points.NodeView, qnode graph.No
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		var err error
 		found, err = s.rangeNN(&st, sites, n, k, d, found)
 		if err != nil {
-			return nil, err
+			return execResult(results, st, err)
 		}
 		if len(found) >= k {
 			continue // k sites strictly closer: n is outside the region
@@ -89,6 +92,9 @@ func (s *Searcher) EagerMBichromatic(cands, sites points.NodeView, mat *Material
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		var err error
 		lst, err = mat.List(n, lst)
 		if err != nil {
@@ -149,6 +155,9 @@ func (s *Searcher) LazyBichromatic(cands, sites points.NodeView, qnode graph.Nod
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		if counts.get(n) >= int32(k) {
 			continue // k sites closer than q: outside the region
 		}
@@ -157,7 +166,7 @@ func (s *Searcher) LazyBichromatic(cands, sites points.NodeView, qnode graph.Nod
 			// Run the verification expansion purely for its pruning side
 			// effects (counter increments, heap-entry removal).
 			if _, err := s.lazyVerify(&st, sites, site, n, target, k, d, main, counts, children); err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 		}
 		if p, ok := cands.PointAt(n); ok && !seenCand[p] {
@@ -167,7 +176,7 @@ func (s *Searcher) LazyBichromatic(cands, sites points.NodeView, qnode graph.Nod
 			var err error
 			probe, err = s.rangeNN(&st, sites, n, k, d, probe)
 			if err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 			if len(probe) < k {
 				results = append(results, p)
@@ -218,6 +227,9 @@ func (s *Searcher) LazyEPBichromatic(cands, sites points.NodeView, qnode graph.N
 			}
 			e, d, _ := hp.Pop()
 			st.NodesScanned++
+			if err := s.checkExecStride(&st); err != nil {
+				return err
+			}
 			lst := found[e.node]
 			if !insertFound(&lst, e.p, d, k) {
 				continue
@@ -245,7 +257,7 @@ func (s *Searcher) LazyEPBichromatic(cands, sites points.NodeView, qnode graph.N
 	for {
 		if top, ok := main.heap.Peek(); ok {
 			if err := advanceHP(top.Priority()); err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 		}
 		n, d, ok := main.pop()
@@ -253,6 +265,9 @@ func (s *Searcher) LazyEPBichromatic(cands, sites points.NodeView, qnode graph.N
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		lst := found[n]
 		pruned := len(lst) >= k && lst[k-1].D < d
 		if site, ok := sites.PointAt(n); ok && !seenSite[site] {
@@ -271,7 +286,7 @@ func (s *Searcher) LazyEPBichromatic(cands, sites points.NodeView, qnode graph.N
 				var err error
 				probe, err = s.rangeNN(&st, sites, n, k, d, probe)
 				if err != nil {
-					return nil, err
+					return execResult(results, st, err)
 				}
 				if len(probe) < k {
 					results = append(results, p)

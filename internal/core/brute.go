@@ -40,6 +40,11 @@ func (s *Searcher) brute(cands, sites points.NodeView, mono bool, target nodeTar
 	var st Stats
 	var results []points.PointID
 	for _, p := range cands.Points() {
+		// One candidate's verification is one expansion step of the
+		// brute-force strategy.
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		pnode, ok := cands.NodeOf(p)
 		if !ok {
 			continue
@@ -50,7 +55,7 @@ func (s *Searcher) brute(cands, sites points.NodeView, mono bool, target nodeTar
 		}
 		member, err := s.verify(&st, sites, self, pnode, target, k, math.Inf(1))
 		if err != nil {
-			return nil, err
+			return execResult(results, st, err)
 		}
 		if member {
 			results = append(results, p)

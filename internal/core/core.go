@@ -33,6 +33,7 @@ package core
 import (
 	"sort"
 
+	"graphrnn/internal/exec"
 	"graphrnn/internal/points"
 )
 
@@ -49,6 +50,11 @@ type Stats struct {
 	Verifications int64
 	// MatReads counts materialized K-NN list lookups (eager-M).
 	MatReads int64
+	// LabelReads counts hub label fetches (hub-label substrate; populated
+	// by the hub-label dispatch, not by the expansion algorithms).
+	LabelReads int64
+	// LabelEntries counts label and hub-list entries scanned (hub-label).
+	LabelEntries int64
 	// HeapPushes and HeapPops count priority queue traffic across all heaps.
 	HeapPushes int64
 	HeapPops   int64
@@ -61,6 +67,8 @@ func (s *Stats) Add(o Stats) {
 	s.RangeNN += o.RangeNN
 	s.Verifications += o.Verifications
 	s.MatReads += o.MatReads
+	s.LabelReads += o.LabelReads
+	s.LabelEntries += o.LabelEntries
 	s.HeapPushes += o.HeapPushes
 	s.HeapPops += o.HeapPops
 }
@@ -76,6 +84,17 @@ type Result struct {
 func finishResult(ids []points.PointID, st Stats) *Result {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return &Result{Points: ids, Stats: st}
+}
+
+// execResult finishes a query abandoned by an error: execution-control
+// errors (cancellation, deadline, budget — see errors.go) carry the
+// partial result and its stats out alongside the error, every other error
+// invalidates the result.
+func execResult(ids []points.PointID, st Stats, err error) (*Result, error) {
+	if exec.IsExecErr(err) {
+		return finishResult(ids, st), err
+	}
+	return nil, err
 }
 
 // PointDist pairs a point with a network distance.

@@ -58,10 +58,13 @@ func (s *Searcher) eager(ps points.NodeView, sources []graph.NodeID, target node
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		var err error
 		found, err = s.rangeNN(&st, ps, n, k, d, found)
 		if err != nil {
-			return nil, err
+			return execResult(results, st, err)
 		}
 		for _, pd := range found {
 			if verified[pd.P] {
@@ -76,7 +79,7 @@ func (s *Searcher) eager(ps points.NodeView, sources []graph.NodeID, target node
 			// verification reaches the query at its exact distance.
 			member, err := s.verify(&st, ps, pd.P, pnode, target, k, d+pd.D)
 			if err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 			if member {
 				results = append(results, pd.P)

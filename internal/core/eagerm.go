@@ -72,6 +72,9 @@ func (s *Searcher) eagerM(ps points.NodeView, mat *Materialized, sources []graph
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		var err error
 		lst, err = mat.List(n, lst)
 		if err != nil {
@@ -96,7 +99,7 @@ func (s *Searcher) eagerM(ps points.NodeView, mat *Materialized, sources []graph
 			verified[e.P] = true
 			member, err := s.verifyWithMat(&st, ps, mat, e.P, target, k, d+e.D, &plst)
 			if err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 			if member {
 				results = append(results, e.P)

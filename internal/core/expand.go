@@ -54,6 +54,9 @@ func (s *Searcher) rangeNN(st *Stats, ps points.NodeView, n graph.NodeID, k int,
 			break
 		}
 		st.NodesScanned++
+		if err := s.checkExecStride(st); err != nil {
+			return out, err
+		}
 		if p, has := ps.PointAt(m); has {
 			out = append(out, PointDist{P: p, D: d})
 			if len(out) >= k {
@@ -101,6 +104,9 @@ func (s *Searcher) verify(st *Stats, sites points.NodeView, self points.PointID,
 			return false, nil // target unreachable within ub
 		}
 		st.NodesScanned++
+		if err := s.checkExecStride(st); err != nil {
+			return false, err
+		}
 		if d > lastDist {
 			strictCount += sameCount
 			sameCount = 0

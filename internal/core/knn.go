@@ -16,6 +16,9 @@ func (s *Searcher) KNN(ps points.NodeView, n graph.NodeID, k int) ([]PointDist, 
 		return nil, err
 	}
 	var st Stats
+	if err := s.checkExec(&st); err != nil {
+		return nil, err
+	}
 	return s.rangeNN(&st, ps, n, k, math.Inf(1), nil)
 }
 
@@ -29,5 +32,8 @@ func (s *Searcher) UKNN(ps points.EdgeView, q Loc, k int) ([]PointDist, error) {
 		return nil, err
 	}
 	var st Stats
+	if err := s.checkExec(&st); err != nil {
+		return nil, err
+	}
 	return s.uRangeNN(&st, ps, q, k, math.Inf(1), nil)
 }

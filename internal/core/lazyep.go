@@ -55,6 +55,9 @@ func (s *Searcher) lazyEP(ps points.NodeView, sources []graph.NodeID, target nod
 			}
 			e, d, _ := hp.Pop()
 			st.NodesScanned++
+			if err := s.checkExecStride(&st); err != nil {
+				return err
+			}
 			lst := found[e.node]
 			improved := insertFound(&lst, e.p, d, k)
 			if !improved {
@@ -90,7 +93,7 @@ func (s *Searcher) lazyEP(ps points.NodeView, sources []graph.NodeID, target nod
 	for {
 		if top, ok := main.heap.Peek(); ok {
 			if err := advanceHP(top.Priority()); err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 		}
 		n, d, ok := main.pop()
@@ -98,6 +101,9 @@ func (s *Searcher) lazyEP(ps points.NodeView, sources []graph.NodeID, target nod
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		lst := found[n]
 		dStrict := strictBound(d)
 		pruned := len(lst) >= k && lst[k-1].D < dStrict
@@ -115,7 +121,7 @@ func (s *Searcher) lazyEP(ps points.NodeView, sources []graph.NodeID, target nod
 			if closer < k {
 				member, err := s.verify(&st, ps, p, n, target, k, d)
 				if err != nil {
-					return nil, err
+					return execResult(results, st, err)
 				}
 				if member {
 					results = append(results, p)

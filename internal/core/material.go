@@ -208,11 +208,19 @@ type matHeapEntry struct {
 // node, the maxK+1 nearest data points in a single network expansion seeded
 // at every point location. The lists are packed into file (which must be
 // empty) in the given node order (nil = node id order) and read back
-// through a buffer of bufferPages pages.
+// through a private buffer of bufferPages pages. Use MatBuildBuffer to
+// serve the lists through a shared buffer pool instead.
 //
 // Complexity is O(K·|E|·log(K·|E|)), as in the paper; pushes that provably
 // cannot improve a list are filtered to keep the heap small.
 func (s *Searcher) MatBuild(seeds []MatSeed, maxK int, file storage.PagedFile, bufferPages int, order []graph.NodeID) (*Materialized, error) {
+	return s.MatBuildBuffer(seeds, maxK, file, storage.NewBufferManager(file, bufferPages), order)
+}
+
+// MatBuildBuffer is MatBuild reading the packed lists back through bm,
+// which must wrap file — typically a tenant of the process-wide buffer
+// pool, so list pages share frames (and stats) with every other substrate.
+func (s *Searcher) MatBuildBuffer(seeds []MatSeed, maxK int, file storage.PagedFile, bm *storage.BufferManager, order []graph.NodeID) (*Materialized, error) {
 	if maxK < 1 {
 		return nil, fmt.Errorf("core: maxK must be >= 1, got %d", maxK)
 	}
@@ -325,7 +333,7 @@ func (s *Searcher) MatBuild(seeds []MatSeed, maxK int, file storage.PagedFile, b
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	m.bm = storage.NewBufferManager(file, bufferPages)
+	m.bm = bm
 	m.pages.New = func() any { return make([]byte, m.bm.File().PageSize()) }
 	return m, nil
 }
@@ -355,6 +363,9 @@ func (s *Searcher) MatInsert(m *Materialized, seeds []MatSeed) (Stats, error) {
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return st, err
+		}
 		var err error
 		lst, err = m.List(n, lst)
 		if err != nil {
@@ -442,6 +453,9 @@ func (s *Searcher) MatDelete(m *Materialized, p points.PointID, seeds []MatSeed)
 			break
 		}
 		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return st, err
+		}
 		var err error
 		lst, err = m.List(n, lst)
 		if err != nil {
@@ -523,6 +537,9 @@ func (s *Searcher) MatDelete(m *Materialized, p points.PointID, seeds []MatSeed)
 			break
 		}
 		st.NodesScanned++
+		if err := s.checkExecStride(&st); err != nil {
+			return st, err
+		}
 		var err error
 		lst, err = m.List(e.node, lst)
 		if err != nil {

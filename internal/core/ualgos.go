@@ -194,11 +194,14 @@ func (s *Searcher) uEager(cands, sites points.EdgeView, mono bool, mat *Material
 		switch ent.kind {
 		case uKindPoint:
 			if err := verifyCandidate(ent.p, d); err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 		case uKindNode:
 			n := ent.node
 			st.NodesExpanded++
+			if err := s.checkExec(&st); err != nil {
+				return execResult(results, st, err)
+			}
 			closer := 0
 			if mat != nil {
 				var err error
@@ -388,7 +391,7 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 					if ok {
 						member, err := s.uLazyVerify(&st, sites, p, PointLoc(loc), target, k, d, w, counts, children)
 						if err != nil {
-							return nil, err
+							return execResult(results, st, err)
 						}
 						if mono && member {
 							results = append(results, p)
@@ -403,7 +406,7 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 					if ok {
 						member, err := s.uVerify(&st, sites, points.NoPoint, PointLoc(loc), target, k, d)
 						if err != nil {
-							return nil, err
+							return execResult(results, st, err)
 						}
 						if member {
 							results = append(results, p)
@@ -414,6 +417,9 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 		case uKindNode:
 			n := ent.node
 			st.NodesExpanded++
+			if err := s.checkExec(&st); err != nil {
+				return execResult(results, st, err)
+			}
 			if counts.get(n) >= int32(k) {
 				continue
 			}
@@ -533,6 +539,9 @@ func (s *Searcher) uLazyVerify(st *Stats, sites points.EdgeView, self points.Poi
 		case uKindNode:
 			m := ent.node
 			st.NodesScanned++
+			if err := s.checkExecStride(st); err != nil {
+				return false, err
+			}
 			if target.nodeHit(m) {
 				return true, nil
 			}
@@ -609,6 +618,9 @@ func (s *Searcher) uLazyEP(cands, sites points.EdgeView, mono bool, sources []Lo
 			}
 			e, d, _ := hp.Pop()
 			st.NodesScanned++
+			if err := s.checkExecStride(&st); err != nil {
+				return err
+			}
 			lst := found[e.node]
 			if !insertFound(&lst, e.p, d, k) {
 				continue
@@ -676,7 +688,7 @@ func (s *Searcher) uLazyEP(cands, sites points.EdgeView, mono bool, sources []Lo
 	for {
 		if top, ok := w.heap.Peek(); ok {
 			if err := advanceHP(top.Priority()); err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 		}
 		ent, d, ok := w.pop()
@@ -697,7 +709,7 @@ func (s *Searcher) uLazyEP(cands, sites points.EdgeView, mono bool, sources []Lo
 						if ok {
 							member, err := s.epClassify(&st, found, sites, p, p, loc, target, k, d, &adj)
 							if err != nil {
-								return nil, err
+								return execResult(results, st, err)
 							}
 							if member {
 								results = append(results, p)
@@ -713,7 +725,7 @@ func (s *Searcher) uLazyEP(cands, sites points.EdgeView, mono bool, sources []Lo
 					if ok {
 						member, err := s.epClassify(&st, found, sites, points.NoPoint, p, loc, target, k, d, &adj)
 						if err != nil {
-							return nil, err
+							return execResult(results, st, err)
 						}
 						if member {
 							results = append(results, p)
@@ -724,6 +736,9 @@ func (s *Searcher) uLazyEP(cands, sites points.EdgeView, mono bool, sources []Lo
 		case uKindNode:
 			n := ent.node
 			st.NodesExpanded++
+			if err := s.checkExec(&st); err != nil {
+				return execResult(results, st, err)
+			}
 			lst := found[n]
 			if len(lst) >= k && lst[k-1].D < strictBound(d) {
 				continue // dominated by k discovered competitors
@@ -823,6 +838,11 @@ func (s *Searcher) uBrute(cands, sites points.EdgeView, mono bool, target uTarge
 	}
 	var results []points.PointID
 	for _, p := range cands.Points() {
+		// One candidate's verification is one expansion step of the
+		// brute-force strategy.
+		if err := s.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		loc, ok := cands.Loc(p)
 		if !ok {
 			continue
@@ -833,7 +853,7 @@ func (s *Searcher) uBrute(cands, sites points.EdgeView, mono bool, target uTarge
 		}
 		member, err := s.uVerify(&st, sites, self, PointLoc(loc), target, k, math.Inf(1))
 		if err != nil {
-			return nil, err
+			return execResult(results, st, err)
 		}
 		if member {
 			results = append(results, p)

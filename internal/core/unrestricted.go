@@ -285,6 +285,9 @@ func (s *Searcher) uRangeNN(st *Stats, sites points.EdgeView, from Loc, k int, e
 			}
 		case uKindNode:
 			st.NodesScanned++
+			if err := s.checkExecStride(st); err != nil {
+				return out, err
+			}
 			var err error
 			adj, err = s.g.Adjacency(ent.node, adj)
 			if err != nil {
@@ -455,6 +458,9 @@ func (s *Searcher) uVerify(st *Stats, sites points.EdgeView, self points.PointID
 		case uKindNode:
 			n := ent.node
 			st.NodesScanned++
+			if err := s.checkExecStride(st); err != nil {
+				return false, err
+			}
 			if target.nodeHit(n) {
 				return true, nil
 			}

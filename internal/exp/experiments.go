@@ -33,6 +33,7 @@ func All() []Experiment {
 		{"fig22a", "Fig 22a: update cost vs D (SF-like, K=1)", Fig22a},
 		{"fig22b", "Fig 22b: update cost vs K (SF-like, D=0.01)", Fig22b},
 		{"hub", "Hub-label substrate vs |V| (road-like restricted, D=0.01, k=1)", HubSubstrate},
+		{"budget", "Budgeted queries: degradation under per-query node budgets (road-like, D=0.01, k=2)", Budgeted},
 	}
 }
 

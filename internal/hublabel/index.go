@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"graphrnn/internal/exec"
 	"graphrnn/internal/graph"
 	"graphrnn/internal/points"
 	"graphrnn/internal/pq"
@@ -429,12 +430,23 @@ func (idx *Index) checkQuery(q graph.NodeID, k int) error {
 // RkNN answers a monochromatic reverse k-NN query from node q, hiding
 // point hidden (points.NoPoint hides nothing). k must not exceed MaxK.
 func (idx *Index) RkNN(q graph.NodeID, k int, hidden points.PointID) ([]points.PointID, QueryStats, error) {
+	return idx.RkNNExec(nil, q, k, hidden)
+}
+
+// RkNNExec is RkNN under an execution context: the intersection path polls
+// ec between label fetches and per decided point, abandoning the query
+// with a typed exec error (cancellation, deadline, I/O budget). A nil ec
+// is unbounded.
+func (idx *Index) RkNNExec(ec *exec.Ctx, q graph.NodeID, k int, hidden points.PointID) ([]points.PointID, QueryStats, error) {
 	var st QueryStats
 	if err := idx.checkQuery(q, k); err != nil {
 		return nil, st, err
 	}
 	if k > idx.maxK {
 		return nil, st, fmt.Errorf("hublabel: k=%d exceeds materialized maxK=%d", k, idx.maxK)
+	}
+	if err := ec.Check(0); err != nil {
+		return nil, st, err
 	}
 	sc := idx.acquire()
 	defer idx.release(sc)
@@ -445,16 +457,20 @@ func (idx *Index) RkNN(q graph.NodeID, k int, hidden points.PointID) ([]points.P
 	st.LabelReads++
 	sc.beginRelax()
 	idx.relax(sc, &st, sc.lab1)
-	res, err := idx.decide(sc, &st, k, hidden)
-	if err != nil {
-		return nil, st, err
-	}
-	return res, st, nil
+	// decide carries its partial result on an execution-control error and
+	// returns nil on real failures; pass both through unchanged.
+	res, err := idx.decide(ec, sc, &st, k, hidden)
+	return res, st, err
 }
 
 // ContinuousRkNN answers the route variant: the union of RkNN over every
 // route node, decided against d(p→route) = min over route nodes.
 func (idx *Index) ContinuousRkNN(route []graph.NodeID, k int, hidden points.PointID) ([]points.PointID, QueryStats, error) {
+	return idx.ContinuousRkNNExec(nil, route, k, hidden)
+}
+
+// ContinuousRkNNExec is ContinuousRkNN under an execution context.
+func (idx *Index) ContinuousRkNNExec(ec *exec.Ctx, route []graph.NodeID, k int, hidden points.PointID) ([]points.PointID, QueryStats, error) {
 	var st QueryStats
 	if len(route) == 0 {
 		return nil, st, fmt.Errorf("hublabel: query needs at least one source location")
@@ -467,6 +483,9 @@ func (idx *Index) ContinuousRkNN(route []graph.NodeID, k int, hidden points.Poin
 	if k > idx.maxK {
 		return nil, st, fmt.Errorf("hublabel: k=%d exceeds materialized maxK=%d", k, idx.maxK)
 	}
+	if err := ec.Check(0); err != nil {
+		return nil, st, err
+	}
 	sc := idx.acquire()
 	defer idx.release(sc)
 	sc.beginRelax()
@@ -476,19 +495,28 @@ func (idx *Index) ContinuousRkNN(route []graph.NodeID, k int, hidden points.Poin
 			return nil, st, err
 		}
 		st.LabelReads++
+		if err := ec.Check(0); err != nil {
+			return nil, st, err
+		}
 		idx.relax(sc, &st, sc.lab1)
 	}
-	res, err := idx.decide(sc, &st, k, hidden)
-	if err != nil {
-		return nil, st, err
-	}
-	return res, st, nil
+	// decide carries its partial result on an execution-control error and
+	// returns nil on real failures; pass both through unchanged.
+	res, err := idx.decide(ec, sc, &st, k, hidden)
+	return res, st, err
 }
 
-// decide runs phase 2 over the touched points of sc.
-func (idx *Index) decide(sc *qscratch, st *QueryStats, k int, hidden points.PointID) ([]points.PointID, error) {
+// decide runs phase 2 over the touched points of sc. On an
+// execution-control error the members confirmed so far ride along with it
+// (the partial-result contract of the engine layer); a label I/O error
+// invalidates the result.
+func (idx *Index) decide(ec *exec.Ctx, sc *qscratch, st *QueryStats, k int, hidden points.PointID) ([]points.PointID, error) {
 	var res []points.PointID
 	for _, p := range sc.touched {
+		if err := ec.Check(0); err != nil {
+			sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+			return res, err
+		}
 		if p == hidden || idx.nodes[p] < 0 {
 			continue
 		}
@@ -552,8 +580,17 @@ func (idx *Index) thresholdTest(st *QueryStats, p points.PointID, dq float64, k 
 // the query. hiddenSite excludes one site (points.NoPoint for none); k is
 // unbounded (thresholds are not used).
 func (idx *Index) BichromaticRkNN(cands points.NodeView, q graph.NodeID, k int, hiddenSite points.PointID) ([]points.PointID, QueryStats, error) {
+	return idx.BichromaticRkNNExec(nil, cands, q, k, hiddenSite)
+}
+
+// BichromaticRkNNExec is BichromaticRkNN under an execution context,
+// polled once per classified candidate.
+func (idx *Index) BichromaticRkNNExec(ec *exec.Ctx, cands points.NodeView, q graph.NodeID, k int, hiddenSite points.PointID) ([]points.PointID, QueryStats, error) {
 	var st QueryStats
 	if err := idx.checkQuery(q, k); err != nil {
+		return nil, st, err
+	}
+	if err := ec.Check(0); err != nil {
 		return nil, st, err
 	}
 	sc := idx.acquire()
@@ -565,6 +602,10 @@ func (idx *Index) BichromaticRkNN(cands points.NodeView, q graph.NodeID, k int, 
 	st.LabelReads++
 	var res []points.PointID
 	for _, c := range cands.Points() {
+		if err := ec.Check(0); err != nil {
+			sort.Slice(res, func(i, j int) bool { return res[i] < res[j] })
+			return res, st, err
+		}
 		cnode, ok := cands.NodeOf(c)
 		if !ok {
 			continue

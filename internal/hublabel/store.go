@@ -212,8 +212,22 @@ type Store struct {
 }
 
 // OpenStore opens a labeling previously persisted with Write, reading label
-// pages through an LRU buffer of bufferPages pages.
+// pages through a private LRU buffer of bufferPages pages. Use
+// OpenStoreBuffer to serve label pages through a shared buffer pool.
 func OpenStore(f storage.PagedFile, bufferPages int) (*Store, error) {
+	return openStore(f, func() *storage.BufferManager {
+		return storage.NewBufferManager(f, bufferPages)
+	})
+}
+
+// OpenStoreBuffer is OpenStore reading label pages through bm, which must
+// wrap f — typically a tenant of the process-wide buffer pool, so label
+// pages share frames (and stats) with every other substrate.
+func OpenStoreBuffer(f storage.PagedFile, bm *storage.BufferManager) (*Store, error) {
+	return openStore(f, func() *storage.BufferManager { return bm })
+}
+
+func openStore(f storage.PagedFile, buffer func() *storage.BufferManager) (*Store, error) {
 	pageSize := f.PageSize()
 	if f.NumPages() == 0 {
 		return nil, fmt.Errorf("hublabel: empty label file")
@@ -261,7 +275,7 @@ func OpenStore(f storage.PagedFile, bufferPages int) (*Store, error) {
 	}
 	s := &Store{
 		file:     f,
-		buffer:   storage.NewBufferManager(f, bufferPages),
+		buffer:   buffer(),
 		numNodes: numNodes,
 		directed: directed,
 		entries:  entries,

@@ -34,8 +34,16 @@ type PagedEdgeSet struct {
 const edgePointEntrySize = 4 + 8
 
 // NewPagedEdgeSet packs src into file (which must be empty) and reads it
-// back through a buffer of bufferPages pages.
+// back through a private buffer of bufferPages pages. Use
+// NewPagedEdgeSetBuffer to read point pages through a shared pool.
 func NewPagedEdgeSet(src *EdgeSet, file storage.PagedFile, bufferPages int) (*PagedEdgeSet, error) {
+	return NewPagedEdgeSetBuffer(src, file, nil, bufferPages)
+}
+
+// NewPagedEdgeSetBuffer is NewPagedEdgeSet reading point pages through bm,
+// which must wrap file — typically a tenant of the process-wide buffer
+// pool. A nil bm falls back to a private buffer of bufferPages.
+func NewPagedEdgeSetBuffer(src *EdgeSet, file storage.PagedFile, bm *storage.BufferManager, bufferPages int) (*PagedEdgeSet, error) {
 	if file.NumPages() != 0 {
 		return nil, fmt.Errorf("points: NewPagedEdgeSet needs an empty file, got %d pages", file.NumPages())
 	}
@@ -99,7 +107,10 @@ func NewPagedEdgeSet(src *EdgeSet, file storage.PagedFile, bufferPages int) (*Pa
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	s.bm = storage.NewBufferManager(file, bufferPages)
+	if bm == nil {
+		bm = storage.NewBufferManager(file, bufferPages)
+	}
+	s.bm = bm
 	s.pages.New = func() any { return make([]byte, file.PageSize()) }
 	return s, nil
 }

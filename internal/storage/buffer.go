@@ -1,324 +1,14 @@
 package storage
 
-import (
-	"container/list"
-	"fmt"
-	"sync"
-	"sync/atomic"
-)
+// BufferManager is the single-file view of a page cache: the historical
+// name for what is now a BufferPool tenant. Substrates that serve exactly
+// one paged file keep using this surface; substrates sharing a pool attach
+// their files to one BufferPool and receive the same type.
+type BufferManager = Tenant
 
-// BufferManager caches pages of a PagedFile with LRU replacement and counts
-// physical I/O. The paper's experiments run with a 1 MB buffer (256 pages of
-// 4 KB) by default and sweep the capacity in Fig 21; a capacity of zero
-// means every logical access performs (and counts) a physical transfer.
-//
-// Pages are cached whole; Get returns the cached bytes, which the caller
-// must treat as read-only. Update applies a mutation in place and marks the
-// page dirty; dirty pages are written back on eviction or Flush.
-//
-// A BufferManager is safe for concurrent use: a mutex guards the frame
-// table and the I/O counters are atomic, so Stats and ResetStats never
-// block behind an in-flight page fault. A Get that faults releases the
-// mutex for the duration of the physical read — concurrent Gets of cached
-// pages proceed, and concurrent Gets of the *same* missing page coalesce
-// into one physical read (the waiters block on the frame's ready latch and
-// count as buffer hits). Frame contents are immutable except through
-// Update, so concurrent readers may hold slices returned by Get; callers
-// that Update pages while readers are active must coordinate externally
-// (queries never Update — only materialization maintenance does, and it
-// requires exclusive access to its Materialized).
-type BufferManager struct {
-	file     PagedFile
-	capacity int
-	stats    atomicStats
-
-	mu     sync.Mutex
-	frames map[PageID]*frame
-	lru    *list.List // front = most recently used
-
-	// scratch page used for capacity-0 updates; guarded by mu.
-	scratch []byte
-}
-
-// atomicStats is the lock-free representation of Stats, so that I/O
-// counters can be read and reset while queries fault pages in.
-type atomicStats struct {
-	reads  atomic.Int64
-	hits   atomic.Int64
-	writes atomic.Int64
-}
-
-func (a *atomicStats) snapshot() Stats {
-	return Stats{Reads: a.reads.Load(), Hits: a.hits.Load(), Writes: a.writes.Load()}
-}
-
-func (a *atomicStats) reset() {
-	a.reads.Store(0)
-	a.hits.Store(0)
-	a.writes.Store(0)
-}
-
-// frame is one buffered page. ready is closed once data holds the page
-// contents (or err the read failure); a frame created from data already in
-// hand (Append, Update's synchronous admission) is born ready.
-type frame struct {
-	id    PageID
-	data  []byte
-	dirty bool
-	elem  *list.Element
-	ready chan struct{}
-	err   error
-}
-
-// loaded reports whether the frame's physical read has completed. Pending
-// frames must not be evicted or written back.
-func (fr *frame) loaded() bool {
-	select {
-	case <-fr.ready:
-		return true
-	default:
-		return false
-	}
-}
-
-func newReadyChan() chan struct{} {
-	ch := make(chan struct{})
-	close(ch)
-	return ch
-}
-
-// NewBufferManager wraps file with an LRU cache of capPages pages.
+// NewBufferManager wraps file with a private LRU cache of capPages pages —
+// a BufferPool with a single tenant. A capacity of zero means every
+// logical access performs (and counts) a physical transfer.
 func NewBufferManager(file PagedFile, capPages int) *BufferManager {
-	if capPages < 0 {
-		capPages = 0
-	}
-	return &BufferManager{
-		file:     file,
-		capacity: capPages,
-		frames:   make(map[PageID]*frame),
-		lru:      list.New(),
-		scratch:  make([]byte, file.PageSize()),
-	}
-}
-
-// File returns the underlying paged file.
-func (b *BufferManager) File() PagedFile { return b.file }
-
-// Capacity returns the buffer capacity in pages.
-func (b *BufferManager) Capacity() int { return b.capacity }
-
-// Stats returns a copy of the accumulated I/O counters. It is safe to call
-// while other goroutines access the buffer.
-func (b *BufferManager) Stats() Stats { return b.stats.snapshot() }
-
-// ResetStats zeroes the I/O counters. It is safe to call while other
-// goroutines access the buffer.
-func (b *BufferManager) ResetStats() { b.stats.reset() }
-
-// Get returns the contents of page id. The returned slice aliases the
-// buffer frame (or a private copy when capacity is zero) and must be
-// treated as read-only; it stays valid until the page is mutated through
-// Update.
-func (b *BufferManager) Get(id PageID) ([]byte, error) {
-	return b.GetInto(id, nil)
-}
-
-// GetInto is Get with a caller-provided page buffer for the zero-capacity
-// case: when no frame will cache the page, its contents are read into buf
-// (grown if needed) instead of a fresh allocation, so hot read paths stay
-// allocation-free. The returned slice is either a cached frame (read-only,
-// valid until the page is mutated through Update) or buf.
-func (b *BufferManager) GetInto(id PageID, buf []byte) ([]byte, error) {
-	b.mu.Lock()
-	if fr, ok := b.frames[id]; ok {
-		b.lru.MoveToFront(fr.elem)
-		b.mu.Unlock()
-		<-fr.ready // no-op when loaded; else wait for the in-flight read
-		if fr.err != nil {
-			return nil, fr.err
-		}
-		b.stats.hits.Add(1)
-		return fr.data, nil
-	}
-	b.stats.reads.Add(1)
-	if b.capacity == 0 {
-		// No frame will hold this page; read into the caller's buffer so
-		// that concurrent zero-capacity readers do not share a scratch
-		// page.
-		b.mu.Unlock()
-		if len(buf) < b.file.PageSize() {
-			buf = make([]byte, b.file.PageSize())
-		}
-		if err := b.file.Read(id, buf); err != nil {
-			return nil, err
-		}
-		return buf, nil
-	}
-	// Admit a pending frame, then perform the physical read without
-	// holding the mutex; concurrent requests for the same page find the
-	// pending frame above and wait on its latch.
-	if err := b.evictIfFull(); err != nil {
-		b.mu.Unlock()
-		return nil, err
-	}
-	fr := &frame{id: id, data: make([]byte, b.file.PageSize()), ready: make(chan struct{})}
-	fr.elem = b.lru.PushFront(fr)
-	b.frames[id] = fr
-	b.mu.Unlock()
-
-	fr.err = b.file.Read(id, fr.data)
-	if fr.err != nil {
-		// Drop the failed frame so a later Get retries the read.
-		b.mu.Lock()
-		if cur, ok := b.frames[id]; ok && cur == fr {
-			b.lru.Remove(fr.elem)
-			delete(b.frames, id)
-		}
-		b.mu.Unlock()
-	}
-	close(fr.ready)
-	if fr.err != nil {
-		return nil, fr.err
-	}
-	return fr.data, nil
-}
-
-// Update fetches page id, applies fn to its contents in place, and marks the
-// page dirty. With a zero-capacity buffer the page is written through
-// immediately. Update must not run concurrently with readers of the same
-// page (see the type comment); a miss is admitted synchronously under the
-// lock, which is fine for the rare maintenance paths that use it.
-func (b *BufferManager) Update(id PageID, fn func(page []byte) error) error {
-	for {
-		b.mu.Lock()
-		fr, ok := b.frames[id]
-		if !ok {
-			break
-		}
-		if fr.loaded() {
-			b.stats.hits.Add(1)
-			b.lru.MoveToFront(fr.elem)
-			defer b.mu.Unlock()
-			if err := fn(fr.data); err != nil {
-				return err
-			}
-			fr.dirty = true
-			return nil
-		}
-		// A concurrent Get is still reading this page in; wait for it and
-		// re-check (the frame is dropped again on read failure).
-		b.mu.Unlock()
-		<-fr.ready
-	}
-	defer b.mu.Unlock()
-	b.stats.reads.Add(1)
-	if b.capacity == 0 {
-		if err := b.file.Read(id, b.scratch); err != nil {
-			return err
-		}
-		if err := fn(b.scratch); err != nil {
-			return err
-		}
-		b.stats.writes.Add(1)
-		return b.file.Write(id, b.scratch)
-	}
-	if err := b.evictIfFull(); err != nil {
-		return err
-	}
-	fr := &frame{id: id, data: make([]byte, b.file.PageSize()), ready: newReadyChan()}
-	if err := b.file.Read(id, fr.data); err != nil {
-		return err
-	}
-	fr.elem = b.lru.PushFront(fr)
-	b.frames[id] = fr
-	if err := fn(fr.data); err != nil {
-		return err
-	}
-	fr.dirty = true
-	return nil
-}
-
-// Append allocates a new page in the underlying file (counted as one write)
-// and admits it to the buffer.
-func (b *BufferManager) Append(src []byte) (PageID, error) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.stats.writes.Add(1)
-	id, err := b.file.Append(src)
-	if err != nil {
-		return InvalidPage, err
-	}
-	if b.capacity > 0 {
-		if err := b.evictIfFull(); err != nil {
-			return InvalidPage, err
-		}
-		fr := &frame{id: id, data: make([]byte, b.file.PageSize()), ready: newReadyChan()}
-		copy(fr.data, src)
-		fr.elem = b.lru.PushFront(fr)
-		b.frames[id] = fr
-	}
-	return id, nil
-}
-
-// Flush writes every dirty page back to the file and retains the cache.
-func (b *BufferManager) Flush() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.flushLocked()
-}
-
-func (b *BufferManager) flushLocked() error {
-	for _, fr := range b.frames {
-		if fr.dirty {
-			b.stats.writes.Add(1)
-			if err := b.file.Write(fr.id, fr.data); err != nil {
-				return fmt.Errorf("storage: flush page %d: %w", fr.id, err)
-			}
-			fr.dirty = false
-		}
-	}
-	return nil
-}
-
-// Invalidate drops every cached frame (writing back dirty ones), so that a
-// fresh workload starts from a cold buffer. Frames with reads still in
-// flight are retained.
-func (b *BufferManager) Invalidate() error {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if err := b.flushLocked(); err != nil {
-		return err
-	}
-	for id, fr := range b.frames {
-		if fr.loaded() {
-			b.lru.Remove(fr.elem)
-			delete(b.frames, id)
-		}
-	}
-	return nil
-}
-
-// evictIfFull is called with b.mu held. Frames whose physical read is still
-// in flight are skipped; if every frame is pending the buffer temporarily
-// exceeds its capacity (bounded by the number of concurrent faulters).
-func (b *BufferManager) evictIfFull() error {
-	elem := b.lru.Back()
-	for len(b.frames) >= b.capacity && elem != nil {
-		victim := elem.Value.(*frame)
-		prev := elem.Prev()
-		if !victim.loaded() {
-			elem = prev
-			continue
-		}
-		if victim.dirty {
-			b.stats.writes.Add(1)
-			if err := b.file.Write(victim.id, victim.data); err != nil {
-				return fmt.Errorf("storage: evict page %d: %w", victim.id, err)
-			}
-		}
-		b.lru.Remove(elem)
-		delete(b.frames, victim.id)
-		elem = prev
-	}
-	return nil
+	return NewBufferPool(capPages).Attach("", file, 0)
 }

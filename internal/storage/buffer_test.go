@@ -237,10 +237,10 @@ func TestBufferAppend(t *testing.T) {
 func TestStatsArithmetic(t *testing.T) {
 	a := Stats{Reads: 5, Hits: 2, Writes: 1}
 	b := Stats{Reads: 2, Hits: 1, Writes: 1}
-	if got := a.Add(b); got != (Stats{7, 3, 2}) {
+	if got := a.Add(b); got != (Stats{Reads: 7, Hits: 3, Writes: 2}) {
 		t.Fatalf("Add = %+v", got)
 	}
-	if got := a.Sub(b); got != (Stats{3, 1, 0}) {
+	if got := a.Sub(b); got != (Stats{Reads: 3, Hits: 1, Writes: 0}) {
 		t.Fatalf("Sub = %+v", got)
 	}
 	if a.IO() != 6 {

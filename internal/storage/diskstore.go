@@ -35,10 +35,18 @@ func newDiskStore(bm *BufferManager, index []RecRef, numNodes int) *DiskStore {
 }
 
 // BuildDiskStore packs g into file following the given node order and
-// returns a store reading through a buffer of bufferPages pages. A nil
-// order defaults to BFSOrder(g), the connectivity-clustering layout of
-// Chan & Zhang used by the paper. The file must be empty.
+// returns a store reading through a private buffer of bufferPages pages.
+// A nil order defaults to BFSOrder(g), the connectivity-clustering layout
+// of Chan & Zhang used by the paper. The file must be empty. Use
+// BuildDiskStoreBuffer to read adjacency pages through a shared pool.
 func BuildDiskStore(g *graph.Graph, file PagedFile, bufferPages int, order []graph.NodeID) (*DiskStore, error) {
+	return BuildDiskStoreBuffer(g, file, nil, bufferPages, order)
+}
+
+// BuildDiskStoreBuffer is BuildDiskStore reading adjacency pages through
+// bm, which must wrap file — typically a tenant of the process-wide
+// buffer pool. A nil bm falls back to a private buffer of bufferPages.
+func BuildDiskStoreBuffer(g *graph.Graph, file PagedFile, bm *BufferManager, bufferPages int, order []graph.NodeID) (*DiskStore, error) {
 	if file.NumPages() != 0 {
 		return nil, fmt.Errorf("storage: BuildDiskStore needs an empty file, got %d pages", file.NumPages())
 	}
@@ -131,7 +139,10 @@ func BuildDiskStore(g *graph.Graph, file PagedFile, bufferPages int, order []gra
 	if err := flush(); err != nil {
 		return nil, err
 	}
-	return newDiskStore(NewBufferManager(file, bufferPages), index, g.NumNodes()), nil
+	if bm == nil {
+		bm = NewBufferManager(file, bufferPages)
+	}
+	return newDiskStore(bm, index, g.NumNodes()), nil
 }
 
 // NumNodes implements graph.Access.

@@ -1,0 +1,238 @@
+package storage
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolTenantQuota pins the per-tenant quota: a tenant with quota q
+// never holds more than q frames, no matter how many pages it touches,
+// while an unbounded tenant in the same pool keeps caching freely.
+func TestPoolTenantQuota(t *testing.T) {
+	fa := newTestFile(t, 64, 8)
+	fb := newTestFile(t, 64, 8)
+	p := NewBufferPool(10)
+	a := p.Attach("a", fa, 2)
+	b := p.Attach("b", fb, 0)
+
+	for i := 0; i < 5; i++ {
+		if _, err := a.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := p.TenantStats()
+	if ts[0].Frames > 2 {
+		t.Fatalf("tenant a holds %d frames, quota 2", ts[0].Frames)
+	}
+	if got := a.Stats(); got.Reads != 5 || got.Evictions != 3 {
+		t.Fatalf("tenant a stats = %+v, want 5 reads, 3 evictions", got)
+	}
+	// The oldest pages fell out; re-reading one is a fresh fault.
+	if _, err := a.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats(); got.Reads != 6 {
+		t.Fatalf("re-read of evicted page: reads = %d, want 6", got.Reads)
+	}
+	// The quota-2 tenant never disturbed tenant b.
+	for i := 0; i < 4; i++ {
+		if _, err := b.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := b.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Stats(); got.Reads != 4 || got.Hits != 4 {
+		t.Fatalf("tenant b stats = %+v, want 4 reads 4 hits", got)
+	}
+}
+
+// TestPoolSharedCapacity verifies global LRU pressure across tenants: two
+// unbounded tenants compete for the pool's frames and evict each other.
+func TestPoolSharedCapacity(t *testing.T) {
+	fa := newTestFile(t, 64, 8)
+	fb := newTestFile(t, 64, 8)
+	p := NewBufferPool(4)
+	a := p.Attach("a", fa, 0)
+	b := p.Attach("b", fb, 0)
+
+	for i := 0; i < 4; i++ {
+		if _, err := a.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// b's faults push a's pages out of the shared pool.
+	for i := 0; i < 4; i++ {
+		if _, err := b.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := a.Stats(); got.Evictions != 4 {
+		t.Fatalf("tenant a evictions = %d, want 4", got.Evictions)
+	}
+	if _, err := a.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats(); got.Reads != 5 {
+		t.Fatalf("tenant a reads after churn = %d, want 5", got.Reads)
+	}
+}
+
+// TestPoolUnifiedStats checks the single stats source: the pool aggregate
+// equals the sum of the tenants, maintained at the same increment sites.
+func TestPoolUnifiedStats(t *testing.T) {
+	fa := newTestFile(t, 64, 8)
+	fb := newTestFile(t, 64, 8)
+	p := NewBufferPool(8)
+	a := p.Attach("graph", fa, 0)
+	b := p.Attach("mat", fb, 0)
+
+	for i := 0; i < 3; i++ {
+		if _, err := a.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := b.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Get(PageID(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := a.Stats().Add(b.Stats())
+	if got := p.Stats(); got != want {
+		t.Fatalf("pool stats = %+v, tenant sum = %+v", got, want)
+	}
+	if got := p.Stats(); got.Reads != 5 || got.Hits != 2 {
+		t.Fatalf("pool stats = %+v, want 5 reads 2 hits", got)
+	}
+	if hr := p.Stats().HitRate(); hr != 2.0/7.0 {
+		t.Fatalf("hit rate = %v", hr)
+	}
+	if p.Reads() != 5 {
+		t.Fatalf("Reads() = %d", p.Reads())
+	}
+	p.ResetStats()
+	if got := p.Stats(); got != (Stats{}) {
+		t.Fatalf("after reset: %+v", got)
+	}
+	if got := a.Stats(); got != (Stats{}) {
+		t.Fatalf("tenant after pool reset: %+v", got)
+	}
+}
+
+// TestPoolNoCacheTenant: a NoCache tenant never occupies frames, every
+// access is physical, and cached tenants are unaffected.
+func TestPoolNoCacheTenant(t *testing.T) {
+	fa := newTestFile(t, 64, 4)
+	fb := newTestFile(t, 64, 4)
+	p := NewBufferPool(8)
+	raw := p.Attach("raw", fa, NoCache)
+	warm := p.Attach("warm", fb, 0)
+
+	if _, err := warm.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := raw.Get(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := raw.Stats(); got.Reads != 3 || got.Hits != 0 {
+		t.Fatalf("NoCache tenant stats = %+v", got)
+	}
+	if ts := p.TenantStats(); ts[0].Frames != 0 {
+		t.Fatalf("NoCache tenant holds %d frames", ts[0].Frames)
+	}
+	if _, err := warm.Get(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := warm.Stats(); got.Reads != 1 || got.Hits != 1 {
+		t.Fatalf("warm tenant stats = %+v", got)
+	}
+	// Uncached updates write through.
+	if err := raw.Update(2, func(p []byte) error { p[3] = 7; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 64)
+	if err := fa.Read(2, dst); err != nil || dst[3] != 7 {
+		t.Fatalf("write-through failed: %v %d", err, dst[3])
+	}
+}
+
+// TestPoolDetach: detaching a tenant flushes its dirty pages, frees its
+// frames and returns grown capacity.
+func TestPoolDetach(t *testing.T) {
+	fa := newTestFile(t, 64, 4)
+	fb := newTestFile(t, 64, 4)
+	p := NewBufferPool(0)
+	a := p.AttachGrowing("a", fa, 4)
+	b := p.AttachGrowing("b", fb, 4)
+	if p.Capacity() != 8 {
+		t.Fatalf("capacity = %d, want 8", p.Capacity())
+	}
+	if err := a.Update(1, func(p []byte) error { p[0] = 42; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Get(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() != 4 {
+		t.Fatalf("capacity after detach = %d, want 4", p.Capacity())
+	}
+	dst := make([]byte, 64)
+	if err := fa.Read(1, dst); err != nil || dst[0] != 42 {
+		t.Fatalf("detach did not flush: %v %d", err, dst[0])
+	}
+	ts := p.TenantStats()
+	if len(ts) != 1 || ts[0].Name != "b" || ts[0].Frames != 1 {
+		t.Fatalf("tenants after detach = %+v", ts)
+	}
+}
+
+// TestPoolConcurrentTenants hammers two tenants from many goroutines to
+// give the race detector a shared-pool workout.
+func TestPoolConcurrentTenants(t *testing.T) {
+	fa := newTestFile(t, 64, 16)
+	fb := newTestFile(t, 64, 16)
+	p := NewBufferPool(8)
+	a := p.Attach("a", fa, 4)
+	b := p.Attach("b", fb, 0)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tn := a
+			if g%2 == 0 {
+				tn = b
+			}
+			buf := make([]byte, 64)
+			for i := 0; i < 200; i++ {
+				id := PageID((g + i) % 16)
+				got, err := tn.GetInto(id, buf)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got[0] != byte(id) {
+					t.Errorf("page %d content = %d", id, got[0])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	sum := a.Stats().Add(b.Stats())
+	if got := p.Stats(); got != sum {
+		t.Fatalf("pool stats %+v != tenant sum %+v", got, sum)
+	}
+}

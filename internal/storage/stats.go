@@ -11,7 +11,7 @@
 package storage
 
 // Stats is a point-in-time snapshot of the physical I/O activity of a
-// buffer manager. The live counters are atomics inside BufferManager, so
+// buffer pool or one of its tenants. The live counters are atomics, so
 // snapshots may be taken while queries fault pages in.
 type Stats struct {
 	// Reads counts physical page reads (buffer faults).
@@ -20,16 +20,38 @@ type Stats struct {
 	Hits int64
 	// Writes counts physical page writes (dirty evictions and flushes).
 	Writes int64
+	// Evictions counts frames pushed out by LRU replacement (quota or
+	// pool-capacity pressure).
+	Evictions int64
 }
 
 // Add returns the element-wise sum of two Stats.
 func (s Stats) Add(o Stats) Stats {
-	return Stats{Reads: s.Reads + o.Reads, Hits: s.Hits + o.Hits, Writes: s.Writes + o.Writes}
+	return Stats{
+		Reads:     s.Reads + o.Reads,
+		Hits:      s.Hits + o.Hits,
+		Writes:    s.Writes + o.Writes,
+		Evictions: s.Evictions + o.Evictions,
+	}
 }
 
 // Sub returns the element-wise difference s-o, used to take per-query deltas.
 func (s Stats) Sub(o Stats) Stats {
-	return Stats{Reads: s.Reads - o.Reads, Hits: s.Hits - o.Hits, Writes: s.Writes - o.Writes}
+	return Stats{
+		Reads:     s.Reads - o.Reads,
+		Hits:      s.Hits - o.Hits,
+		Writes:    s.Writes - o.Writes,
+		Evictions: s.Evictions - o.Evictions,
+	}
+}
+
+// HitRate returns the fraction of logical reads served from the buffer,
+// or 0 when nothing was read.
+func (s Stats) HitRate() float64 {
+	if s.Reads+s.Hits == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Reads+s.Hits)
 }
 
 // IO returns the total number of physical page transfers.

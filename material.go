@@ -1,6 +1,7 @@
 package graphrnn
 
 import (
+	"context"
 	"fmt"
 
 	"graphrnn/internal/core"
@@ -10,9 +11,10 @@ import (
 )
 
 // Materialization holds the per-node K-NN lists of Section 4.1 in a paged
-// file read through its own LRU buffer: the substrate of the eager-M
-// algorithm. Lists support k-values up to MaxK and are maintained
-// incrementally as points appear and disappear (Figs 8-11).
+// file read through the DB's shared buffer pool (tenant "mat"): the
+// substrate of the eager-M algorithm. Lists support k-values up to MaxK
+// and are maintained incrementally as points appear and disappear
+// (Figs 8-11).
 type Materialization struct {
 	db   *DB
 	m    *core.Materialized
@@ -24,7 +26,9 @@ type Materialization struct {
 type MatOptions struct {
 	// PageSize of the list file (default 4096).
 	PageSize int
-	// BufferPages of the list file's LRU buffer (default 64).
+	// BufferPages is the list file's frame quota within the DB's shared
+	// buffer pool (default 64). On a DB-owned pool the capacity grows by
+	// this amount, matching the former dedicated list buffer.
 	BufferPages int
 }
 
@@ -47,8 +51,7 @@ func (o *MatOptions) defaults() (int, int) {
 // ps: mutate the set through InsertNode / DeletePoint to keep the lists
 // consistent.
 func (db *DB) MaterializeNodePoints(ps *NodePoints, maxK int, opt *MatOptions) (*Materialization, error) {
-	pageSize, buffer := opt.defaults()
-	m, err := db.searcher.MatBuild(core.SeedsRestricted(ps.s), maxK, storage.NewMemFile(pageSize), buffer, nil)
+	m, err := db.materialize(core.SeedsRestricted(ps.s), maxK, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -58,16 +61,29 @@ func (db *DB) MaterializeNodePoints(ps *NodePoints, maxK int, opt *MatOptions) (
 // MaterializeEdgePoints builds the K-NN lists over an edge-resident point
 // set (Section 5.2: endpoint lists are seeded with both direct offsets).
 func (db *DB) MaterializeEdgePoints(ps *EdgePoints, maxK int, opt *MatOptions) (*Materialization, error) {
-	pageSize, buffer := opt.defaults()
 	seeds, err := seedsForEdgeSet(db, ps)
 	if err != nil {
 		return nil, err
 	}
-	m, err := db.searcher.MatBuild(seeds, maxK, storage.NewMemFile(pageSize), buffer, nil)
+	m, err := db.materialize(seeds, maxK, opt)
 	if err != nil {
 		return nil, err
 	}
 	return &Materialization{db: db, m: m, edge: ps}, nil
+}
+
+// materialize packs the lists into a fresh memory page file attached to
+// the DB's shared buffer pool as the "mat" tenant.
+func (db *DB) materialize(seeds []core.MatSeed, maxK int, opt *MatOptions) (*core.Materialized, error) {
+	pageSize, buffer := opt.defaults()
+	file := storage.NewMemFile(pageSize)
+	bm := db.pool.attach("mat", file, buffer)
+	m, err := db.searcher.MatBuildBuffer(seeds, maxK, file, bm, nil)
+	if err != nil {
+		_ = bm.Detach()
+		return nil, err
+	}
+	return m, nil
 }
 
 func seedsForEdgeSet(db *DB, ps *EdgePoints) ([]core.MatSeed, error) {
@@ -89,9 +105,32 @@ func (m *Materialization) ResetIOStats() { m.m.ResetStats() }
 // Flush writes dirty list pages back to the file.
 func (m *Materialization) Flush() error { return m.m.Flush() }
 
+// Close detaches the list pages from the shared buffer pool (flushing
+// dirty ones). Queries through this materialization must not be in flight
+// and the materialization must not be used afterwards.
+func (m *Materialization) Close() error { return m.m.Buffer().Detach() }
+
 // InsertNode places a new point on node n of the tracked node-resident set
 // and updates the affected lists (the insertion algorithm of Section 4.1).
 func (m *Materialization) InsertNode(n NodeID) (PointID, Stats, error) {
+	return m.insertNode(m.db.searcher, n)
+}
+
+// InsertNodeContext is InsertNode under a context. CAUTION: a maintenance
+// operation abandoned mid-flight (typed exec error) leaves the lists
+// partially repaired — the materialization must be rebuilt before further
+// queries use it. Deadlines here are a guardrail for operational
+// emergencies, not a routine control.
+func (m *Materialization) InsertNodeContext(ctx context.Context, n NodeID, opt *QueryOptions) (PointID, Stats, error) {
+	ec, cancel, err := m.db.newExec(ctx, opt)
+	if err != nil {
+		return -1, Stats{}, err
+	}
+	defer cancel()
+	return m.insertNode(m.db.searcher.Bound(ec), n)
+}
+
+func (m *Materialization) insertNode(s *core.Searcher, n NodeID) (PointID, Stats, error) {
 	if m.node == nil {
 		return -1, Stats{}, fmt.Errorf("graphrnn: materialization does not track a node point set")
 	}
@@ -99,13 +138,28 @@ func (m *Materialization) InsertNode(n NodeID) (PointID, Stats, error) {
 	if err != nil {
 		return -1, Stats{}, err
 	}
-	st, err := m.db.searcher.MatInsert(m.m, []core.MatSeed{{Node: graph.NodeID(n), P: points.PointID(p), D: 0}})
+	st, err := s.MatInsert(m.m, []core.MatSeed{{Node: graph.NodeID(n), P: points.PointID(p), D: 0}})
 	return p, statsOf(st), err
 }
 
 // InsertEdge places a new point on edge (u,v) of the tracked edge-resident
 // set and updates the affected lists.
 func (m *Materialization) InsertEdge(u, v NodeID, pos float64) (PointID, Stats, error) {
+	return m.insertEdge(m.db.searcher, u, v, pos)
+}
+
+// InsertEdgeContext is InsertEdge under a context; see InsertNodeContext
+// for the partial-repair caveat.
+func (m *Materialization) InsertEdgeContext(ctx context.Context, u, v NodeID, pos float64, opt *QueryOptions) (PointID, Stats, error) {
+	ec, cancel, err := m.db.newExec(ctx, opt)
+	if err != nil {
+		return -1, Stats{}, err
+	}
+	defer cancel()
+	return m.insertEdge(m.db.searcher.Bound(ec), u, v, pos)
+}
+
+func (m *Materialization) insertEdge(s *core.Searcher, u, v NodeID, pos float64) (PointID, Stats, error) {
 	if m.edge == nil {
 		return -1, Stats{}, fmt.Errorf("graphrnn: materialization does not track an edge point set")
 	}
@@ -122,13 +176,28 @@ func (m *Materialization) InsertEdge(u, v NodeID, pos float64) (PointID, Stats, 
 		{Node: graph.NodeID(loc.U), P: points.PointID(p), D: loc.Pos},
 		{Node: graph.NodeID(loc.V), P: points.PointID(p), D: w - loc.Pos},
 	}
-	st, err := m.db.searcher.MatInsert(m.m, seeds)
+	st, err := s.MatInsert(m.m, seeds)
 	return p, statsOf(st), err
+}
+
+// DeletePointContext is DeletePoint under a context; see InsertNodeContext
+// for the partial-repair caveat.
+func (m *Materialization) DeletePointContext(ctx context.Context, p PointID, opt *QueryOptions) (Stats, error) {
+	ec, cancel, err := m.db.newExec(ctx, opt)
+	if err != nil {
+		return Stats{}, err
+	}
+	defer cancel()
+	return m.deletePoint(m.db.searcher.Bound(ec), p)
 }
 
 // DeletePoint removes point p from the tracked set and repairs the affected
 // lists with the two-step border-node algorithm (Fig 10).
 func (m *Materialization) DeletePoint(p PointID) (Stats, error) {
+	return m.deletePoint(m.db.searcher, p)
+}
+
+func (m *Materialization) deletePoint(s *core.Searcher, p PointID) (Stats, error) {
 	pid := points.PointID(p)
 	var seeds []core.MatSeed
 	switch {
@@ -157,7 +226,7 @@ func (m *Materialization) DeletePoint(p PointID) (Stats, error) {
 	default:
 		return Stats{}, fmt.Errorf("graphrnn: materialization tracks no point set")
 	}
-	st, err := m.db.searcher.MatDelete(m.m, pid, seeds)
+	st, err := s.MatDelete(m.m, pid, seeds)
 	return statsOf(st), err
 }
 
@@ -168,6 +237,8 @@ func statsOf(st core.Stats) Stats {
 		RangeNN:       st.RangeNN,
 		Verifications: st.Verifications,
 		MatReads:      st.MatReads,
+		LabelReads:    st.LabelReads,
+		LabelEntries:  st.LabelEntries,
 		HeapPushes:    st.HeapPushes,
 		HeapPops:      st.HeapPops,
 	}

@@ -124,20 +124,41 @@ func (ps *EdgePoints) Excluding(p PointID) EdgePointsView {
 // set (Fig 14b's storage scheme): point lookups per edge perform counted
 // I/O through an LRU buffer.
 type PagedEdgePoints struct {
-	s *points.PagedEdgeSet
+	s  *points.PagedEdgeSet
+	bm *storage.BufferManager
 }
 
-// Paged snapshots the point set into a paged file read through a buffer of
-// bufferPages pages (pageSize 0 defaults to 4 KB).
+// Paged snapshots the point set into a paged file attached to the DB's
+// shared buffer pool (tenant "edgepoints") with bufferPages as its frame
+// quota (pageSize 0 defaults to 4 KB).
 func (ps *EdgePoints) Paged(pageSize, bufferPages int) (*PagedEdgePoints, error) {
 	if pageSize == 0 {
 		pageSize = storage.DefaultPageSize
 	}
-	p, err := points.NewPagedEdgeSet(ps.s, storage.NewMemFile(pageSize), bufferPages)
+	quota := bufferPages
+	if quota <= 0 {
+		quota = storage.NoCache // 0 keeps its historical meaning: every access counted
+	}
+	file := storage.NewMemFile(pageSize)
+	bm := ps.db.pool.attach("edgepoints", file, quota)
+	p, err := points.NewPagedEdgeSetBuffer(ps.s, file, bm, 0)
 	if err != nil {
+		_ = bm.Detach()
 		return nil, err
 	}
-	return &PagedEdgePoints{s: p}, nil
+	return &PagedEdgePoints{s: p, bm: bm}, nil
+}
+
+// Close detaches the snapshot's tenant from the DB's shared buffer pool,
+// releasing its frames and any capacity it contributed. The snapshot must
+// not be used afterwards; Close is idempotent.
+func (ps *PagedEdgePoints) Close() error {
+	if ps.bm == nil {
+		return nil
+	}
+	bm := ps.bm
+	ps.bm = nil
+	return bm.Detach()
 }
 
 // View returns the full read-only view.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"graphrnn/internal/core"
+	"graphrnn/internal/exec"
 )
 
 // Algorithm selects a query processing strategy.
@@ -102,22 +103,16 @@ type Result struct {
 	Stats Stats
 }
 
+// wrapResult converts a core result to the public shape, copying every
+// counter — including the hub-label LabelReads/LabelEntries, which an
+// earlier version of this function silently dropped. A non-nil result
+// accompanied by an execution-control error (cancellation, deadline,
+// budget) is passed through as the partial answer.
 func wrapResult(r *core.Result, err error) (*Result, error) {
-	if err != nil {
+	if r == nil {
 		return nil, err
 	}
-	return &Result{
-		Points: fromPointIDs(r.Points),
-		Stats: Stats{
-			NodesExpanded: r.Stats.NodesExpanded,
-			NodesScanned:  r.Stats.NodesScanned,
-			RangeNN:       r.Stats.RangeNN,
-			Verifications: r.Stats.Verifications,
-			MatReads:      r.Stats.MatReads,
-			HeapPushes:    r.Stats.HeapPushes,
-			HeapPops:      r.Stats.HeapPops,
-		},
-	}, nil
+	return &Result{Points: fromPointIDs(r.Points), Stats: statsOf(r.Stats)}, err
 }
 
 // pointsArg accepts either a *NodePoints or a NodePointsView.
@@ -133,162 +128,193 @@ func (ps *PagedEdgePoints) edgeView() EdgePointsView { return ps.View() }
 func (v EdgePointsView) edgeView() EdgePointsView    { return v }
 
 // RNN answers a monochromatic reverse k-nearest-neighbor query from node q
-// over a node-resident point set.
+// over a node-resident point set, running to completion. RNNContext is the
+// deadline-bounded, cancellable variant.
 func (db *DB) RNN(ps pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
+	return db.runRNN(nil, ps, q, k, algo)
+}
+
+func (db *DB) runRNN(ec *exec.Ctx, ps pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
+	s := db.searcher.Bound(ec)
 	view := ps.nodeView().v
 	qn := toNodeIDs([]NodeID{q})[0]
 	switch algo.kind {
 	case algoEager:
-		return wrapResult(db.searcher.EagerRkNN(view, qn, k))
+		return wrapResult(s.EagerRkNN(view, qn, k))
 	case algoLazy:
-		return wrapResult(db.searcher.LazyRkNN(view, qn, k))
+		return wrapResult(s.LazyRkNN(view, qn, k))
 	case algoLazyEP:
-		return wrapResult(db.searcher.LazyEPRkNN(view, qn, k))
+		return wrapResult(s.LazyEPRkNN(view, qn, k))
 	case algoEagerM:
 		m, err := algo.materialized()
 		if err != nil {
 			return nil, err
 		}
-		return wrapResult(db.searcher.EagerMRkNN(view, m, qn, k))
+		return wrapResult(s.EagerMRkNN(view, m, qn, k))
 	case algoHub:
 		h, err := algo.hubIndex()
 		if err != nil {
 			return nil, err
 		}
-		return h.runRNN(view, q, k)
+		return wrapResult(h.runRNN(ec, view, q, k))
 	default:
-		return wrapResult(db.searcher.BruteRkNN(view, qn, k))
+		return wrapResult(s.BruteRkNN(view, qn, k))
 	}
 }
 
 // BichromaticRNN answers bRkNN: the candidates of cands closer to q than to
 // their k-th nearest site of sites.
 func (db *DB) BichromaticRNN(cands, sites pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
+	return db.runBichromaticRNN(nil, cands, sites, q, k, algo)
+}
+
+func (db *DB) runBichromaticRNN(ec *exec.Ctx, cands, sites pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
+	s := db.searcher.Bound(ec)
 	cv, sv := cands.nodeView().v, sites.nodeView().v
 	qn := toNodeIDs([]NodeID{q})[0]
 	switch algo.kind {
 	case algoEager:
-		return wrapResult(db.searcher.EagerBichromatic(cv, sv, qn, k))
+		return wrapResult(s.EagerBichromatic(cv, sv, qn, k))
 	case algoLazy:
-		return wrapResult(db.searcher.LazyBichromatic(cv, sv, qn, k))
+		return wrapResult(s.LazyBichromatic(cv, sv, qn, k))
 	case algoLazyEP:
-		return wrapResult(db.searcher.LazyEPBichromatic(cv, sv, qn, k))
+		return wrapResult(s.LazyEPBichromatic(cv, sv, qn, k))
 	case algoEagerM:
 		m, err := algo.materialized()
 		if err != nil {
 			return nil, err
 		}
-		return wrapResult(db.searcher.EagerMBichromatic(cv, sv, m, qn, k))
+		return wrapResult(s.EagerMBichromatic(cv, sv, m, qn, k))
 	case algoHub:
 		h, err := algo.hubIndex()
 		if err != nil {
 			return nil, err
 		}
-		return h.runBichromatic(cv, sv, q, k)
+		return wrapResult(h.runBichromatic(ec, cv, sv, q, k))
 	default:
-		return wrapResult(db.searcher.BruteBichromatic(cv, sv, qn, k))
+		return wrapResult(s.BruteBichromatic(cv, sv, qn, k))
 	}
 }
 
 // ContinuousRNN answers cRkNN(route): the union of the RkNN sets of every
 // route node (Section 5.1), computed in one traversal.
 func (db *DB) ContinuousRNN(ps pointsArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
+	return db.runContinuousRNN(nil, ps, route, k, algo)
+}
+
+func (db *DB) runContinuousRNN(ec *exec.Ctx, ps pointsArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
+	s := db.searcher.Bound(ec)
 	view := ps.nodeView().v
 	r := toNodeIDs(route)
 	switch algo.kind {
 	case algoEager:
-		return wrapResult(db.searcher.EagerContinuous(view, r, k))
+		return wrapResult(s.EagerContinuous(view, r, k))
 	case algoLazy:
-		return wrapResult(db.searcher.LazyContinuous(view, r, k))
+		return wrapResult(s.LazyContinuous(view, r, k))
 	case algoLazyEP:
-		return wrapResult(db.searcher.LazyEPContinuous(view, r, k))
+		return wrapResult(s.LazyEPContinuous(view, r, k))
 	case algoEagerM:
 		m, err := algo.materialized()
 		if err != nil {
 			return nil, err
 		}
-		return wrapResult(db.searcher.EagerMContinuous(view, m, r, k))
+		return wrapResult(s.EagerMContinuous(view, m, r, k))
 	case algoHub:
 		h, err := algo.hubIndex()
 		if err != nil {
 			return nil, err
 		}
-		return h.runContinuous(view, route, k)
+		return wrapResult(h.runContinuous(ec, view, route, k))
 	default:
-		return wrapResult(db.searcher.BruteContinuous(view, r, k))
+		return wrapResult(s.BruteContinuous(view, r, k))
 	}
 }
 
 // EdgeRNN answers a monochromatic RkNN query at an arbitrary location over
 // an edge-resident point set (unrestricted networks, Section 5.2).
 func (db *DB) EdgeRNN(ps edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
+	return db.runEdgeRNN(nil, ps, q, k, algo)
+}
+
+func (db *DB) runEdgeRNN(ec *exec.Ctx, ps edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
+	s := db.searcher.Bound(ec)
 	view := ps.edgeView().v
 	loc := q.toLoc()
 	switch algo.kind {
 	case algoEager:
-		return wrapResult(db.searcher.UEagerRkNN(view, loc, k))
+		return wrapResult(s.UEagerRkNN(view, loc, k))
 	case algoLazy:
-		return wrapResult(db.searcher.ULazyRkNN(view, loc, k))
+		return wrapResult(s.ULazyRkNN(view, loc, k))
 	case algoLazyEP:
-		return wrapResult(db.searcher.ULazyEPRkNN(view, loc, k))
+		return wrapResult(s.ULazyEPRkNN(view, loc, k))
 	case algoEagerM:
 		m, err := algo.materialized()
 		if err != nil {
 			return nil, err
 		}
-		return wrapResult(db.searcher.UEagerMRkNN(view, m, loc, k))
+		return wrapResult(s.UEagerMRkNN(view, m, loc, k))
 	case algoHub:
 		return nil, errHubEdge()
 	default:
-		return wrapResult(db.searcher.UBruteRkNN(view, loc, k))
+		return wrapResult(s.UBruteRkNN(view, loc, k))
 	}
 }
 
 // EdgeBichromaticRNN answers bRkNN over edge-resident candidates and sites.
 func (db *DB) EdgeBichromaticRNN(cands, sites edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
+	return db.runEdgeBichromaticRNN(nil, cands, sites, q, k, algo)
+}
+
+func (db *DB) runEdgeBichromaticRNN(ec *exec.Ctx, cands, sites edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
+	s := db.searcher.Bound(ec)
 	cv, sv := cands.edgeView().v, sites.edgeView().v
 	loc := q.toLoc()
 	switch algo.kind {
 	case algoEager:
-		return wrapResult(db.searcher.UEagerBichromatic(cv, sv, loc, k))
+		return wrapResult(s.UEagerBichromatic(cv, sv, loc, k))
 	case algoLazy:
-		return wrapResult(db.searcher.ULazyBichromatic(cv, sv, loc, k))
+		return wrapResult(s.ULazyBichromatic(cv, sv, loc, k))
 	case algoLazyEP:
-		return wrapResult(db.searcher.ULazyEPBichromatic(cv, sv, loc, k))
+		return wrapResult(s.ULazyEPBichromatic(cv, sv, loc, k))
 	case algoEagerM:
 		m, err := algo.materialized()
 		if err != nil {
 			return nil, err
 		}
-		return wrapResult(db.searcher.UEagerMBichromatic(cv, sv, m, loc, k))
+		return wrapResult(s.UEagerMBichromatic(cv, sv, m, loc, k))
 	case algoHub:
 		return nil, errHubEdge()
 	default:
-		return wrapResult(db.searcher.UBruteBichromatic(cv, sv, loc, k))
+		return wrapResult(s.UBruteBichromatic(cv, sv, loc, k))
 	}
 }
 
 // EdgeContinuousRNN answers cRkNN over a route on an unrestricted network.
 func (db *DB) EdgeContinuousRNN(ps edgeArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
+	return db.runEdgeContinuousRNN(nil, ps, route, k, algo)
+}
+
+func (db *DB) runEdgeContinuousRNN(ec *exec.Ctx, ps edgeArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
+	s := db.searcher.Bound(ec)
 	view := ps.edgeView().v
 	r := toNodeIDs(route)
 	switch algo.kind {
 	case algoEager:
-		return wrapResult(db.searcher.UEagerContinuous(view, r, k))
+		return wrapResult(s.UEagerContinuous(view, r, k))
 	case algoLazy:
-		return wrapResult(db.searcher.ULazyContinuous(view, r, k))
+		return wrapResult(s.ULazyContinuous(view, r, k))
 	case algoLazyEP:
-		return wrapResult(db.searcher.ULazyEPContinuous(view, r, k))
+		return wrapResult(s.ULazyEPContinuous(view, r, k))
 	case algoEagerM:
 		m, err := algo.materialized()
 		if err != nil {
 			return nil, err
 		}
-		return wrapResult(db.searcher.UEagerMContinuous(view, m, r, k))
+		return wrapResult(s.UEagerMContinuous(view, m, r, k))
 	case algoHub:
 		return nil, errHubEdge()
 	default:
-		return wrapResult(db.searcher.UBruteContinuous(view, r, k))
+		return wrapResult(s.UBruteContinuous(view, r, k))
 	}
 }
 
