@@ -8,19 +8,20 @@ import (
 	"sync"
 )
 
-// This file is the parallel batch-query layer: worker-pool fan-out of
-// independent RNN queries over the concurrency-safe DB. It is the unit the
-// paper's experimental harness (and any serving front end) wants —
-// Efentakis & Pfoser (ReHub) and Buchnik & Cohen both treat concurrent
-// batched query execution as the baseline deployment mode. Every Algorithm
-// works here, including HubLabel: the index's per-query scratch is pooled,
-// so batch workers share one HubLabelIndex freely.
+// This file is the worker-pool fan-out under RunBatch: independent queries
+// dispatched over the concurrency-safe DB. It is the unit the paper's
+// experimental harness (and any serving front end) wants — Efentakis &
+// Pfoser (ReHub) and Buchnik & Cohen both treat concurrent batched query
+// execution as the baseline deployment mode. Every substrate works here,
+// including HubLabel: the index's per-query scratch is pooled, so batch
+// workers share one HubLabelIndex freely.
 //
-// Batches are context-aware: the *Context variants stop dispatching once
-// the batch context is canceled (queued queries are marked, not run, and
-// in-flight ones abandon within one expansion step), FailFast turns the
-// first error into a batch-level cancellation, and PerQuery applies a
-// deadline/budget to every entry individually.
+// Batches are context-aware: dispatch stops once the batch context is
+// canceled (queued queries are marked, not run, and in-flight ones abandon
+// within one expansion step), FailFast turns the first error into a
+// batch-level cancellation, and PerQuery applies a deadline/budget to every
+// entry that carries none of its own. The deprecated per-shape *Batch
+// functions are thin shims over RunBatch.
 
 // BatchOptions configures batch execution.
 type BatchOptions struct {
@@ -33,7 +34,8 @@ type BatchOptions struct {
 	// failing query: queued entries report ErrCanceled without running.
 	FailFast bool
 	// PerQuery bounds every query of the batch individually (deadline
-	// and work budget), as if issued through its own Context entry point.
+	// and work budget), as if issued through its own embedded
+	// QueryOptions; entries that set their own QueryOptions keep them.
 	PerQuery *QueryOptions
 }
 
@@ -63,8 +65,9 @@ func (o *BatchOptions) perQuery() *QueryOptions {
 
 func (o *BatchOptions) failFast() bool { return o != nil && o.FailFast }
 
-// RNNQuery is one node-resident batch entry, used by both RNNBatch and
-// BichromaticRNNBatch (the point sets, not the query, distinguish the two).
+// RNNQuery is one node-resident batch entry of the deprecated per-shape
+// batch functions (RNNBatch, BichromaticRNNBatch); RunBatch takes full
+// Query values instead.
 type RNNQuery struct {
 	// Q is the query node.
 	Q NodeID
@@ -146,12 +149,28 @@ dispatch:
 	return workers
 }
 
+// rnnQueries lifts the deprecated batch entries onto the declarative
+// surface, preserving the strict per-algorithm semantics.
+func rnnQueries(kind Kind, ps PointSet, sites PointSet, queries []RNNQuery) []Query {
+	qs := make([]Query, len(queries))
+	for i, q := range queries {
+		qs[i] = Query{
+			Kind: kind, Target: NodeLocation(q.Q), K: q.K,
+			Points: ps, Sites: sites, Algorithm: q.Algo, Strict: true,
+		}
+	}
+	return qs
+}
+
 // RNNBatch answers a slice of monochromatic RkNN queries over one point set
 // concurrently and returns one BatchResult per query, in input order, plus
 // the worker count used. Every query runs to completion: an invalid entry
 // (bad k, out-of-range node) reports its error in its own slot without
 // affecting the others. A nil or zero-parallelism opt uses GOMAXPROCS
 // workers.
+//
+// Deprecated: use [DB.RunBatch], whose BatchReport also carries aggregate
+// statistics.
 func (db *DB) RNNBatch(ps pointsArg, queries []RNNQuery, opt *BatchOptions) ([]BatchResult, int) {
 	return db.RNNBatchContext(context.Background(), ps, queries, opt)
 }
@@ -159,35 +178,31 @@ func (db *DB) RNNBatch(ps pointsArg, queries []RNNQuery, opt *BatchOptions) ([]B
 // RNNBatchContext is RNNBatch under a batch context: cancel ctx (or set a
 // deadline on it) to stop the whole batch, opt.PerQuery to bound each
 // entry, opt.FailFast to abandon the rest after the first error.
+//
+// Deprecated: use [DB.RunBatch].
 func (db *DB) RNNBatchContext(ctx context.Context, ps pointsArg, queries []RNNQuery, opt *BatchOptions) ([]BatchResult, int) {
-	view := ps.nodeView()
-	out := make([]BatchResult, len(queries))
-	workers := runBatch(ctx, len(queries), opt.workers(len(queries)), opt.failFast(), out, func(ctx context.Context, i int) {
-		q := queries[i]
-		out[i].Result, out[i].Err = db.RNNContext(ctx, view, q.Q, q.K, q.Algo, opt.perQuery())
-	})
-	return out, workers
+	rep, _ := db.RunBatch(ctx, rnnQueries(KindRNN, ps, nil, queries), opt)
+	return rep.Results, rep.Workers
 }
 
 // BichromaticRNNBatch answers a slice of bichromatic RkNN queries over one
 // candidate/site pair concurrently, in input order.
+//
+// Deprecated: use [DB.RunBatch] with Queries of KindBichromatic.
 func (db *DB) BichromaticRNNBatch(cands, sites pointsArg, queries []RNNQuery, opt *BatchOptions) ([]BatchResult, int) {
 	return db.BichromaticRNNBatchContext(context.Background(), cands, sites, queries, opt)
 }
 
 // BichromaticRNNBatchContext is BichromaticRNNBatch under a batch context.
+//
+// Deprecated: use [DB.RunBatch].
 func (db *DB) BichromaticRNNBatchContext(ctx context.Context, cands, sites pointsArg, queries []RNNQuery, opt *BatchOptions) ([]BatchResult, int) {
-	cv, sv := cands.nodeView(), sites.nodeView()
-	out := make([]BatchResult, len(queries))
-	workers := runBatch(ctx, len(queries), opt.workers(len(queries)), opt.failFast(), out, func(ctx context.Context, i int) {
-		q := queries[i]
-		out[i].Result, out[i].Err = db.BichromaticRNNContext(ctx, cv, sv, q.Q, q.K, q.Algo, opt.perQuery())
-	})
-	return out, workers
+	rep, _ := db.RunBatch(ctx, rnnQueries(KindBichromatic, cands, sites, queries), opt)
+	return rep.Results, rep.Workers
 }
 
 // EdgeRNNQuery is one monochromatic batch entry over an edge-resident point
-// set.
+// set, used by the deprecated EdgeRNNBatch.
 type EdgeRNNQuery struct {
 	Q    Location
 	K    int
@@ -196,17 +211,20 @@ type EdgeRNNQuery struct {
 
 // EdgeRNNBatch answers a slice of edge-resident RkNN queries concurrently,
 // in input order.
+//
+// Deprecated: use [DB.RunBatch] with edge-resident Queries.
 func (db *DB) EdgeRNNBatch(ps edgeArg, queries []EdgeRNNQuery, opt *BatchOptions) ([]BatchResult, int) {
 	return db.EdgeRNNBatchContext(context.Background(), ps, queries, opt)
 }
 
 // EdgeRNNBatchContext is EdgeRNNBatch under a batch context.
+//
+// Deprecated: use [DB.RunBatch].
 func (db *DB) EdgeRNNBatchContext(ctx context.Context, ps edgeArg, queries []EdgeRNNQuery, opt *BatchOptions) ([]BatchResult, int) {
-	view := ps.edgeView()
-	out := make([]BatchResult, len(queries))
-	workers := runBatch(ctx, len(queries), opt.workers(len(queries)), opt.failFast(), out, func(ctx context.Context, i int) {
-		q := queries[i]
-		out[i].Result, out[i].Err = db.EdgeRNNContext(ctx, view, q.Q, q.K, q.Algo, opt.perQuery())
-	})
-	return out, workers
+	qs := make([]Query, len(queries))
+	for i, q := range queries {
+		qs[i] = Query{Kind: KindRNN, Target: q.Q, K: q.K, Points: ps, Algorithm: q.Algo, Strict: true}
+	}
+	rep, _ := db.RunBatch(ctx, qs, opt)
+	return rep.Results, rep.Workers
 }

@@ -1,15 +1,17 @@
 // Command rnnquery runs individual RkNN queries against a generated
-// network, printing the result set and the per-query work statistics of
-// each algorithm side by side — a quick way to see the eager/lazy
-// trade-offs of the paper on one query.
+// network through the declarative query API, printing the result set and
+// the per-query work statistics of each algorithm side by side — a quick
+// way to see the eager/lazy trade-offs of the paper on one query, and what
+// the planner would pick on its own ("A").
 //
 // Usage:
 //
 //	rnnquery [-family road|brite|grid] [-nodes N] [-density D] [-k K]
-//	         [-queries N] [-seed N] [-algos E,EM,L,LP,BF]
+//	         [-queries N] [-seed N] [-algos A,E,EM,L,LP,BF]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -26,7 +28,7 @@ func main() {
 		k       = flag.Int("k", 1, "number of reverse nearest neighbors")
 		queries = flag.Int("queries", 3, "number of queries to run")
 		seed    = flag.Int64("seed", 1, "seed")
-		algos   = flag.String("algos", "E,EM,L,LP", "comma-separated algorithms (E, EM, L, LP, BF)")
+		algos   = flag.String("algos", "A,E,EM,L,LP", "comma-separated algorithms (A=auto, E, EM, L, LP, BF)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,7 @@ func main() {
 	fail(err)
 
 	algoList := map[string]graphrnn.Algorithm{
+		"A":  graphrnn.Auto(),
 		"E":  graphrnn.Eager(),
 		"EM": graphrnn.EagerM(mat),
 		"L":  graphrnn.Lazy(),
@@ -80,14 +83,23 @@ func main() {
 	for qi := 0; qi < *queries && qi < len(pts); qi++ {
 		qp := pts[qi]
 		qnode, _ := ps.NodeOf(qp)
-		view := ps.Excluding(qp)
 		fmt.Printf("query %d at node %d (point %d excluded):\n", qi, qnode, qp)
 		for _, algo := range selected {
 			db.ResetIOStats()
-			res, err := db.RNN(view, qnode, *k, algo)
+			res, err := db.Run(context.Background(), graphrnn.Query{
+				Kind:      graphrnn.KindRNN,
+				Target:    graphrnn.NodeLocation(qnode),
+				K:         *k,
+				Points:    ps.Excluding(qp),
+				Algorithm: algo,
+			})
 			fail(err)
 			io := db.IOStats()
-			fmt.Printf("  %-12s -> %d results %v\n", algo, len(res.Points), res.Points)
+			name := algo.String()
+			if algo == graphrnn.Auto() {
+				name = fmt.Sprintf("auto>%s", res.Plan.Algorithm)
+			}
+			fmt.Printf("  %-12s -> %d results %v\n", name, len(res.Points), res.Points)
 			fmt.Printf("               expanded=%d scanned=%d rangeNN=%d verify=%d matReads=%d pageReads=%d\n",
 				res.Stats.NodesExpanded, res.Stats.NodesScanned, res.Stats.RangeNN,
 				res.Stats.Verifications, res.Stats.MatReads, io.Reads)

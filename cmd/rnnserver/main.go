@@ -1,10 +1,13 @@
 // Command rnnserver serves RkNN queries over HTTP — the first serving
 // surface of the system. It generates one of the paper's network families,
-// places a random data set on it, and answers JSON queries concurrently on
-// top of the thread-safe DB. The hub-label substrate can be built at
-// startup (-hublabel) or on demand (POST /index/hublabel) and selected per
-// query. The server shuts down gracefully on SIGINT/SIGTERM, draining
-// in-flight requests.
+// places a random data set (and a smaller site set for bichromatic
+// queries) on it, and answers JSON queries concurrently on top of the
+// thread-safe DB. The hub-label substrate can be built at startup
+// (-hublabel) or on demand (POST /index/hublabel); POST /query accepts one
+// declarative request schema for every query shape, lets the planner pick
+// the substrate (algo "auto"), and echoes the decision in the response.
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
 //
 // Every query runs under the request's context plus the -query-timeout
 // deadline (tightenable per request with ?timeout=50ms): a disconnecting
@@ -14,19 +17,31 @@
 // Usage:
 //
 //	rnnserver [-addr :8080] [-family road|brite|grid] [-nodes N]
-//	          [-density D] [-seed N] [-disk] [-buffer PAGES] [-maxk K]
-//	          [-hublabel K] [-query-timeout D]
+//	          [-density D] [-sites N] [-seed N] [-disk] [-buffer PAGES]
+//	          [-maxk K] [-hublabel K] [-query-timeout D]
 //
 // Endpoints:
 //
-//	GET  /rnn?node=N&k=K[&algo=eager|lazy|lazy-ep|eager-m|hub-label|brute]
-//	                   [&timeout=50ms]
+//	POST /query       one declarative query:
+//	                    {"kind":"rnn|bichromatic|continuous|knn",
+//	                     "node":N | "route":[...],
+//	                     "k":K, "algo":"auto|eager|lazy|lazy-ep|eager-m|hub-label|brute",
+//	                     "timeout":"50ms"}
+//	                  or a JSON array of them as a batch
+//	                  [?timeout=50ms] [?parallelism=N] [?fail_fast=true]
+//	                  (the schema also accepts "edge":{"u","v","pos"} targets,
+//	                  but this server hosts node-resident point sets, so edge
+//	                  targets answer a typed 400)
+//	POST /index/hublabel   {"maxk":K}   build/replace the hub-label index
+//	GET  /healthz
+//	GET  /stats            shared buffer pool (per-tenant) + planner decisions
+//
+// Deprecated endpoints, kept as shims over the same engine:
+//
+//	GET  /rnn?node=N&k=K[&algo=...][&timeout=50ms]
 //	POST /rnn/batch   {"queries":[{"node":N,"k":K,"algo":"eager"},...],
 //	                   "parallelism":0, "fail_fast":false}
 //	GET  /knn?node=N&k=K[&timeout=50ms]
-//	POST /index/hublabel   {"maxk":K}   build/replace the hub-label index
-//	GET  /healthz
-//	GET  /stats            includes the shared buffer pool (per-tenant)
 package main
 
 import (
@@ -49,13 +64,18 @@ import (
 )
 
 type server struct {
-	db      *graphrnn.DB
-	ps      *graphrnn.NodePoints
+	db *graphrnn.DB
+	ps *graphrnn.NodePoints
+	// sites is the competitor set bichromatic /query requests run against
+	// (nil when the server starts with -sites 0).
+	sites   *graphrnn.NodePoints
 	mat     *graphrnn.Materialization
 	family  string
 	started time.Time
 	served  atomic.Int64
 	errors  atomic.Int64
+	// planner tallies the substrate decisions of /query for /stats.
+	planner plannerCounters
 	// queryTimeout is the default per-query deadline (-query-timeout);
 	// zero means none. A request may tighten (never widen) it with a
 	// ?timeout= parameter. Expired queries answer 504.
@@ -399,6 +419,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"hit_rate":  pool.HitRate(),
 			"tenants":   tenants,
 		},
+		"planner": s.planner.snapshot(),
+	}
+	if s.sites != nil {
+		stats["sites"] = s.sites.Len()
 	}
 	if idx := s.hub.Load(); idx != nil {
 		stats["hublabel"] = map[string]any{
@@ -419,6 +443,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "seed")
 		disk     = flag.Bool("disk", false, "serve the graph disk-backed through the LRU buffer")
 		buffer   = flag.Int("buffer", 256, "LRU buffer capacity in pages (disk-backed only)")
+		sites    = flag.Int("sites", -1, "site set size for bichromatic /query requests (-1 = points/10, 0 disables)")
 		maxK     = flag.Int("maxk", 4, "materialize K-NN lists up to this k for eager-m (0 disables)")
 		hubLabel = flag.Int("hublabel", 0, "build the hub-label index up to this k at startup (0 defers to POST /index/hublabel)")
 		queryTO  = flag.Duration("query-timeout", 0, "per-query deadline; expired queries answer 504 (0 disables)")
@@ -460,6 +485,19 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := &server{db: db, ps: ps, family: *family, started: time.Now(), queryTimeout: *queryTO}
+	nsites := *sites
+	if nsites < 0 {
+		nsites = ps.Len() / 10
+		if nsites < 2 {
+			nsites = 2
+		}
+	}
+	if nsites > 0 {
+		srv.sites, err = db.PlaceRandomNodePoints(*seed+2, nsites)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *maxK > 0 {
 		srv.mat, err = db.MaterializeNodePoints(ps, *maxK, nil)
 		if err != nil {
@@ -478,6 +516,7 @@ func main() {
 	}
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("/query", srv.handleQuery)
 	mux.HandleFunc("/rnn", srv.handleRNN)
 	mux.HandleFunc("/rnn/batch", srv.handleBatch)
 	mux.HandleFunc("/knn", srv.handleKNN)

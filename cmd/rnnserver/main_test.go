@@ -1,0 +1,204 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"graphrnn"
+)
+
+// newTestServer builds a small in-memory serving stack: grid graph, data
+// set, site set, materialization and hub-label index, so every kind and
+// substrate is reachable through POST /query.
+func newTestServer(t *testing.T) *server {
+	t.Helper()
+	g, err := graphrnn.GenerateGrid(11, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(12, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites, err := db.PlaceRandomNodePoints(13, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := db.MaterializeNodePoints(ps, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.BuildHubLabelIndex(ps, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &server{db: db, ps: ps, sites: sites, mat: mat, family: "grid", started: time.Now()}
+	srv.hub.Store(idx)
+	return srv
+}
+
+func postQuery(t *testing.T, s *server, target, body string) (*httptest.ResponseRecorder, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.handleQuery(rec, req)
+	var out map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("response is not JSON (%v): %s", err, rec.Body.String())
+	}
+	return rec, out
+}
+
+// TestHandleQuery covers the unified endpoint: every kind through one
+// schema, the planner echo, batch arrays, and typed client errors.
+func TestHandleQuery(t *testing.T) {
+	s := newTestServer(t)
+
+	// Auto-planned RNN: the attached hub-label index must win and the
+	// response must say so.
+	rec, out := postQuery(t, s, "/query", `{"kind":"rnn","node":5,"k":2}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rnn: code %d: %v", rec.Code, out)
+	}
+	plan, _ := out["plan"].(map[string]any)
+	if plan == nil || plan["algorithm"] != "hub-label" {
+		t.Fatalf("auto plan did not pick the attached hub-label index: %v", out["plan"])
+	}
+
+	// Bichromatic: the hub index tracks the data set, not the sites, so an
+	// explicit hub-label hint must fall back (and be reported as such).
+	rec, out = postQuery(t, s, "/query", `{"kind":"bichromatic","node":5,"k":1,"algo":"hub-label"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("bichromatic: code %d: %v", rec.Code, out)
+	}
+	plan, _ = out["plan"].(map[string]any)
+	if plan == nil || plan["fallback"] != true {
+		t.Fatalf("hub hint over foreign sites did not fall back: %v", out["plan"])
+	}
+
+	// Continuous and knn through the same schema.
+	if rec, out = postQuery(t, s, "/query", `{"kind":"continuous","route":[1,2,3],"k":1}`); rec.Code != http.StatusOK {
+		t.Fatalf("continuous: code %d: %v", rec.Code, out)
+	}
+	rec, out = postQuery(t, s, "/query", `{"kind":"knn","node":7,"k":3}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("knn: code %d: %v", rec.Code, out)
+	}
+	if nbrs, _ := out["neighbors"].([]any); len(nbrs) != 3 {
+		t.Fatalf("knn returned %v neighbors, want 3", out["neighbors"])
+	}
+
+	// Batch = JSON array; per-entry results with plans, worker count.
+	rec, out = postQuery(t, s, "/query?parallelism=2",
+		`[{"node":1,"k":1},{"kind":"knn","node":2,"k":1},{"node":99999,"k":1}]`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("batch: code %d: %v", rec.Code, out)
+	}
+	results, _ := out["results"].([]any)
+	if len(results) != 3 {
+		t.Fatalf("batch returned %d results, want 3", len(results))
+	}
+	if out["failed"] != float64(1) {
+		t.Fatalf("batch failed=%v, want 1 (out-of-range node)", out["failed"])
+	}
+
+	// Typed client errors: malformed JSON, unknown field, unknown kind,
+	// missing target, bad timeout — all 400.
+	for _, bad := range []string{
+		`{"kind":"rnn","node":`,
+		`{"nodee":5}`,
+		`{"kind":"voronoi","node":5}`,
+		`{"kind":"rnn","k":1}`,
+		`{"kind":"rnn","node":5,"timeout":"-3s"}`,
+		`[{"node":1},{"kind":"???"}]`,
+		``,
+	} {
+		rec, _ := postQuery(t, s, "/query", bad)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q answered %d, want 400", bad, rec.Code)
+		}
+	}
+
+	// GET is not allowed.
+	req := httptest.NewRequest(http.MethodGet, "/query", nil)
+	rec2 := httptest.NewRecorder()
+	s.handleQuery(rec2, req)
+	if rec2.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query answered %d, want 405", rec2.Code)
+	}
+
+	// An unmeetable per-entry deadline answers 504.
+	rec, _ = postQuery(t, s, "/query", `{"kind":"rnn","node":5,"k":2,"algo":"eager","timeout":"1ns"}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("1ns deadline answered %d, want 504", rec.Code)
+	}
+
+	// The planner counters feed /stats.
+	snap := s.planner.snapshot()
+	dec, _ := snap["decisions"].(map[string]int64)
+	if dec["hub-label"] == 0 {
+		t.Fatalf("planner counters did not record the hub-label decisions: %v", snap)
+	}
+	if snap["fallbacks"].(int64) == 0 {
+		t.Fatalf("planner counters did not record the fallback: %v", snap)
+	}
+}
+
+// FuzzDecodeQuery drives arbitrary bodies through the /query decoding and
+// planning pipeline: it must never panic, and every rejection must be a
+// client error (the handler's typed 400), never a silent success over a
+// half-parsed request.
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add([]byte(`{"kind":"rnn","node":5,"k":2}`))
+	f.Add([]byte(`{"kind":"bichromatic","node":1,"k":1,"algo":"hub-label"}`))
+	f.Add([]byte(`{"kind":"continuous","route":[1,2,3],"k":1,"timeout":"50ms"}`))
+	f.Add([]byte(`{"kind":"knn","edge":{"u":1,"v":2,"pos":0.5},"k":3}`))
+	f.Add([]byte(`[{"node":1},{"kind":"knn","node":2}]`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"kind":"rnn","node":1,"unknown":true}`))
+	f.Add([]byte(`{`))
+
+	g, err := graphrnn.GenerateGrid(21, 64, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(22, 10)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sites, err := db.PlaceRandomNodePoints(23, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	s := &server{db: db, ps: ps, sites: sites, family: "grid", started: time.Now()}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		reqs, _, err := decodeQueryBody(data)
+		if err != nil {
+			return // typed 400
+		}
+		for _, r := range reqs {
+			q, err := r.toQuery(s, nil)
+			if err != nil {
+				continue // typed 400
+			}
+			// The engine must validate whatever the decoder accepted
+			// without panicking; errors here answer per-entry.
+			if _, err := db.Plan(q); err != nil {
+				continue
+			}
+		}
+	})
+}

@@ -2,16 +2,15 @@ package graphrnn
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"graphrnn/internal/exec"
 )
 
-// This file is the engine layer of the execution model: every public query
-// entry point has a Context variant that threads cancellation, a per-query
-// deadline and work budgets through the algorithm loops in internal/core
-// and the hub-label intersection path. The plain variants (RNN, KNN, ...)
-// are the unbounded special case and pay no bookkeeping.
+// This file holds the execution-bound plumbing of the engine (QueryOptions,
+// Budget, the typed error taxonomy) plus the deprecated per-shape *Context
+// entry points, which are thin shims over Run.
 //
 // # Error taxonomy
 //
@@ -57,14 +56,23 @@ type Budget struct {
 	MaxIOReads int64
 }
 
-// QueryOptions bounds one query issued through a Context entry point. A
-// nil *QueryOptions applies only the context's own cancellation/deadline.
+// QueryOptions bounds one query. Embedded in Query (the zero value applies
+// only the Run context's own cancellation/deadline); the deprecated
+// *Context entry points take it as a trailing pointer.
 type QueryOptions struct {
 	// Timeout, when positive, derives a per-query deadline from the
 	// context at query start (the tighter of the two deadlines wins).
 	Timeout time.Duration
 	// Budget caps the query's work.
 	Budget Budget
+}
+
+// orZero dereferences the deprecated entry points' optional pointer form.
+func (o *QueryOptions) orZero() QueryOptions {
+	if o == nil {
+		return QueryOptions{}
+	}
+	return *o
 }
 
 // newExec builds the execution context of one query: the per-query
@@ -90,90 +98,106 @@ func (db *DB) newExec(ctx context.Context, opt *QueryOptions) (ec *exec.Ctx, can
 		cancel()
 		return nil, nil, err
 	}
+	// A deadline that has already passed fails upfront even when the
+	// context's timer has not fired yet (timers carry delivery latency;
+	// the wall clock does not) — so a microscopic Timeout rejects
+	// deterministically instead of racing the first poll.
+	if dl, ok := ctx.Deadline(); ok && !time.Now().Before(dl) {
+		cancel()
+		return nil, nil, fmt.Errorf("%w: deadline already passed at query start", ErrDeadlineExceeded)
+	}
 	return ec, cancel, nil
 }
 
 // RNNContext is RNN under a context: the query stops with a typed error
 // (and a partial Result) when ctx is canceled, a deadline passes, or the
 // budget runs out.
+//
+// Deprecated: use [DB.Run]; Query embeds the QueryOptions.
 func (db *DB) RNNContext(ctx context.Context, ps pointsArg, q NodeID, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
-	ec, cancel, err := db.newExec(ctx, opt)
-	if err != nil {
-		return nil, err
-	}
-	defer cancel()
-	return db.runRNN(ec, ps, q, k, algo)
+	return db.Run(ctx, Query{
+		Kind: KindRNN, Target: NodeLocation(q), K: k, Points: ps,
+		Algorithm: algo, Strict: true, QueryOptions: opt.orZero(),
+	})
 }
 
 // BichromaticRNNContext is BichromaticRNN under a context.
+//
+// Deprecated: use [DB.Run] with a Query of KindBichromatic.
 func (db *DB) BichromaticRNNContext(ctx context.Context, cands, sites pointsArg, q NodeID, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
-	ec, cancel, err := db.newExec(ctx, opt)
-	if err != nil {
-		return nil, err
-	}
-	defer cancel()
-	return db.runBichromaticRNN(ec, cands, sites, q, k, algo)
+	return db.Run(ctx, Query{
+		Kind: KindBichromatic, Target: NodeLocation(q), K: k, Points: cands, Sites: sites,
+		Algorithm: algo, Strict: true, QueryOptions: opt.orZero(),
+	})
 }
 
 // ContinuousRNNContext is ContinuousRNN under a context.
+//
+// Deprecated: use [DB.Run] with a Query of KindContinuous.
 func (db *DB) ContinuousRNNContext(ctx context.Context, ps pointsArg, route []NodeID, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
-	ec, cancel, err := db.newExec(ctx, opt)
-	if err != nil {
-		return nil, err
-	}
-	defer cancel()
-	return db.runContinuousRNN(ec, ps, route, k, algo)
+	return db.Run(ctx, Query{
+		Kind: KindContinuous, Route: route, K: k, Points: ps,
+		Algorithm: algo, Strict: true, QueryOptions: opt.orZero(),
+	})
 }
 
 // EdgeRNNContext is EdgeRNN under a context.
+//
+// Deprecated: use [DB.Run] with a Query of KindRNN over an edge-resident
+// Points set.
 func (db *DB) EdgeRNNContext(ctx context.Context, ps edgeArg, q Location, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
-	ec, cancel, err := db.newExec(ctx, opt)
-	if err != nil {
-		return nil, err
-	}
-	defer cancel()
-	return db.runEdgeRNN(ec, ps, q, k, algo)
+	return db.Run(ctx, Query{
+		Kind: KindRNN, Target: q, K: k, Points: ps,
+		Algorithm: algo, Strict: true, QueryOptions: opt.orZero(),
+	})
 }
 
 // EdgeBichromaticRNNContext is EdgeBichromaticRNN under a context.
+//
+// Deprecated: use [DB.Run] with a Query of KindBichromatic over
+// edge-resident Points and Sites.
 func (db *DB) EdgeBichromaticRNNContext(ctx context.Context, cands, sites edgeArg, q Location, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
-	ec, cancel, err := db.newExec(ctx, opt)
-	if err != nil {
-		return nil, err
-	}
-	defer cancel()
-	return db.runEdgeBichromaticRNN(ec, cands, sites, q, k, algo)
+	return db.Run(ctx, Query{
+		Kind: KindBichromatic, Target: q, K: k, Points: cands, Sites: sites,
+		Algorithm: algo, Strict: true, QueryOptions: opt.orZero(),
+	})
 }
 
 // EdgeContinuousRNNContext is EdgeContinuousRNN under a context.
+//
+// Deprecated: use [DB.Run] with a Query of KindContinuous over an
+// edge-resident Points set.
 func (db *DB) EdgeContinuousRNNContext(ctx context.Context, ps edgeArg, route []NodeID, k int, algo Algorithm, opt *QueryOptions) (*Result, error) {
-	ec, cancel, err := db.newExec(ctx, opt)
-	if err != nil {
-		return nil, err
-	}
-	defer cancel()
-	return db.runEdgeContinuousRNN(ec, ps, route, k, algo)
+	return db.Run(ctx, Query{
+		Kind: KindContinuous, Route: route, K: k, Points: ps,
+		Algorithm: algo, Strict: true, QueryOptions: opt.orZero(),
+	})
 }
 
 // KNNContext is KNN under a context. On a typed execution error the
 // neighbors found so far are returned alongside it.
+//
+// Deprecated: use [DB.Run] with a Query of KindKNN.
 func (db *DB) KNNContext(ctx context.Context, ps pointsArg, n NodeID, k int, opt *QueryOptions) ([]Neighbor, error) {
-	ec, cancel, err := db.newExec(ctx, opt)
-	if err != nil {
+	res, err := db.Run(ctx, Query{
+		Kind: KindKNN, Target: NodeLocation(n), K: k, Points: ps, QueryOptions: opt.orZero(),
+	})
+	if res == nil {
 		return nil, err
 	}
-	defer cancel()
-	out, err := db.searcher.Bound(ec).KNN(ps.nodeView().v, toNodeIDs([]NodeID{n})[0], k)
-	return toNeighbors(out), err
+	return res.Neighbors, err
 }
 
 // EdgeKNNContext is EdgeKNN under a context.
+//
+// Deprecated: use [DB.Run] with a Query of KindKNN over an edge-resident
+// Points set.
 func (db *DB) EdgeKNNContext(ctx context.Context, ps edgeArg, q Location, k int, opt *QueryOptions) ([]Neighbor, error) {
-	ec, cancel, err := db.newExec(ctx, opt)
-	if err != nil {
+	res, err := db.Run(ctx, Query{
+		Kind: KindKNN, Target: q, K: k, Points: ps, QueryOptions: opt.orZero(),
+	})
+	if res == nil {
 		return nil, err
 	}
-	defer cancel()
-	out, err := db.searcher.Bound(ec).UKNN(ps.edgeView().v, q.toLoc(), k)
-	return toNeighbors(out), err
+	return res.Neighbors, err
 }

@@ -1,0 +1,182 @@
+package graphrnn
+
+import (
+	"context"
+	"iter"
+	"time"
+
+	"graphrnn/internal/core"
+	"graphrnn/internal/exec"
+)
+
+// This file is the execution half of the unified query API: one engine
+// surface — Run for a single query, RunBatch for worker-pool fan-out,
+// Stream for incremental member delivery — executing any planned Query.
+// Every future cross-cutting feature (admission control, sharding, async
+// execution) plugs in here instead of multiplying per-shape entry points.
+
+// Run executes one declarative query: it plans the substrate (see DB.Plan),
+// runs it under ctx plus the query's embedded QueryOptions, and returns the
+// answer with the planner's decision in Result.Plan.
+//
+// Cancellation, deadlines and budgets follow the engine contract of the
+// *Context era: a query abandoned mid-flight returns the partial Result
+// alongside a typed error (ErrCanceled / ErrDeadlineExceeded /
+// ErrBudgetExceeded; match with errors.Is or IsExecErr), and a query issued
+// with an already-expired deadline fails before any page I/O. A background
+// context with zero QueryOptions pays no bookkeeping at all.
+func (db *DB) Run(ctx context.Context, q Query) (*Result, error) {
+	pl, err := db.plan(q)
+	if err != nil {
+		return nil, err
+	}
+	ec, cancel, err := db.newExec(ctx, &q.QueryOptions)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	res, err := db.runPlanned(ec, &pl)
+	if res != nil {
+		res.Plan = pl.plan
+	}
+	return res, err
+}
+
+// runPlanned dispatches a planned query to its executor.
+func (db *DB) runPlanned(ec *exec.Ctx, pl *planned) (*Result, error) {
+	algo := pl.plan.Algorithm
+	switch pl.plan.Kind {
+	case KindRNN:
+		if pl.plan.Edge {
+			return db.runEdgeRNN(ec, pl.edge, pl.loc, pl.k, algo)
+		}
+		return db.runRNN(ec, pl.node, pl.qnode, pl.k, algo)
+	case KindBichromatic:
+		if pl.plan.Edge {
+			return db.runEdgeBichromaticRNN(ec, pl.edge, pl.esites, pl.loc, pl.k, algo)
+		}
+		return db.runBichromaticRNN(ec, pl.node, pl.nsites, pl.qnode, pl.k, algo)
+	case KindContinuous:
+		if pl.plan.Edge {
+			return db.runEdgeContinuousRNN(ec, pl.edge, pl.route, pl.k, algo)
+		}
+		return db.runContinuousRNN(ec, pl.node, pl.route, pl.k, algo)
+	default: // KindKNN, validated by plan
+		return db.runKNN(ec, pl)
+	}
+}
+
+// runKNN executes the forward search; on a typed execution error the
+// neighbors found so far ride along with it, like every other kind.
+func (db *DB) runKNN(ec *exec.Ctx, pl *planned) (*Result, error) {
+	s := db.searcher.Bound(ec)
+	var out []core.PointDist
+	var err error
+	if pl.plan.Edge {
+		out, err = s.UKNN(pl.edge.v, pl.loc.toLoc(), pl.k)
+	} else {
+		out, err = s.KNN(pl.node.v, toNodeIDs([]NodeID{pl.qnode})[0], pl.k)
+	}
+	if err != nil && !exec.IsExecErr(err) {
+		return nil, err
+	}
+	return &Result{Neighbors: toNeighbors(out)}, err
+}
+
+// RunBatch executes a slice of declarative queries over a worker pool and
+// reports per-query results (input order), the worker count used, and
+// aggregate statistics. Entries are independent: each is planned and run as
+// if through Run, so one batch may mix kinds, shapes and substrates.
+//
+// Batches are context-aware: cancel ctx (or let its deadline pass) and
+// undispatched entries report a typed cancellation error without running;
+// opt.FailFast promotes the first error to a batch-level cancellation;
+// opt.PerQuery bounds every entry that does not carry its own embedded
+// QueryOptions. The error return is reserved for batch-level admission
+// failures (nil today); per-query errors land in their Results slots.
+func (db *DB) RunBatch(ctx context.Context, queries []Query, opt *BatchOptions) (*BatchReport, error) {
+	start := time.Now()
+	out := make([]BatchResult, len(queries))
+	workers := runBatch(ctx, len(queries), opt.workers(len(queries)), opt.failFast(), out, func(ctx context.Context, i int) {
+		q := queries[i]
+		if pq := opt.perQuery(); pq != nil && q.QueryOptions == (QueryOptions{}) {
+			q.QueryOptions = *pq
+		}
+		out[i].Result, out[i].Err = db.Run(ctx, q)
+	})
+	rep := &BatchReport{Results: out, Workers: workers, Wall: time.Since(start)}
+	for _, r := range out {
+		if r.Err != nil {
+			rep.Failed++
+		} else {
+			rep.Succeeded++
+		}
+		if r.Result != nil {
+			rep.Work.add(r.Result.Stats)
+		}
+	}
+	return rep, nil
+}
+
+// Stream executes one declarative query and yields each result member the
+// moment the engine confirms it, instead of buffering the full answer:
+// RkNN members arrive in confirmation order (not id order) while the
+// expansion is still running; KindKNN neighbors arrive in ascending
+// distance order. Breaking out of the loop cancels the underlying query
+// within one expansion step.
+//
+// The final iteration reports a terminal error, if any, as (Hit{}, err) —
+// including the typed execution errors after a deadline, cancellation or
+// budget cut the stream short. A fully consumed stream with no error pair
+// delivered exactly the members Run would have returned.
+func (db *DB) Stream(ctx context.Context, q Query) iter.Seq2[Hit, error] {
+	return func(yield func(Hit, error) bool) {
+		pl, err := db.plan(q)
+		if err != nil {
+			yield(Hit{}, err)
+			return
+		}
+		// A cancelable context guarantees a non-nil exec.Ctx, which is what
+		// carries the member sink; canceling it is also how an abandoned
+		// consumer stops the producer.
+		sctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		ec, ecancel, err := db.newExec(sctx, &q.QueryOptions)
+		if err != nil {
+			yield(Hit{}, err)
+			return
+		}
+		defer ecancel()
+
+		hits := make(chan Hit, 64)
+		ec.OnMember(func(p int32, d float64) {
+			select {
+			case hits <- Hit{P: PointID(p), Distance: d}:
+			case <-sctx.Done():
+			}
+		})
+		var rerr error
+		go func() {
+			defer close(hits)
+			res, err := db.runPlanned(ec, &pl)
+			if res != nil && pl.plan.Kind == KindKNN {
+				// The forward search reuses the range-NN machinery, which
+				// collects before sorting; its neighbors stream here, in
+				// ascending distance order, once confirmed.
+				for _, n := range res.Neighbors {
+					ec.Emit(int32(n.P), n.Distance)
+				}
+			}
+			rerr = err
+		}()
+		for h := range hits {
+			if !yield(h, nil) {
+				return
+			}
+		}
+		// hits is closed: the producer is done and rerr is visible.
+		if rerr != nil {
+			yield(Hit{}, rerr)
+		}
+	}
+}

@@ -8,7 +8,8 @@
 // point set contains the authors for whom q is the nearest group member.
 // Because the point set is ad hoc, materialization is impossible and the
 // eager/lazy trade-off of the paper's Table 1 appears: eager saves I/O,
-// lazy saves CPU.
+// lazy saves CPU. The queries go through the declarative API with an
+// explicit algorithm hint per run.
 //
 // Run with:
 //
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -49,14 +51,20 @@ func main() {
 		// Query from the first matching author's position.
 		qp := ps.Points()[0]
 		qnode, _ := ps.NodeOf(qp)
-		view := ps.Excluding(qp)
+		q := graphrnn.Query{
+			Kind:   graphrnn.KindRNN,
+			Target: graphrnn.NodeLocation(qnode),
+			K:      1,
+			Points: ps.Excluding(qp),
+		}
 		for _, algo := range []graphrnn.Algorithm{graphrnn.Eager(), graphrnn.Lazy()} {
 			if err := db.DropCache(); err != nil {
 				log.Fatal(err)
 			}
 			db.ResetIOStats()
+			q.Algorithm = algo
 			t0 := time.Now()
-			res, err := db.RNN(view, qnode, 1, algo)
+			res, err := db.Run(context.Background(), q)
 			if err != nil {
 				log.Fatal(err)
 			}

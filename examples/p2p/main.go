@@ -6,9 +6,10 @@
 // The overlay is a BRITE-style scale-free topology (what the paper's P2P
 // experiments use); peers occupy 1% of the routers. The example runs a
 // R4NN query — the paper notes that Gnutella-style systems propagate
-// queries to four neighbors — with the eager algorithm, then shows why the
-// lazy algorithm is hopeless on this topology ("exponential expansion"):
-// it visits an order of magnitude more of the network.
+// queries to four neighbors — through the declarative API: once with the
+// planner deciding (eager on this low-diameter topology), then with an
+// explicit lazy hint to show why lazy is hopeless here ("exponential
+// expansion"): it visits an order of magnitude more of the network.
 //
 // Run with:
 //
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,17 +48,23 @@ func main() {
 	// overlay).
 	newcomer := peers.Points()[0]
 	joinAt, _ := peers.NodeOf(newcomer)
-	others := peers.Excluding(newcomer)
+	q := graphrnn.Query{
+		Kind:   graphrnn.KindRNN,
+		Target: graphrnn.NodeLocation(joinAt),
+		K:      k,
+		Points: peers.Excluding(newcomer),
+	}
 
-	for _, algo := range []graphrnn.Algorithm{graphrnn.Eager(), graphrnn.Lazy()} {
+	for _, algo := range []graphrnn.Algorithm{graphrnn.Auto(), graphrnn.Lazy()} {
 		db.ResetIOStats()
-		res, err := db.RNN(others, joinAt, k, algo)
+		q.Algorithm = algo
+		res, err := db.Run(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		io := db.IOStats()
 		fmt.Printf("%-8s R%dNN at router %d: %d peers would adopt the newcomer\n",
-			algo, k, joinAt, len(res.Points))
+			res.Plan.Algorithm, k, joinAt, len(res.Points))
 		fmt.Printf("         nodes expanded: %6d   scanned by sub-queries: %7d   page reads: %d\n",
 			res.Stats.NodesExpanded, res.Stats.NodesScanned, io.Reads)
 	}

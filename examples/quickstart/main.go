@@ -1,5 +1,7 @@
-// Quickstart: build a tiny network, place data points, and compare every
-// algorithm on one reverse-nearest-neighbor query.
+// Quickstart: build a tiny network, place data points, and answer one
+// reverse-nearest-neighbor query through the declarative query API — first
+// letting the planner pick the substrate, then comparing every algorithm
+// explicitly.
 //
 // The network is the running example of the paper (Fig 3a): seven nodes,
 // three data points (p1 on n6, p2 on n5, p3 on n7), query at n4. The
@@ -12,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -54,14 +57,27 @@ func main() {
 		names[p] = fmt.Sprintf("p%d", i+1)
 	}
 
-	// Materialized 1-NN lists enable the eager-M algorithm.
+	// Materialized 1-NN lists attach to the planner and enable eager-M.
 	mat, err := db.MaterializeNodePoints(ps, 1, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	const q = graphrnn.NodeID(3) // n4
+	// One declarative Query describes the request; db.Run plans and
+	// executes it, echoing the substrate decision in Result.Plan.
+	q := graphrnn.Query{
+		Kind:   graphrnn.KindRNN,
+		Target: graphrnn.NodeLocation(3), // n4
+		K:      1,
+		Points: ps,
+	}
+	res, err := db.Run(context.Background(), q)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("RNN query at n4 over {p1@n6, p2@n5, p3@n7}:\n\n")
+	fmt.Printf("  planner: %s\n\n", res.Plan.Explain())
+
 	for _, algo := range []graphrnn.Algorithm{
 		graphrnn.Eager(),
 		graphrnn.Lazy(),
@@ -69,7 +85,9 @@ func main() {
 		graphrnn.EagerM(mat),
 		graphrnn.BruteForce(),
 	} {
-		res, err := db.RNN(ps, q, 1, algo)
+		hq := q
+		hq.Algorithm = algo
+		res, err := db.Run(context.Background(), hq)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -81,10 +99,16 @@ func main() {
 			algo, labels, res.Stats.NodesExpanded, res.Stats.Verifications)
 	}
 
-	// Reverse 2-NN: now p3 also qualifies (q is its second NN).
-	res, err := db.RNN(ps, q, 2, graphrnn.Eager())
-	if err != nil {
-		log.Fatal(err)
+	// Reverse 2-NN: now p3 also qualifies (q is its second NN). Stream
+	// delivers each member the moment the engine confirms it.
+	q.K = 2
+	q.Algorithm = graphrnn.Eager()
+	fmt.Printf("\nR2NN at n4, streamed as confirmed:")
+	for h, err := range db.Stream(context.Background(), q) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf(" %s", names[h.P])
 	}
-	fmt.Printf("\nR2NN at n4 -> %d points (k widens the answer set)\n", len(res.Points))
+	fmt.Println("  (k widens the answer set)")
 }

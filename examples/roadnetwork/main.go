@@ -6,9 +6,9 @@
 // restaurant than to every existing competitor — the customers it would
 // capture on proximity alone.
 //
-// The example evaluates three candidate sites and picks the one that
-// captures the most blocks, then shows a continuous query along a delivery
-// route.
+// The example evaluates three candidate sites through the declarative
+// query API and picks the one that captures the most blocks, then streams
+// a continuous query along a delivery route.
 //
 // Run with:
 //
@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,17 +45,24 @@ func main() {
 	fmt.Printf("%d residential blocks, %d existing restaurants\n\n", blocks.Len(), rivals.Len())
 
 	// Three candidate sites at block locations (places customers live).
+	// One Query literal per site; only the Target changes.
 	candidates := blocks.Points()[:3]
 	bestSite := graphrnn.Location{}
 	bestCount := -1
 	for i, c := range candidates {
 		site, _ := blocks.LocationOf(c)
-		res, err := db.EdgeBichromaticRNN(blocks, rivals, site, 1, graphrnn.Eager())
+		res, err := db.Run(context.Background(), graphrnn.Query{
+			Kind:   graphrnn.KindBichromatic,
+			Target: site,
+			K:      1,
+			Points: blocks,
+			Sites:  rivals,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("site %d on segment (%d,%d): captures %d blocks\n",
-			i+1, site.U, site.V, len(res.Points))
+		fmt.Printf("site %d on segment (%d,%d): captures %d blocks  [%s]\n",
+			i+1, site.U, site.V, len(res.Points), res.Plan.Algorithm)
 		if len(res.Points) > bestCount {
 			bestCount, bestSite = len(res.Points), site
 		}
@@ -64,12 +72,20 @@ func main() {
 
 	// A driver moving along a route continuously serves the blocks that
 	// have the route as their nearest "restaurant" — the continuous query
-	// of Section 5.1.
+	// of Section 5.1, streamed block by block as the engine confirms them.
 	route := db.RandomWalkRoute(10, 12)
-	res, err := db.EdgeContinuousRNN(blocks, route, 1, graphrnn.Eager())
-	if err != nil {
-		log.Fatal(err)
+	served := 0
+	for _, err := range db.Stream(context.Background(), graphrnn.Query{
+		Kind:   graphrnn.KindContinuous,
+		Route:  route,
+		K:      1,
+		Points: blocks,
+	}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		served++
 	}
 	fmt.Printf("continuous RNN along a %d-junction route: %d blocks have the route as nearest service point\n",
-		len(route), len(res.Points))
+		len(route), served)
 }

@@ -36,6 +36,7 @@ package graphrnn
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"graphrnn/internal/core"
 	"graphrnn/internal/graph"
@@ -166,16 +167,19 @@ type Options struct {
 	Pool *BufferPool
 }
 
-// DB is a queryable RNN database over one graph.
+// DB is a queryable RNN database over one graph. Queries are described by
+// a declarative Query value and executed through the engine surface — Run,
+// RunBatch, Stream — with the substrate resolved by the planner (Plan);
+// the per-shape, per-algorithm entry points (RNN, BichromaticRNN, ...) are
+// deprecated shims over it.
 //
-// A DB is safe for concurrent use: queries (RNN, BichromaticRNN,
-// ContinuousRNN, their Edge variants, KNN, Distance, and the *Batch
-// helpers) may run from any number of goroutines, on memory- and
-// disk-backed DBs alike, and IOStats / ResetIOStats may be called while
-// queries are in flight. The exceptions are mutating operations: building
-// point sets (Place / Delete), materialization maintenance (InsertNode,
-// InsertEdge, DeletePoint), and DropCache require that no query is running
-// against the same state.
+// A DB is safe for concurrent use: queries (Run / RunBatch / Stream and
+// every deprecated entry point) may run from any number of goroutines, on
+// memory- and disk-backed DBs alike, and IOStats / ResetIOStats may be
+// called while queries are in flight. The exceptions are mutating
+// operations: building point sets (Place / Delete), materialization
+// maintenance (InsertNode, InsertEdge, DeletePoint), and DropCache require
+// that no query is running against the same state.
 type DB struct {
 	graph    *Graph
 	store    graph.Access
@@ -188,6 +192,11 @@ type DB struct {
 	// the former independent buffers. A pool passed through Options.Pool
 	// keeps its fixed capacity and quotas partition it.
 	pool *BufferPool
+	// planHub and planMat are the planner-visible attached substrates
+	// (see AttachHubLabel / AttachMaterialization); read atomically so
+	// attachment may change under live traffic.
+	planHub atomic.Pointer[HubLabelIndex]
+	planMat atomic.Pointer[Materialization]
 }
 
 // Layout chooses the order in which adjacency lists are packed into pages

@@ -70,7 +70,9 @@ func (o *HubLabelOptions) defaults() (pageSize, buffer int, paged bool, path str
 // BuildHubLabelIndex builds the 2-hop labeling of the graph (CPU-bound, one
 // pruned Dijkstra per node) and the reverse index over ps, materializing
 // K-NN thresholds for monochromatic queries up to maxK. The labeling build
-// reads the in-memory graph directly and performs no counted I/O.
+// reads the in-memory graph directly and performs no counted I/O. The new
+// index is attached to the planner (last built wins; see AttachHubLabel),
+// so auto-planned queries over ps start using it immediately.
 func (db *DB) BuildHubLabelIndex(ps *NodePoints, maxK int, opt *HubLabelOptions) (*HubLabelIndex, error) {
 	if maxK < 1 {
 		return nil, fmt.Errorf("graphrnn: maxK must be >= 1, got %d", maxK)
@@ -111,13 +113,15 @@ func (db *DB) BuildHubLabelIndex(ps *NodePoints, maxK int, opt *HubLabelOptions)
 		h.Close()
 		return nil, err
 	}
+	db.AttachHubLabel(h)
 	return h, nil
 }
 
 // OpenHubLabelIndex reopens a labeling previously persisted at path (via
 // Options.Path or SaveTo) and rebuilds the reverse index over ps — the
 // restart path: no pruned-landmark build runs, labels fault in through the
-// LRU buffer on demand.
+// LRU buffer on demand. Like BuildHubLabelIndex, the reopened index is
+// attached to the planner.
 func (db *DB) OpenHubLabelIndex(ps *NodePoints, maxK int, path string, opt *HubLabelOptions) (*HubLabelIndex, error) {
 	_, buffer, _, _ := opt.defaults()
 	// The page size lives in the file header, so reopening needs no
@@ -149,6 +153,7 @@ func (db *DB) OpenHubLabelIndex(ps *NodePoints, maxK int, path string, opt *HubL
 		file.Close()
 		return nil, err
 	}
+	db.AttachHubLabel(h)
 	return h, nil
 }
 
@@ -171,9 +176,13 @@ func (h *HubLabelIndex) SaveTo(path string) error {
 	return f.Close()
 }
 
-// Close detaches the label pages from the shared buffer pool and releases
-// the label file, if any. Queries must not be in flight.
+// Close detaches the index from the planner (when it is the attached one)
+// and releases the label pages from the shared buffer pool and the label
+// file, if any. Queries must not be in flight.
 func (h *HubLabelIndex) Close() error {
+	if h.db != nil {
+		h.db.planHub.CompareAndSwap(h, nil)
+	}
 	if h.store != nil {
 		if err := h.store.Buffer().Detach(); err != nil {
 			return err

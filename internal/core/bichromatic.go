@@ -55,7 +55,7 @@ func (s *Searcher) EagerBichromatic(cands, sites points.NodeView, qnode graph.No
 		}
 		if p, ok := cands.PointAt(n); ok && !seen[p] {
 			seen[p] = true
-			results = append(results, p)
+			results = s.confirm(results, p)
 		}
 		var adjErr error
 		if main.adj, adjErr = s.g.Adjacency(n, main.adj); adjErr != nil {
@@ -115,7 +115,7 @@ func (s *Searcher) EagerMBichromatic(cands, sites points.NodeView, mat *Material
 		}
 		if p, ok := cands.PointAt(n); ok && !seen[p] {
 			seen[p] = true
-			results = append(results, p)
+			results = s.confirm(results, p)
 		}
 		var adjErr error
 		if main.adj, adjErr = s.g.Adjacency(n, main.adj); adjErr != nil {
@@ -179,7 +179,7 @@ func (s *Searcher) LazyBichromatic(cands, sites points.NodeView, qnode graph.Nod
 				return execResult(results, st, err)
 			}
 			if len(probe) < k {
-				results = append(results, p)
+				results = s.confirm(results, p)
 			}
 		}
 		if counts.get(n) >= int32(k) {
@@ -289,7 +289,7 @@ func (s *Searcher) LazyEPBichromatic(cands, sites points.NodeView, qnode graph.N
 					return execResult(results, st, err)
 				}
 				if len(probe) < k {
-					results = append(results, p)
+					results = s.confirm(results, p)
 				}
 			}
 		}

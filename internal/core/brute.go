@@ -58,7 +58,7 @@ func (s *Searcher) brute(cands, sites points.NodeView, mono bool, target nodeTar
 			return execResult(results, st, err)
 		}
 		if member {
-			results = append(results, p)
+			results = s.confirm(results, p)
 		}
 	}
 	return finishResult(results, st), nil

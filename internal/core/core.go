@@ -97,6 +97,16 @@ func execResult(ids []points.PointID, st Stats, err error) (*Result, error) {
 	return nil, err
 }
 
+// confirm records one confirmed result member, forwarding it to the
+// engine's streaming sink when the query has one attached (Ctx.Emit is a
+// nil check otherwise). Every membership decision of every algorithm is
+// final — results are only ever appended — which is what makes streaming
+// confirmed members before the expansion finishes sound.
+func (s *Searcher) confirm(results []points.PointID, p points.PointID) []points.PointID {
+	s.ec.Emit(int32(p), 0)
+	return append(results, p)
+}
+
 // PointDist pairs a point with a network distance.
 type PointDist struct {
 	P points.PointID

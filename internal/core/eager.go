@@ -46,7 +46,7 @@ func (s *Searcher) eager(ps points.NodeView, sources []graph.NodeID, target node
 		// never discover it, so handle it here.
 		if p, ok := ps.PointAt(src); ok && !verified[p] {
 			verified[p] = true
-			results = append(results, p)
+			results = s.confirm(results, p)
 		}
 		main.push(src, 0)
 	}
@@ -82,7 +82,7 @@ func (s *Searcher) eager(ps points.NodeView, sources []graph.NodeID, target node
 				return execResult(results, st, err)
 			}
 			if member {
-				results = append(results, pd.P)
+				results = s.confirm(results, pd.P)
 			}
 		}
 		if len(found) >= k {

@@ -60,7 +60,7 @@ func (s *Searcher) eagerM(ps points.NodeView, mat *Materialized, sources []graph
 	for _, src := range sources {
 		if p, ok := ps.PointAt(src); ok && !verified[p] {
 			verified[p] = true
-			results = append(results, p)
+			results = s.confirm(results, p)
 		}
 		main.push(src, 0)
 	}
@@ -102,7 +102,7 @@ func (s *Searcher) eagerM(ps points.NodeView, mat *Materialized, sources []graph
 				return execResult(results, st, err)
 			}
 			if member {
-				results = append(results, e.P)
+				results = s.confirm(results, e.P)
 			}
 		}
 		if closer >= k {

@@ -84,7 +84,7 @@ func (s *Searcher) lazyEP(ps points.NodeView, sources []graph.NodeID, target nod
 	for _, src := range sources {
 		if p, ok := ps.PointAt(src); ok && !verified[p] {
 			verified[p] = true
-			results = append(results, p)
+			results = s.confirm(results, p)
 			hp.Push(matHeapEntry{src, p}, 0)
 		}
 		main.push(src, 0)
@@ -124,7 +124,7 @@ func (s *Searcher) lazyEP(ps points.NodeView, sources []graph.NodeID, target nod
 					return execResult(results, st, err)
 				}
 				if member {
-					results = append(results, p)
+					results = s.confirm(results, p)
 				}
 			}
 			hp.Push(matHeapEntry{n, p}, 0)

@@ -181,7 +181,7 @@ func (s *Searcher) uEager(cands, sites points.EdgeView, mono bool, mat *Material
 			return err
 		}
 		if member {
-			results = append(results, p)
+			results = s.confirm(results, p)
 		}
 		return nil
 	}
@@ -394,7 +394,7 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 							return execResult(results, st, err)
 						}
 						if mono && member {
-							results = append(results, p)
+							results = s.confirm(results, p)
 						}
 					}
 				}
@@ -409,7 +409,7 @@ func (s *Searcher) uLazy(cands, sites points.EdgeView, mono bool, sources []Loc,
 							return execResult(results, st, err)
 						}
 						if member {
-							results = append(results, p)
+							results = s.confirm(results, p)
 						}
 					}
 				}
@@ -712,7 +712,7 @@ func (s *Searcher) uLazyEP(cands, sites points.EdgeView, mono bool, sources []Lo
 								return execResult(results, st, err)
 							}
 							if member {
-								results = append(results, p)
+								results = s.confirm(results, p)
 							}
 						}
 					}
@@ -728,7 +728,7 @@ func (s *Searcher) uLazyEP(cands, sites points.EdgeView, mono bool, sources []Lo
 							return execResult(results, st, err)
 						}
 						if member {
-							results = append(results, p)
+							results = s.confirm(results, p)
 						}
 					}
 				}
@@ -856,7 +856,7 @@ func (s *Searcher) uBrute(cands, sites points.EdgeView, mono bool, target uTarge
 			return execResult(results, st, err)
 		}
 		if member {
-			results = append(results, p)
+			results = s.confirm(results, p)
 		}
 	}
 	return finishResult(results, st), nil

@@ -59,6 +59,23 @@ type Ctx struct {
 	nodeMax int64 // 0 = unlimited
 	ioMax   int64 // absolute threshold (reads at start + MaxIOReads); 0 = unlimited
 	io      func() int64
+	emit    func(p int32, d float64)
+}
+
+// OnMember attaches f as the query's streaming member sink: the algorithm
+// loops call Emit for every result member the moment it is confirmed, in
+// confirmation order. f runs on the query's goroutine. d carries a network
+// distance only for searches that have one per member (KNN); RkNN members
+// report 0.
+func (e *Ctx) OnMember(f func(p int32, d float64)) { e.emit = f }
+
+// Emit forwards one confirmed member to the streaming sink, if any. A nil
+// receiver or an unset sink makes it a no-op, so non-streamed queries pay
+// one nil check per confirmed member.
+func (e *Ctx) Emit(p int32, d float64) {
+	if e != nil && e.emit != nil {
+		e.emit(p, d)
+	}
 }
 
 // New builds the execution context of a query issued under ctx with budget

@@ -34,6 +34,7 @@ func All() []Experiment {
 		{"fig22b", "Fig 22b: update cost vs K (SF-like, D=0.01)", Fig22b},
 		{"hub", "Hub-label substrate vs |V| (road-like restricted, D=0.01, k=1)", HubSubstrate},
 		{"budget", "Budgeted queries: degradation under per-query node budgets (road-like, D=0.01, k=2)", Budgeted},
+		{"plan", "Planner auto-selection vs eager across attachment states (road-like, D=0.01, k=2)", Planner},
 	}
 }
 

@@ -534,6 +534,7 @@ func (idx *Index) decide(ec *exec.Ctx, sc *qscratch, st *QueryStats, k int, hidd
 			member = idx.countCloser(sc, st, sc.lab2, dq, k, p, hidden) < k
 		}
 		if member {
+			ec.Emit(int32(p), 0)
 			res = append(res, p)
 		}
 	}
@@ -620,6 +621,7 @@ func (idx *Index) BichromaticRkNNExec(ec *exec.Ctx, cands points.NodeView, q gra
 			continue // cannot reach the query: never a member
 		}
 		if idx.countCloser(sc, &st, sc.lab2, dcq, k, hiddenSite, points.NoPoint) < k {
+			ec.Emit(int32(c), 0)
 			res = append(res, c)
 		}
 	}

@@ -312,10 +312,27 @@ func (s *EdgeSet) Points() []PointID {
 }
 
 // excludeEdge hides one point from an EdgeView.
+// HiddenEdgePointView is the edge-resident counterpart of HiddenPointView:
+// views that hide exactly one point of an underlying edge set implement it,
+// so callers (the query planner) can recover the base set without a scan.
+type HiddenEdgePointView interface {
+	EdgeView
+	// HiddenPoint returns the id the view hides.
+	HiddenPoint() PointID
+	// UnhiddenEdge returns the full underlying view.
+	UnhiddenEdge() EdgeView
+}
+
 type excludeEdge struct {
 	EdgeView
 	hidden PointID
 }
+
+// HiddenPoint implements HiddenEdgePointView.
+func (e excludeEdge) HiddenPoint() PointID { return e.hidden }
+
+// UnhiddenEdge implements HiddenEdgePointView.
+func (e excludeEdge) UnhiddenEdge() EdgeView { return e.EdgeView }
 
 // ExcludeEdge returns a view of v with point hidden removed; hiding NoPoint
 // returns v unchanged.

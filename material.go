@@ -49,13 +49,17 @@ func (o *MatOptions) defaults() (int, int) {
 // node-resident point set with one all-NN expansion. Queries through the
 // returned materialization support k <= maxK. The materialization tracks
 // ps: mutate the set through InsertNode / DeletePoint to keep the lists
-// consistent.
+// consistent. It is attached to the planner (last built wins; see
+// AttachMaterialization), so auto-planned queries over ps use eager-M when
+// no hub-label index outranks it.
 func (db *DB) MaterializeNodePoints(ps *NodePoints, maxK int, opt *MatOptions) (*Materialization, error) {
 	m, err := db.materialize(core.SeedsRestricted(ps.s), maxK, opt)
 	if err != nil {
 		return nil, err
 	}
-	return &Materialization{db: db, m: m, node: ps}, nil
+	mat := &Materialization{db: db, m: m, node: ps}
+	db.AttachMaterialization(mat)
+	return mat, nil
 }
 
 // MaterializeEdgePoints builds the K-NN lists over an edge-resident point
@@ -69,7 +73,9 @@ func (db *DB) MaterializeEdgePoints(ps *EdgePoints, maxK int, opt *MatOptions) (
 	if err != nil {
 		return nil, err
 	}
-	return &Materialization{db: db, m: m, edge: ps}, nil
+	mat := &Materialization{db: db, m: m, edge: ps}
+	db.AttachMaterialization(mat)
+	return mat, nil
 }
 
 // materialize packs the lists into a fresh memory page file attached to
@@ -105,10 +111,14 @@ func (m *Materialization) ResetIOStats() { m.m.ResetStats() }
 // Flush writes dirty list pages back to the file.
 func (m *Materialization) Flush() error { return m.m.Flush() }
 
-// Close detaches the list pages from the shared buffer pool (flushing
+// Close detaches the materialization from the planner (when it is the
+// attached one) and its list pages from the shared buffer pool (flushing
 // dirty ones). Queries through this materialization must not be in flight
 // and the materialization must not be used afterwards.
-func (m *Materialization) Close() error { return m.m.Buffer().Detach() }
+func (m *Materialization) Close() error {
+	m.db.planMat.CompareAndSwap(m, nil)
+	return m.m.Buffer().Detach()
+}
 
 // InsertNode places a new point on node n of the tracked node-resident set
 // and updates the affected lists (the insertion algorithm of Section 4.1).

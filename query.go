@@ -1,13 +1,16 @@
 package graphrnn
 
 import (
+	"context"
 	"fmt"
 
 	"graphrnn/internal/core"
 	"graphrnn/internal/exec"
 )
 
-// Algorithm selects a query processing strategy.
+// Algorithm selects a query processing strategy. The zero Algorithm (or
+// Auto) defers the choice to the planner, which picks the fastest attached
+// substrate that can answer the query's shape — see DB.Plan.
 type Algorithm struct {
 	kind algoKind
 	mat  *Materialization
@@ -17,13 +20,21 @@ type Algorithm struct {
 type algoKind int
 
 const (
-	algoEager algoKind = iota
+	// algoAuto is the zero value: the planner chooses the substrate.
+	algoAuto algoKind = iota
+	algoEager
 	algoLazy
 	algoLazyEP
 	algoEagerM
 	algoHub
 	algoBrute
+	// algoExpansion is the planner's name for the single forward-expansion
+	// KNN search; it is not constructible through the public surface.
+	algoExpansion
 )
+
+// Auto defers the substrate choice to the planner (the zero Algorithm).
+func Auto() Algorithm { return Algorithm{} }
 
 // Eager prunes every visited node with a range-NN probe (Section 3.2).
 // Lowest I/O in most settings; CPU-heavier than Lazy.
@@ -58,6 +69,8 @@ func BruteForce() Algorithm { return Algorithm{kind: algoBrute} }
 // String implements fmt.Stringer.
 func (a Algorithm) String() string {
 	switch a.kind {
+	case algoAuto:
+		return "auto"
 	case algoEager:
 		return "eager"
 	case algoLazy:
@@ -68,6 +81,8 @@ func (a Algorithm) String() string {
 		return "eager-M"
 	case algoHub:
 		return "hub-label"
+	case algoExpansion:
+		return "expansion"
 	default:
 		return "brute-force"
 	}
@@ -95,12 +110,32 @@ type Stats struct {
 	HeapPops   int64
 }
 
+// add accumulates o into s (batch aggregation).
+func (s *Stats) add(o Stats) {
+	s.NodesExpanded += o.NodesExpanded
+	s.NodesScanned += o.NodesScanned
+	s.RangeNN += o.RangeNN
+	s.Verifications += o.Verifications
+	s.MatReads += o.MatReads
+	s.LabelReads += o.LabelReads
+	s.LabelEntries += o.LabelEntries
+	s.HeapPushes += o.HeapPushes
+	s.HeapPops += o.HeapPops
+}
+
 // Result is a query answer.
 type Result struct {
-	// Points holds the reverse k-nearest neighbors in ascending id order.
+	// Points holds the reverse k-nearest neighbors in ascending id order
+	// (empty for KindKNN, which answers in Neighbors).
 	Points []PointID
+	// Neighbors holds KindKNN answers in ascending distance order.
+	Neighbors []Neighbor
 	// Stats describes the work performed.
 	Stats Stats
+	// Plan records the planner's decision. Every query carries one — the
+	// deprecated entry points shim onto Run, so their Results report the
+	// strict dispatch they asked for.
+	Plan Plan
 }
 
 // wrapResult converts a core result to the public shape, copying every
@@ -116,22 +151,34 @@ func wrapResult(r *core.Result, err error) (*Result, error) {
 }
 
 // pointsArg accepts either a *NodePoints or a NodePointsView.
-type pointsArg interface{ nodeView() NodePointsView }
+type pointsArg interface {
+	PointSet
+	nodeView() NodePointsView
+}
 
 func (ps *NodePoints) nodeView() NodePointsView   { return ps.View() }
 func (v NodePointsView) nodeView() NodePointsView { return v }
 
-type edgeArg interface{ edgeView() EdgePointsView }
+type edgeArg interface {
+	PointSet
+	edgeView() EdgePointsView
+}
 
 func (ps *EdgePoints) edgeView() EdgePointsView      { return ps.View() }
 func (ps *PagedEdgePoints) edgeView() EdgePointsView { return ps.View() }
 func (v EdgePointsView) edgeView() EdgePointsView    { return v }
 
 // RNN answers a monochromatic reverse k-nearest-neighbor query from node q
-// over a node-resident point set, running to completion. RNNContext is the
-// deadline-bounded, cancellable variant.
+// over a node-resident point set, running to completion.
+//
+// Deprecated: use [DB.Run] with a Query of KindRNN. RNN is a thin shim over
+// the engine and keeps the strict per-algorithm semantics (an algorithm
+// that cannot run the query's shape errors instead of falling back).
 func (db *DB) RNN(ps pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
-	return db.runRNN(nil, ps, q, k, algo)
+	return db.Run(context.Background(), Query{
+		Kind: KindRNN, Target: NodeLocation(q), K: k, Points: ps,
+		Algorithm: algo, Strict: true,
+	})
 }
 
 func (db *DB) runRNN(ec *exec.Ctx, ps pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
@@ -164,8 +211,14 @@ func (db *DB) runRNN(ec *exec.Ctx, ps pointsArg, q NodeID, k int, algo Algorithm
 
 // BichromaticRNN answers bRkNN: the candidates of cands closer to q than to
 // their k-th nearest site of sites.
+//
+// Deprecated: use [DB.Run] with a Query of KindBichromatic (Points holds
+// the candidates, Sites the sites).
 func (db *DB) BichromaticRNN(cands, sites pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
-	return db.runBichromaticRNN(nil, cands, sites, q, k, algo)
+	return db.Run(context.Background(), Query{
+		Kind: KindBichromatic, Target: NodeLocation(q), K: k,
+		Points: cands, Sites: sites, Algorithm: algo, Strict: true,
+	})
 }
 
 func (db *DB) runBichromaticRNN(ec *exec.Ctx, cands, sites pointsArg, q NodeID, k int, algo Algorithm) (*Result, error) {
@@ -198,8 +251,13 @@ func (db *DB) runBichromaticRNN(ec *exec.Ctx, cands, sites pointsArg, q NodeID, 
 
 // ContinuousRNN answers cRkNN(route): the union of the RkNN sets of every
 // route node (Section 5.1), computed in one traversal.
+//
+// Deprecated: use [DB.Run] with a Query of KindContinuous.
 func (db *DB) ContinuousRNN(ps pointsArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
-	return db.runContinuousRNN(nil, ps, route, k, algo)
+	return db.Run(context.Background(), Query{
+		Kind: KindContinuous, Route: route, K: k, Points: ps,
+		Algorithm: algo, Strict: true,
+	})
 }
 
 func (db *DB) runContinuousRNN(ec *exec.Ctx, ps pointsArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
@@ -232,8 +290,13 @@ func (db *DB) runContinuousRNN(ec *exec.Ctx, ps pointsArg, route []NodeID, k int
 
 // EdgeRNN answers a monochromatic RkNN query at an arbitrary location over
 // an edge-resident point set (unrestricted networks, Section 5.2).
+//
+// Deprecated: use [DB.Run] with a Query of KindRNN over an edge-resident
+// Points set (the Target Location may lie on an edge).
 func (db *DB) EdgeRNN(ps edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
-	return db.runEdgeRNN(nil, ps, q, k, algo)
+	return db.Run(context.Background(), Query{
+		Kind: KindRNN, Target: q, K: k, Points: ps, Algorithm: algo, Strict: true,
+	})
 }
 
 func (db *DB) runEdgeRNN(ec *exec.Ctx, ps edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
@@ -261,8 +324,14 @@ func (db *DB) runEdgeRNN(ec *exec.Ctx, ps edgeArg, q Location, k int, algo Algor
 }
 
 // EdgeBichromaticRNN answers bRkNN over edge-resident candidates and sites.
+//
+// Deprecated: use [DB.Run] with a Query of KindBichromatic over
+// edge-resident Points and Sites.
 func (db *DB) EdgeBichromaticRNN(cands, sites edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
-	return db.runEdgeBichromaticRNN(nil, cands, sites, q, k, algo)
+	return db.Run(context.Background(), Query{
+		Kind: KindBichromatic, Target: q, K: k, Points: cands, Sites: sites,
+		Algorithm: algo, Strict: true,
+	})
 }
 
 func (db *DB) runEdgeBichromaticRNN(ec *exec.Ctx, cands, sites edgeArg, q Location, k int, algo Algorithm) (*Result, error) {
@@ -290,8 +359,14 @@ func (db *DB) runEdgeBichromaticRNN(ec *exec.Ctx, cands, sites edgeArg, q Locati
 }
 
 // EdgeContinuousRNN answers cRkNN over a route on an unrestricted network.
+//
+// Deprecated: use [DB.Run] with a Query of KindContinuous over an
+// edge-resident Points set.
 func (db *DB) EdgeContinuousRNN(ps edgeArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
-	return db.runEdgeContinuousRNN(nil, ps, route, k, algo)
+	return db.Run(context.Background(), Query{
+		Kind: KindContinuous, Route: route, K: k, Points: ps,
+		Algorithm: algo, Strict: true,
+	})
 }
 
 func (db *DB) runEdgeContinuousRNN(ec *exec.Ctx, ps edgeArg, route []NodeID, k int, algo Algorithm) (*Result, error) {
@@ -346,22 +421,32 @@ type Neighbor struct {
 // order (the forward counterpart of RNN; Section 3.1's NN search). Fewer
 // than k results are returned when the reachable component holds fewer
 // points.
+//
+// Deprecated: use [DB.Run] with a Query of KindKNN; the answer is in
+// Result.Neighbors.
 func (db *DB) KNN(ps pointsArg, n NodeID, k int) ([]Neighbor, error) {
-	out, err := db.searcher.KNN(ps.nodeView().v, toNodeIDs([]NodeID{n})[0], k)
-	if err != nil {
+	res, err := db.Run(context.Background(), Query{
+		Kind: KindKNN, Target: NodeLocation(n), K: k, Points: ps,
+	})
+	if res == nil {
 		return nil, err
 	}
-	return toNeighbors(out), nil
+	return res.Neighbors, err
 }
 
 // EdgeKNN returns the k nearest edge-resident data points of an arbitrary
 // location.
+//
+// Deprecated: use [DB.Run] with a Query of KindKNN over an edge-resident
+// Points set.
 func (db *DB) EdgeKNN(ps edgeArg, q Location, k int) ([]Neighbor, error) {
-	out, err := db.searcher.UKNN(ps.edgeView().v, q.toLoc(), k)
-	if err != nil {
+	res, err := db.Run(context.Background(), Query{
+		Kind: KindKNN, Target: q, K: k, Points: ps,
+	})
+	if res == nil {
 		return nil, err
 	}
-	return toNeighbors(out), nil
+	return res.Neighbors, err
 }
 
 func toNeighbors(in []core.PointDist) []Neighbor {
