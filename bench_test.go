@@ -12,6 +12,7 @@ package graphrnn_test
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -449,6 +450,61 @@ func BenchmarkLayoutAblation(b *testing.B) {
 			b.StopTimer()
 			io := db.IOStats()
 			b.ReportMetric(float64(io.Reads)/float64(b.N), "faults/query")
+		})
+	}
+}
+
+// BenchmarkCIMaintenance is the maintenance workload the bench gate
+// (cmd/benchci) tracks next to the query sweep: journaled insert+delete
+// round trips (Figs 10-11 plus the repair journal) on the in-memory
+// default and on a persisted, write-ahead-journaled materialization. One
+// op = 64 round trips over a fixed free-node cycle, so -benchtime=1x
+// averages out scheduler noise the way BenchmarkCIQueries does; the
+// list_reads/op and list_writes/op metrics are deterministic for the
+// fixed seed and gate journal overhead across machines.
+func BenchmarkCIMaintenance(b *testing.B) {
+	for _, mode := range []string{"memory", "persisted"} {
+		b.Run(mode, func(b *testing.B) {
+			e := newMicroEnv(b)
+			mat, ps := e.mat, e.ps
+			if mode == "persisted" {
+				path := filepath.Join(b.TempDir(), "lists.mat")
+				if err := e.mat.SaveTo(path); err != nil {
+					b.Fatal(err)
+				}
+				var err error
+				mat, err = e.db.OpenMaterialization(path, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer mat.Close()
+				ps = mat.NodePoints()
+			}
+			g := e.db.Graph()
+			var free []graphrnn.NodeID
+			for n := 0; n < g.NumNodes() && len(free) < 64; n++ {
+				if _, taken := ps.PointAt(graphrnn.NodeID(n)); !taken {
+					free = append(free, graphrnn.NodeID(n))
+				}
+			}
+			mat.ResetIOStats()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, n := range free {
+					p, _, err := mat.InsertNode(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := mat.DeletePoint(p); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			io := mat.IOStats()
+			b.ReportMetric(float64(io.Reads+io.Hits)/float64(b.N), "list_reads/op")
+			b.ReportMetric(float64(io.Writes)/float64(b.N), "list_writes/op")
+			b.ReportMetric(float64(len(free)*2), "maintenance_ops/op")
 		})
 	}
 }

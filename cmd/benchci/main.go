@@ -34,10 +34,12 @@ import (
 )
 
 // trackedDefault anchors the per-algorithm CI workload (one op = the whole
-// fixed-seed query set, so single-shot runs average out scheduler noise)
-// plus the hub-label build; the paper-figure regenerations are too slow and
-// too coarse for a per-commit gate.
-const trackedDefault = "^(BenchmarkCIQueries|BenchmarkHubLabelBuild)$"
+// fixed-seed query set, so single-shot runs average out scheduler noise),
+// the hub-label build, and the journaled maintenance round trips (memory +
+// persisted, so write-ahead-journal overhead is gated like query
+// regressions); the paper-figure regenerations are too slow and too coarse
+// for a per-commit gate.
+const trackedDefault = "^(BenchmarkCIQueries|BenchmarkHubLabelBuild|BenchmarkCIMaintenance)$"
 
 // Benchmark is one measured benchmark.
 type Benchmark struct {
@@ -53,7 +55,7 @@ type File struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
-const workloadNote = "road network |V|=20000 seed=2006, D=0.01, k=2; one op = one full query sweep (every placed point queried once — see queries/op); -benchtime=1x"
+const workloadNote = "road network |V|=20000 seed=2006, D=0.01, k=2; one op = one full query sweep (every placed point queried once — see queries/op) or 64 journaled insert+delete round trips (see maintenance_ops/op); -benchtime=1x"
 
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op(.*)$`)
 var metricPair = regexp.MustCompile(`([0-9.e+-]+) ([^\s]+)`)

@@ -32,9 +32,20 @@
 //	                  (the schema also accepts "edge":{"u","v","pos"} targets,
 //	                  but this server hosts node-resident point sets, so edge
 //	                  targets answer a typed 400)
+//	POST /mat/insert  {"node":N}    place a point and repair the K-NN lists
+//	POST /mat/delete  {"point":P}   remove a point and repair the lists
+//	                  [?timeout=50ms] — maintenance is journaled and atomic:
+//	                  an operation abandoned by the deadline (504) or a
+//	                  disconnecting client is rolled back, never left
+//	                  partially applied, so the endpoints are safe under
+//	                  per-request deadlines. Maintenance takes the write
+//	                  half of a server RW-lock; queries take the read half.
+//	                  A successful mutation drops the (now stale) hub-label
+//	                  index; rebuild it with POST /index/hublabel.
 //	POST /index/hublabel   {"maxk":K}   build/replace the hub-label index
 //	GET  /healthz
 //	GET  /stats            shared buffer pool (per-tenant) + planner decisions
+//	                       + maintenance counters and repair state
 //
 // Deprecated endpoints, kept as shims over the same engine:
 //
@@ -74,6 +85,14 @@ type server struct {
 	started time.Time
 	served  atomic.Int64
 	errors  atomic.Int64
+	// mu serializes maintenance (write lock) against queries (read lock):
+	// the DB contract requires that no query runs while the point set and
+	// lists mutate. Maintenance ops are short — journaled, deadline-bounded
+	// and rolled back on abandonment — so writers never hold queries long.
+	mu sync.RWMutex
+	// maintenance counters for /stats.
+	matInserts atomic.Int64
+	matDeletes atomic.Int64
 	// planner tallies the substrate decisions of /query for /stats.
 	planner plannerCounters
 	// queryTimeout is the default per-query deadline (-query-timeout);
@@ -223,7 +242,9 @@ func (s *server) handleRNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	s.mu.RLock()
 	res, err := s.db.RNNContext(r.Context(), s.ps, graphrnn.NodeID(node), k, algo, opt)
+	s.mu.RUnlock()
 	if err != nil {
 		s.failQuery(w, err)
 		return
@@ -283,11 +304,13 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if s.queryTimeout > 0 {
 		perQuery = &graphrnn.QueryOptions{Timeout: s.queryTimeout}
 	}
+	s.mu.RLock()
 	results, workers := s.db.RNNBatchContext(r.Context(), s.ps, queries, &graphrnn.BatchOptions{
 		Parallelism: req.Parallelism,
 		FailFast:    req.FailFast,
 		PerQuery:    perQuery,
 	})
+	s.mu.RUnlock()
 	out := make([]batchEntry, len(results))
 	for i, res := range results {
 		if res.Err != nil {
@@ -321,7 +344,9 @@ func (s *server) handleKNN(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
+	s.mu.RLock()
 	nbrs, err := s.db.KNNContext(r.Context(), s.ps, graphrnn.NodeID(node), k, opt)
+	s.mu.RUnlock()
 	if err != nil {
 		s.failQuery(w, err)
 		return
@@ -363,17 +388,129 @@ func (s *server) handleHubBuild(w http.ResponseWriter, r *http.Request) {
 	s.hubBuild.Lock()
 	defer s.hubBuild.Unlock()
 	start := time.Now()
+	// The build reads the point set; hold the query (read) lock so
+	// maintenance cannot mutate it mid-build. The new index is published
+	// under the same lock hold: a maintenance op can only interleave
+	// after the Store, and then its hub-drop swap retires this index like
+	// any other stale one.
+	s.mu.RLock()
 	idx, err := s.db.BuildHubLabelIndex(s.ps, req.MaxK, nil)
+	if err == nil {
+		s.hub.Store(idx)
+	}
+	s.mu.RUnlock()
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	s.hub.Store(idx)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"maxk":           idx.MaxK(),
 		"label_entries":  idx.LabelEntries(),
 		"avg_label_size": idx.AverageLabelSize(),
 		"build_seconds":  time.Since(start).Seconds(),
+	})
+}
+
+type matInsertRequest struct {
+	Node int `json:"node"`
+}
+
+type matDeleteRequest struct {
+	Point int `json:"point"`
+}
+
+// matResponse is one answered maintenance operation.
+type matResponse struct {
+	Point       graphrnn.PointID `json:"point"`
+	Points      int              `json:"points"`
+	RepairState string           `json:"repair_state"`
+	Stats       statsJSON        `json:"stats"`
+	// HubLabelDropped reports that the mutation invalidated the hub-label
+	// index (it tracks the same point set but maintains its own lists);
+	// rebuild it with POST /index/hublabel when needed.
+	HubLabelDropped bool `json:"hub_label_dropped,omitempty"`
+}
+
+// maintenance frames one materialization maintenance request: it decodes
+// the body into req, takes the write lock (maintenance is exclusive
+// against queries), runs op under the request's deadline, and answers with
+// the repair state. An operation abandoned by cancellation or deadline is
+// rolled back by the journal before the error surfaces, so a 504 here
+// means "not applied", never "partially applied" — which is what makes
+// this endpoint safe to expose at all.
+func (s *server) maintenance(w http.ResponseWriter, r *http.Request, req any,
+	op func(opt *graphrnn.QueryOptions) (graphrnn.PointID, graphrnn.Stats, error)) {
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if s.mat == nil {
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("maintenance unavailable: server started with -maxk 0"))
+		return
+	}
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	opt, err := s.queryOptions(r)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	p, st, opErr := op(opt)
+	dropped := false
+	if opErr == nil {
+		// The hub-label index maintains its own lists over the same point
+		// set; a mutation through the materialization leaves it stale.
+		// Drop it (queries fall back to eager-M / expansion) rather than
+		// serve wrong answers; POST /index/hublabel rebuilds it.
+		if idx := s.hub.Swap(nil); idx != nil {
+			s.db.AttachHubLabel(nil)
+			dropped = true
+		}
+	}
+	// Snapshot the response fields before releasing the write lock: a
+	// concurrent maintenance request must not race the reads.
+	count := s.ps.Len()
+	state := s.mat.RepairState().String()
+	s.mu.Unlock()
+	if opErr != nil {
+		s.failQuery(w, opErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, matResponse{
+		Point:           p,
+		Points:          count,
+		RepairState:     state,
+		Stats:           toStatsJSON(st),
+		HubLabelDropped: dropped,
+	})
+}
+
+// handleMatInsert serves POST /mat/insert {"node":N}: place a new point on
+// node N and repair the materialized K-NN lists (Section 4.1 insertion).
+func (s *server) handleMatInsert(w http.ResponseWriter, r *http.Request) {
+	var req matInsertRequest
+	s.maintenance(w, r, &req, func(opt *graphrnn.QueryOptions) (graphrnn.PointID, graphrnn.Stats, error) {
+		p, st, err := s.mat.InsertNodeContext(r.Context(), graphrnn.NodeID(req.Node), opt)
+		if err == nil {
+			s.matInserts.Add(1)
+		}
+		return p, st, err
+	})
+}
+
+// handleMatDelete serves POST /mat/delete {"point":P}: remove point P and
+// repair the lists with the border-node algorithm (Fig 10).
+func (s *server) handleMatDelete(w http.ResponseWriter, r *http.Request) {
+	var req matDeleteRequest
+	s.maintenance(w, r, &req, func(opt *graphrnn.QueryOptions) (graphrnn.PointID, graphrnn.Stats, error) {
+		st, err := s.mat.DeletePointContext(r.Context(), graphrnn.PointID(req.Point), opt)
+		if err == nil {
+			s.matDeletes.Add(1)
+		}
+		return graphrnn.PointID(req.Point), st, err
 	})
 }
 
@@ -387,6 +524,10 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	// Point counts and the repair state mutate under the maintenance
+	// write lock; snapshot them under the read half.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	g := s.db.Graph()
 	io := s.db.IOStats()
 	pool := s.db.PoolStats()
@@ -423,6 +564,14 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.sites != nil {
 		stats["sites"] = s.sites.Len()
+	}
+	if s.mat != nil {
+		stats["mat"] = map[string]any{
+			"maxk":         s.mat.MaxK(),
+			"inserts":      s.matInserts.Load(),
+			"deletes":      s.matDeletes.Load(),
+			"repair_state": s.mat.RepairState().String(),
+		}
 	}
 	if idx := s.hub.Load(); idx != nil {
 		stats["hublabel"] = map[string]any{
@@ -520,6 +669,8 @@ func main() {
 	mux.HandleFunc("/rnn", srv.handleRNN)
 	mux.HandleFunc("/rnn/batch", srv.handleBatch)
 	mux.HandleFunc("/knn", srv.handleKNN)
+	mux.HandleFunc("/mat/insert", srv.handleMatInsert)
+	mux.HandleFunc("/mat/delete", srv.handleMatDelete)
 	mux.HandleFunc("/index/hublabel", srv.handleHubBuild)
 	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.HandleFunc("/stats", srv.handleStats)

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -201,4 +203,114 @@ func FuzzDecodeQuery(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestHandleMaintenance covers the materialization maintenance endpoints:
+// insert + delete round trip, the hub-label index dropping on mutation,
+// an unmeetable deadline answering 504 with nothing applied, and queries
+// staying correct throughout.
+func TestHandleMaintenance(t *testing.T) {
+	s := newTestServer(t)
+
+	post := func(target, body string) (*httptest.ResponseRecorder, map[string]any) {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		switch {
+		case strings.HasPrefix(target, "/mat/insert"):
+			s.handleMatInsert(rec, req)
+		default:
+			s.handleMatDelete(rec, req)
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("response is not JSON (%v): %s", err, rec.Body.String())
+		}
+		return rec, out
+	}
+
+	// Find a free node.
+	free := -1
+	for n := 0; n < s.db.Graph().NumNodes(); n++ {
+		if _, taken := s.ps.PointAt(graphrnn.NodeID(n)); !taken {
+			free = n
+			break
+		}
+	}
+	before := s.ps.Len()
+
+	// An unmeetable deadline answers 504 and applies nothing.
+	rec, _ := post("/mat/insert?timeout=1ns", `{"node":`+strconv.Itoa(free)+`}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("1ns insert answered %d, want 504", rec.Code)
+	}
+	if s.ps.Len() != before {
+		t.Fatal("abandoned insert mutated the point set")
+	}
+	if s.hub.Load() == nil {
+		t.Fatal("abandoned insert dropped the hub-label index")
+	}
+
+	// A successful insert places the point, reports a clean repair state,
+	// and drops the stale hub-label index.
+	rec, out := post("/mat/insert", `{"node":`+strconv.Itoa(free)+`}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert answered %d: %v", rec.Code, out)
+	}
+	if out["repair_state"] != "clean" {
+		t.Fatalf("repair_state = %v, want clean", out["repair_state"])
+	}
+	if out["hub_label_dropped"] != true {
+		t.Fatalf("hub_label_dropped = %v, want true", out["hub_label_dropped"])
+	}
+	if s.hub.Load() != nil {
+		t.Fatal("stale hub-label index still attached")
+	}
+	p := int(out["point"].(float64))
+
+	// Queries after maintenance agree with brute force (the planner now
+	// falls back to eager-M / expansion).
+	rec2, qout := postQuery(t, s, "/query", `{"kind":"rnn","node":3,"k":2}`)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("query after insert answered %d: %v", rec2.Code, qout)
+	}
+	rec2, bout := postQuery(t, s, "/query", `{"kind":"rnn","node":3,"k":2,"algo":"brute"}`)
+	if rec2.Code != http.StatusOK {
+		t.Fatalf("brute query answered %d: %v", rec2.Code, bout)
+	}
+	if fmt.Sprint(qout["points"]) != fmt.Sprint(bout["points"]) {
+		t.Fatalf("post-maintenance query = %v, brute = %v", qout["points"], bout["points"])
+	}
+
+	// Delete the point again.
+	rec, out = post("/mat/delete", `{"point":`+strconv.Itoa(p)+`}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete answered %d: %v", rec.Code, out)
+	}
+	if s.ps.Len() != before {
+		t.Fatalf("point count = %d after round trip, want %d", s.ps.Len(), before)
+	}
+
+	// Client errors: malformed body, nonexistent point, bad method.
+	if rec, _ := post("/mat/insert", `{"node":`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("malformed insert answered %d, want 400", rec.Code)
+	}
+	if rec, _ := post("/mat/delete", `{"point":999999}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("nonexistent point answered %d, want 400", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodGet, "/mat/insert", nil)
+	rec3 := httptest.NewRecorder()
+	s.handleMatInsert(rec3, req)
+	if rec3.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /mat/insert answered %d, want 405", rec3.Code)
+	}
+
+	// Without a materialization the endpoints answer 503.
+	s2 := &server{db: s.db, ps: s.ps, family: "grid", started: time.Now()}
+	req = httptest.NewRequest(http.MethodPost, "/mat/insert", strings.NewReader(`{"node":1}`))
+	rec3 = httptest.NewRecorder()
+	s2.handleMatInsert(rec3, req)
+	if rec3.Code != http.StatusServiceUnavailable {
+		t.Fatalf("maintenance without -maxk answered %d, want 503", rec3.Code)
+	}
 }

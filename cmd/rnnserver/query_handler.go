@@ -275,7 +275,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !batch {
+		s.mu.RLock()
 		res, err := s.db.Run(r.Context(), queries[0])
+		s.mu.RUnlock()
 		if err != nil {
 			s.failQuery(w, err)
 			return
@@ -302,7 +304,9 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		opt.FailFast = ff
 	}
+	s.mu.RLock()
 	rep, err := s.db.RunBatch(r.Context(), queries, opt)
+	s.mu.RUnlock()
 	if err != nil {
 		s.fail(w, http.StatusServiceUnavailable, err)
 		return

@@ -1,0 +1,420 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"graphrnn/internal/exec"
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/storage"
+)
+
+// snapshotLists decodes every node's materialized list.
+func snapshotLists(t *testing.T, mat *Materialized) [][]MatEntry {
+	t.Helper()
+	out := make([][]MatEntry, mat.NumNodes())
+	var lst []MatEntry
+	var err error
+	for n := range out {
+		lst, err = mat.List(graph.NodeID(n), lst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[n] = append([]MatEntry(nil), lst...)
+	}
+	return out
+}
+
+func boundSearcher(g graph.Access, maxNodes int64) *Searcher {
+	s := NewSearcher(g)
+	if maxNodes > 0 {
+		return s.Bound(exec.New(context.Background(), exec.Budget{MaxNodes: maxNodes}, nil))
+	}
+	return s
+}
+
+// TestMatRepairRollbackRestoresLists abandons insert and delete repairs at
+// randomized points (via tiny node budgets) and checks RollbackRepair makes
+// the lists bit-identical to the pre-operation snapshot.
+func TestMatRepairRollbackRestoresLists(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	iters := 60
+	if testing.Short() {
+		iters = 15
+	}
+	for it := 0; it < iters; it++ {
+		g := randNet(t, rng, 15+rng.Intn(40), rng.Intn(80), 0.5)
+		ps := randPoints(t, rng, g, 4+rng.Intn(6))
+		maxK := 1 + rng.Intn(3)
+		mat := buildMat(t, NewSearcher(g), ps, maxK)
+		before := snapshotLists(t, mat)
+
+		budget := int64(1 + rng.Intn(8))
+		s := boundSearcher(g, budget)
+
+		if rng.Intn(2) == 0 {
+			// Abandon an insertion.
+			node := graph.NodeID(rng.Intn(g.NumNodes()))
+			if _, taken := ps.PointAt(node); taken {
+				continue
+			}
+			p, err := ps.Place(node)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := mat.BeginRepair(nil); err != nil {
+				t.Fatal(err)
+			}
+			_, opErr := s.MatInsert(mat, []MatSeed{{Node: node, P: p, D: 0}})
+			if opErr != nil && !exec.IsExecErr(opErr) {
+				t.Fatalf("iter %d: unexpected insert error: %v", it, opErr)
+			}
+			if err := mat.RollbackRepair(); err != nil {
+				t.Fatal(err)
+			}
+			if err := ps.Delete(p); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			// Abandon a deletion.
+			pts := ps.Points()
+			p := pts[rng.Intn(len(pts))]
+			node, _ := ps.NodeOf(p)
+			if err := mat.BeginRepair(nil); err != nil {
+				t.Fatal(err)
+			}
+			_, opErr := s.MatDelete(mat, p, []MatSeed{{Node: node, P: p, D: 0}})
+			if opErr != nil && !exec.IsExecErr(opErr) {
+				t.Fatalf("iter %d: unexpected delete error: %v", it, opErr)
+			}
+			if err := mat.RollbackRepair(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		assertMatEqual(t, mat, before, "after rollback")
+		if mat.RepairPending() {
+			t.Fatal("repair still pending after rollback")
+		}
+	}
+}
+
+// TestMatInjectedWriteFaultRollback abandons a repair at an arbitrary list
+// write (not a context poll point) and checks the rollback path restores.
+func TestMatInjectedWriteFaultRollback(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for it := 0; it < 30; it++ {
+		g := randNet(t, rng, 20+rng.Intn(30), rng.Intn(60), 0.5)
+		ps := randPoints(t, rng, g, 5)
+		mat := buildMat(t, NewSearcher(g), ps, 2)
+		before := snapshotLists(t, mat)
+		s := NewSearcher(g)
+
+		pts := ps.Points()
+		p := pts[rng.Intn(len(pts))]
+		node, _ := ps.NodeOf(p)
+		if err := mat.BeginRepair(nil); err != nil {
+			t.Fatal(err)
+		}
+		mat.InjectWriteFault(1 + rng.Intn(4))
+		_, opErr := s.MatDelete(mat, p, []MatSeed{{Node: node, P: p, D: 0}})
+		mat.InjectWriteFault(0)
+		if opErr == nil {
+			// The repair finished before the countdown: commit normally.
+			if err := mat.CommitRepair(p, PointAbsent); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		if !strings.Contains(opErr.Error(), "injected") {
+			t.Fatalf("unexpected delete error: %v", opErr)
+		}
+		if err := mat.RollbackRepair(); err != nil {
+			t.Fatal(err)
+		}
+		assertMatEqual(t, mat, before, "after fault rollback")
+	}
+}
+
+// persistedMat saves mat into a fresh file pair and reopens it.
+func persistedMat(t *testing.T, mat *Materialized, ps *points.NodeSet) (*Materialized, *points.NodeSet, storage.PagedFile, storage.PagedFile) {
+	t.Helper()
+	file := storage.NewMemFile(storage.DefaultPageSize)
+	jfile := storage.NewMemFile(storage.DefaultPageSize)
+	tab := ps.Table()
+	pts := make([]PointRecord, len(tab))
+	for i, n := range tab {
+		if n < 0 {
+			pts[i] = PointAbsent
+		} else {
+			pts[i] = PointRecord{U: n, V: n}
+		}
+	}
+	if err := MatSave(mat, MatKindNode, pts, file); err != nil {
+		t.Fatal(err)
+	}
+	return reopenMat(t, file, jfile)
+}
+
+func reopenMat(t *testing.T, file, jfile storage.PagedFile) (*Materialized, *points.NodeSet, storage.PagedFile, storage.PagedFile) {
+	t.Helper()
+	bm := storage.NewBufferManager(file, 16)
+	m, kind, pts, err := MatOpen(file, bm, jfile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != MatKindNode {
+		t.Fatalf("kind = %d, want node", kind)
+	}
+	nodes := make([]graph.NodeID, len(pts))
+	for i, r := range pts {
+		if r.U < 0 {
+			nodes[i] = -1
+		} else {
+			nodes[i] = r.U
+		}
+	}
+	ns, err := points.RestoreNodeSet(m.NumNodes(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, ns, file, jfile
+}
+
+// TestMatSaveOpenRoundTrip persists a materialization, reopens it, checks
+// the lists and the point set survive, commits durable maintenance, and
+// reopens again to see the committed operation.
+func TestMatSaveOpenRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for it := 0; it < 20; it++ {
+		g := randNet(t, rng, 15+rng.Intn(40), rng.Intn(80), 0.5)
+		ps := randPoints(t, rng, g, 4+rng.Intn(5))
+		maxK := 1 + rng.Intn(3)
+		mat := buildMat(t, NewSearcher(g), ps, maxK)
+
+		m2, ps2, file, jfile := persistedMat(t, mat, ps)
+		if ps2.Len() != ps.Len() {
+			t.Fatalf("reopened point set has %d points, want %d", ps2.Len(), ps.Len())
+		}
+		assertMatEqual(t, m2, snapshotLists(t, mat), "reopened lists")
+
+		// A committed maintenance operation must survive a further reopen.
+		s := NewSearcher(g)
+		var node graph.NodeID = -1
+		for n := 0; n < g.NumNodes(); n++ {
+			if _, taken := ps2.PointAt(graph.NodeID(n)); !taken {
+				node = graph.NodeID(n)
+				break
+			}
+		}
+		if node < 0 {
+			continue
+		}
+		p, err := ps2.Place(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.BeginRepair(nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.MatInsert(m2, []MatSeed{{Node: node, P: p, D: 0}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.CommitRepair(p, PointRecord{U: node, V: node}); err != nil {
+			t.Fatal(err)
+		}
+		want := bruteLists(t, g, ps2, maxK+1)
+		m3, ps3, _, _ := reopenMat(t, file, jfile)
+		if ps3.Len() != ps2.Len() {
+			t.Fatalf("point set after reopen has %d points, want %d", ps3.Len(), ps2.Len())
+		}
+		if n3, ok := ps3.NodeOf(p); !ok || n3 != node {
+			t.Fatalf("committed insert of point %d on node %d did not persist (got %d, %t)", p, node, n3, ok)
+		}
+		assertMatEqual(t, m3, want, "after committed maintenance + reopen")
+	}
+}
+
+// TestMatCrashRecovery abandons a repair without rolling back (simulated
+// crash: dirty pages flushed, journal uncommitted) and checks the reopen
+// path restores the pre-operation lists from the journal.
+func TestMatCrashRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for it := 0; it < 30; it++ {
+		g := randNet(t, rng, 20+rng.Intn(40), rng.Intn(80), 0.5)
+		ps := randPoints(t, rng, g, 4+rng.Intn(5))
+		maxK := 1 + rng.Intn(3)
+		mat := buildMat(t, NewSearcher(g), ps, maxK)
+		m2, ps2, file, jfile := persistedMat(t, mat, ps)
+		before := snapshotLists(t, m2)
+
+		// Crash mid-insert: the budget abandons the repair, nothing is
+		// rolled back, and every dirty page reaches the file (the worst
+		// case — any prefix could).
+		var node graph.NodeID = -1
+		for n := 0; n < g.NumNodes(); n++ {
+			if _, taken := ps2.PointAt(graph.NodeID(n)); !taken {
+				node = graph.NodeID(n)
+				break
+			}
+		}
+		if node < 0 {
+			continue
+		}
+		p, err := ps2.Place(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.BeginRepair([]byte("crash-test")); err != nil {
+			t.Fatal(err)
+		}
+		s := boundSearcher(g, int64(1+rng.Intn(6)))
+		_, opErr := s.MatInsert(m2, []MatSeed{{Node: node, P: p, D: 0}})
+		if opErr != nil && !errors.Is(opErr, exec.ErrBudgetExceeded) {
+			t.Fatalf("unexpected insert error: %v", opErr)
+		}
+		m2.AbandonRepair()
+		if err := m2.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !m2.RepairPending() {
+			t.Fatal("abandoned operation not pending")
+		}
+
+		// "Next process": reopen the same files; recovery must roll back.
+		m3, ps3, _, _ := reopenMat(t, file, jfile)
+		if m3.RepairPending() {
+			t.Fatal("reopened materialization still pending after recovery")
+		}
+		assertMatEqual(t, m3, before, "after crash recovery")
+		// The uncommitted Place never reached the file either.
+		if ps3.Len() != ps.Len() {
+			t.Fatalf("point set after recovery has %d points, want %d", ps3.Len(), ps.Len())
+		}
+	}
+}
+
+// TestMatCrashDuringCommitRollsBackPointRecord covers the narrowest crash
+// window: the commit flushed the lists and overwrote the point record, but
+// died before the header flip. Recovery must roll back the point region
+// along with the lists — otherwise the reopened set and lists disagree.
+func TestMatCrashDuringCommitRollsBackPointRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	g := randNet(t, rng, 30, 40, 0.5)
+	ps := randPoints(t, rng, g, 6)
+	mat := buildMat(t, NewSearcher(g), ps, 2)
+	m2, ps2, file, jfile := persistedMat(t, mat, ps)
+	before := snapshotLists(t, m2)
+
+	// Run a full delete repair, then replay CommitRepair's steps by hand
+	// up to (but not including) the header flip.
+	p := ps2.Points()[0]
+	node := mustNodeOf(t, ps2, p)
+	if err := m2.BeginRepair(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ps2.Delete(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSearcher(g).MatDelete(m2, p, []MatSeed{{Node: node, P: p, D: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	old, err := m2.pst.readPointRecord(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.U != node {
+		t.Fatalf("persisted record of point %d = %+v, want node %d", p, old, node)
+	}
+	if err := m2.pst.journal.Append(encodePointImage(p, old)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.pst.writePointRecord(p, PointAbsent); err != nil {
+		t.Fatal(err)
+	}
+	m2.AbandonRepair() // crash: header never flipped clean
+
+	m3, ps3, _, _ := reopenMat(t, file, jfile)
+	if m3.RepairPending() {
+		t.Fatal("still pending after recovery")
+	}
+	assertMatEqual(t, m3, before, "lists after commit-window crash")
+	if n3, ok := ps3.NodeOf(p); !ok || n3 != node {
+		t.Fatalf("point %d after recovery: node %d ok=%t, want node %d — point region not rolled back", p, n3, ok, node)
+	}
+}
+
+// TestMatSaveRejectsUnjournalableK ensures a maxK whose before-images
+// cannot fit a journal record is rejected at save time, not at the first
+// maintenance operation.
+func TestMatSaveRejectsUnjournalableK(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	g := randNet(t, rng, 10, 10, 0.5)
+	ps := randPoints(t, rng, g, 3)
+	// 4096-byte pages hold lists up to cap=341 (2+12*341=4094 <= 4090 is
+	// false... choose page size 512: lists fit cap <= 42, journal records
+	// fit cap <= 41).
+	s := NewSearcher(g)
+	mat, err := s.MatBuild(SeedsRestricted(ps), 41, storage.NewMemFile(512), 16, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MatSave(mat, MatKindNode, nil, storage.NewMemFile(512)); err == nil {
+		t.Fatal("unjournalable maxK accepted by MatSave")
+	}
+}
+
+// TestMatOpenMissingJournal ensures a pending header without journal
+// records refuses to open silently.
+func TestMatOpenMissingJournal(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	g := randNet(t, rng, 25, 30, 0.5)
+	ps := randPoints(t, rng, g, 5)
+	mat := buildMat(t, NewSearcher(g), ps, 2)
+	m2, ps2, file, _ := persistedMat(t, mat, ps)
+	p, err := ps2.Place(findFree(t, g, ps2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.BeginRepair(nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSearcher(g).MatInsert(m2, []MatSeed{{Node: mustNodeOf(t, ps2, p), P: p, D: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	m2.AbandonRepair()
+	if err := m2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen with an EMPTY journal: recovery must fail loudly.
+	bm := storage.NewBufferManager(file, 16)
+	if _, _, _, err := MatOpen(file, bm, storage.NewMemFile(storage.DefaultPageSize)); err == nil {
+		t.Fatal("pending header with an empty journal opened without error")
+	}
+}
+
+func findFree(t *testing.T, g *graph.Graph, ps *points.NodeSet) graph.NodeID {
+	t.Helper()
+	for n := 0; n < g.NumNodes(); n++ {
+		if _, taken := ps.PointAt(graph.NodeID(n)); !taken {
+			return graph.NodeID(n)
+		}
+	}
+	t.Fatal("no free node")
+	return -1
+}
+
+func mustNodeOf(t *testing.T, ps *points.NodeSet, p points.PointID) graph.NodeID {
+	t.Helper()
+	n, ok := ps.NodeOf(p)
+	if !ok {
+		t.Fatalf("point %d has no node", p)
+	}
+	return n
+}

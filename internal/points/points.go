@@ -91,6 +91,48 @@ func (s *NodeSet) Delete(p PointID) error {
 	return nil
 }
 
+// Restore re-creates the deleted point p on node n under its original id —
+// the rollback path of journaled materialization maintenance, which must
+// undo a Delete without renumbering the point.
+func (s *NodeSet) Restore(p PointID, n graph.NodeID) error {
+	if n < 0 || int(n) >= len(s.byNode) {
+		return fmt.Errorf("points: node %d out of range [0,%d)", n, len(s.byNode))
+	}
+	if p < 0 || int(p) >= len(s.nodes) || s.nodes[p] >= 0 {
+		return fmt.Errorf("points: point %d is not a deleted point", p)
+	}
+	if s.byNode[n] != NoPoint {
+		return fmt.Errorf("points: node %d already hosts point %d", n, s.byNode[n])
+	}
+	s.nodes[p] = n
+	s.byNode[n] = p
+	s.live++
+	return nil
+}
+
+// RestoreNodeSet rebuilds a node set from its dense PointID -> node table
+// (-1 marks a deleted id) — the shape the materialization file persists.
+func RestoreNodeSet(numNodes int, nodes []graph.NodeID) (*NodeSet, error) {
+	s := NewNodeSet(numNodes)
+	s.nodes = make([]graph.NodeID, len(nodes))
+	for p, n := range nodes {
+		s.nodes[p] = -1
+		if n < 0 {
+			continue
+		}
+		if int(n) >= numNodes {
+			return nil, fmt.Errorf("points: node %d out of range [0,%d)", n, numNodes)
+		}
+		if s.byNode[n] != NoPoint {
+			return nil, fmt.Errorf("points: node %d hosts points %d and %d", n, s.byNode[n], p)
+		}
+		s.nodes[p] = n
+		s.byNode[n] = PointID(p)
+		s.live++
+	}
+	return s, nil
+}
+
 // PointAt implements NodeView.
 func (s *NodeSet) PointAt(n graph.NodeID) (PointID, bool) {
 	if n < 0 || int(n) >= len(s.byNode) {
@@ -110,6 +152,11 @@ func (s *NodeSet) NodeOf(p PointID) (graph.NodeID, bool) {
 
 // Len implements NodeView.
 func (s *NodeSet) Len() int { return s.live }
+
+// Table returns a copy of the dense PointID -> node table, -1 for deleted
+// ids — the persisted shape (see RestoreNodeSet). Tombstones are included
+// so a reopened set keeps allocating fresh ids.
+func (s *NodeSet) Table() []graph.NodeID { return append([]graph.NodeID(nil), s.nodes...) }
 
 // Points returns the ids of all live points in ascending order.
 func (s *NodeSet) Points() []PointID {
@@ -283,6 +330,52 @@ func (s *EdgeSet) Delete(p PointID) error {
 	return nil
 }
 
+// Restore re-creates the deleted point p at its original location under its
+// original id — the rollback path of journaled materialization maintenance.
+func (s *EdgeSet) Restore(p PointID, u, v graph.NodeID, pos float64) error {
+	if u == v || u < 0 || v < 0 || pos < 0 {
+		return fmt.Errorf("points: bad location (%d,%d)@%v", u, v, pos)
+	}
+	if p < 0 || int(p) >= len(s.pts) || s.pts[p].U >= 0 {
+		return fmt.Errorf("points: point %d is not a deleted point", p)
+	}
+	if u > v {
+		u, v = v, u
+	}
+	s.pts[p] = EdgePoint{U: u, V: v, Pos: pos}
+	k := edgeKey{u, v}
+	refs := append(s.byEdge[k], EdgePointRef{ID: p, Pos: pos})
+	sort.Slice(refs, func(i, j int) bool {
+		if refs[i].Pos != refs[j].Pos {
+			return refs[i].Pos < refs[j].Pos
+		}
+		return refs[i].ID < refs[j].ID
+	})
+	s.byEdge[k] = refs
+	s.live++
+	return nil
+}
+
+// RestoreEdgeSet rebuilds an edge set from its dense PointID -> location
+// table (U < 0 marks a deleted id) — the shape the materialization file
+// persists.
+func RestoreEdgeSet(pts []EdgePoint) (*EdgeSet, error) {
+	s := NewEdgeSet()
+	s.pts = make([]EdgePoint, len(pts))
+	for p := range s.pts {
+		s.pts[p].U = -1
+	}
+	for p, loc := range pts {
+		if loc.U < 0 {
+			continue
+		}
+		if err := s.Restore(PointID(p), loc.U, loc.V, loc.Pos); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
 // PointsOn implements EdgeView.
 func (s *EdgeSet) PointsOn(u, v graph.NodeID, buf []EdgePointRef) ([]EdgePointRef, error) {
 	buf = buf[:0]
@@ -299,6 +392,10 @@ func (s *EdgeSet) Loc(p PointID) (EdgePoint, bool) {
 
 // Len implements EdgeView.
 func (s *EdgeSet) Len() int { return s.live }
+
+// Table returns a copy of the dense PointID -> location table, U < 0 for
+// deleted ids — the persisted shape (see RestoreEdgeSet).
+func (s *EdgeSet) Table() []EdgePoint { return append([]EdgePoint(nil), s.pts...) }
 
 // Points returns the ids of all live points in ascending order.
 func (s *EdgeSet) Points() []PointID {

@@ -253,3 +253,91 @@ func TestPagedEdgeSetRejectsNonEmptyFile(t *testing.T) {
 		t.Fatal("non-empty file accepted")
 	}
 }
+
+func TestNodeSetRestore(t *testing.T) {
+	s := NewNodeSet(6)
+	p0, _ := s.Place(2)
+	p1, _ := s.Place(4)
+	if err := s.Delete(p0); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring a live point, an out-of-range node, or an occupied node
+	// fails; restoring the deleted point under its old id succeeds.
+	if err := s.Restore(p1, 1); err == nil {
+		t.Fatal("restore of a live point accepted")
+	}
+	if err := s.Restore(p0, 99); err == nil {
+		t.Fatal("out-of-range node accepted")
+	}
+	if err := s.Restore(p0, 4); err == nil {
+		t.Fatal("occupied node accepted")
+	}
+	if err := s.Restore(p0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := s.NodeOf(p0); !ok || n != 2 {
+		t.Fatalf("restored point on node %d (ok=%t), want 2", n, ok)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	// The dense table round-trips through RestoreNodeSet, tombstones kept.
+	if err := s.Delete(p1); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RestoreNodeSet(6, s.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("rebuilt Len = %d, want 1", s2.Len())
+	}
+	if n, ok := s2.NodeOf(p0); !ok || n != 2 {
+		t.Fatalf("rebuilt point on node %d (ok=%t), want 2", n, ok)
+	}
+	// Fresh ids do not reuse the tombstoned one.
+	p2, err := s2.Place(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == p1 {
+		t.Fatalf("rebuilt set reused tombstoned id %d", p1)
+	}
+}
+
+func TestEdgeSetRestore(t *testing.T) {
+	s := NewEdgeSet()
+	p0, _ := s.Place(1, 2, 0.5)
+	p1, _ := s.Place(1, 2, 0.25)
+	if err := s.Delete(p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Restore(p1, 1, 2, 0.25); err == nil {
+		t.Fatal("restore of a live point accepted")
+	}
+	if err := s.Restore(p0, 2, 1, 0.5); err != nil { // non-canonical order allowed
+		t.Fatal(err)
+	}
+	loc, ok := s.Loc(p0)
+	if !ok || loc.U != 1 || loc.V != 2 || loc.Pos != 0.5 {
+		t.Fatalf("restored location = %+v (ok=%t)", loc, ok)
+	}
+	refs, err := s.PointsOn(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 2 || refs[0].ID != p1 || refs[1].ID != p0 {
+		t.Fatalf("PointsOn = %v, want sorted [p1 p0]", refs)
+	}
+	// Round trip through the dense table.
+	s2, err := RestoreEdgeSet(s.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 2 {
+		t.Fatalf("rebuilt Len = %d, want 2", s2.Len())
+	}
+	if loc, ok := s2.Loc(p0); !ok || loc != (EdgePoint{U: 1, V: 2, Pos: 0.5}) {
+		t.Fatalf("rebuilt location = %+v (ok=%t)", loc, ok)
+	}
+}

@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Journal is a tiny write-ahead log for materialization maintenance: one
+// paged file holding the records of at most one in-flight repair operation
+// (the before-images of every K-NN list the repair touches, plus a
+// descriptor of the point-set mutation). The ARIES discipline is reduced to
+// its essentials because a repair is a single transaction over one file:
+//
+//   - Begin(seq) opens operation seq; every page the operation writes is
+//     stamped with seq, so pages left over from earlier operations (the
+//     file's pages are reused, never truncated) are ignored on replay.
+//   - Append(payload) adds one record and writes the containing page
+//     through to the file immediately — the write-ahead rule: a list
+//     page may reach its file only after its before-image is in the
+//     journal. The page is rewritten per record; journal pages are tiny
+//     and maintenance is not the hot path.
+//   - Replay(seq, fn) streams the records of operation seq back, in
+//     append order, for rollback.
+//
+// Whether an operation is pending is not the journal's call: the owner
+// (the materialization file header) records the active seq and a pending
+// flag, and its single header-page write is the commit flip. The journal
+// itself is dumb storage.
+//
+// Page layout:
+//
+//	[0:8]   uint64 operation seq
+//	[8:10]  uint16 record count
+//	[10:..] records, each prefixed by a uint16 length
+type Journal struct {
+	file PagedFile
+	// current write position (only meaningful between Begin and the end
+	// of the operation).
+	seq   uint64
+	page  PageID
+	buf   []byte
+	used  int
+	nrec  int
+	begun bool
+}
+
+const journalPageHeader = 10
+
+// NewJournal wraps file as a repair journal. The file may be empty or hold
+// pages of earlier operations; they are ignored until a Replay asks for
+// their seq.
+func NewJournal(file PagedFile) *Journal {
+	return &Journal{file: file}
+}
+
+// File returns the underlying paged file.
+func (j *Journal) File() PagedFile { return j.file }
+
+// MaxRecord returns the largest payload one journal record can carry.
+func (j *Journal) MaxRecord() int {
+	return JournalMaxRecord(j.file.PageSize())
+}
+
+// JournalMaxRecord is the largest record payload a journal of the given
+// page size can carry — the bound owners validate against before they
+// depend on journaling (e.g. a list before-image must fit one record).
+func JournalMaxRecord(pageSize int) int {
+	return pageSize - journalPageHeader - 2
+}
+
+// Begin opens operation seq, rewinding the write position to page 0. The
+// caller must ensure no other operation is in flight.
+func (j *Journal) Begin(seq uint64) {
+	j.seq = seq
+	j.page = 0
+	if j.buf == nil {
+		j.buf = make([]byte, j.file.PageSize())
+	}
+	j.resetPage()
+	j.begun = true
+}
+
+func (j *Journal) resetPage() {
+	for i := range j.buf {
+		j.buf[i] = 0
+	}
+	binary.LittleEndian.PutUint64(j.buf[0:], j.seq)
+	j.used = journalPageHeader
+	j.nrec = 0
+}
+
+// Append adds one record to the open operation and writes the containing
+// page through to the file before returning, so the record is in the
+// journal before the caller overwrites whatever it describes.
+func (j *Journal) Append(payload []byte) error {
+	if !j.begun {
+		return fmt.Errorf("storage: journal append outside an operation")
+	}
+	if len(payload) > j.MaxRecord() {
+		return fmt.Errorf("storage: journal record of %d bytes exceeds page capacity %d", len(payload), j.MaxRecord())
+	}
+	if j.used+2+len(payload) > len(j.buf) {
+		// Page full: the flushed copy is already durable; move on.
+		j.page++
+		j.resetPage()
+	}
+	binary.LittleEndian.PutUint16(j.buf[j.used:], uint16(len(payload)))
+	copy(j.buf[j.used+2:], payload)
+	j.used += 2 + len(payload)
+	j.nrec++
+	binary.LittleEndian.PutUint16(j.buf[8:], uint16(j.nrec))
+	return j.writeCurrent()
+}
+
+// writeCurrent flushes the in-progress page to the file, reusing an
+// existing page slot when one exists and appending otherwise.
+func (j *Journal) writeCurrent() error {
+	if int(j.page) < j.file.NumPages() {
+		return j.file.Write(j.page, j.buf)
+	}
+	id, err := j.file.Append(j.buf)
+	if err != nil {
+		return err
+	}
+	if id != j.page {
+		return fmt.Errorf("storage: journal expected page %d, appended %d", j.page, id)
+	}
+	return nil
+}
+
+// End closes the operation's write position (commit or rollback decided
+// elsewhere; the records stay in the file until the pages are reused).
+func (j *Journal) End() { j.begun = false }
+
+// Replay streams the records of operation seq in append order. It stops at
+// the first page whose stamp differs from seq — the reuse boundary — and
+// returns fn's first error.
+func (j *Journal) Replay(seq uint64, fn func(payload []byte) error) error {
+	buf := make([]byte, j.file.PageSize())
+	for id := PageID(0); int(id) < j.file.NumPages(); id++ {
+		if err := j.file.Read(id, buf); err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint64(buf[0:]) != seq {
+			return nil
+		}
+		nrec := int(binary.LittleEndian.Uint16(buf[8:]))
+		off := journalPageHeader
+		for i := 0; i < nrec; i++ {
+			if off+2 > len(buf) {
+				return fmt.Errorf("storage: corrupt journal page %d", id)
+			}
+			n := int(binary.LittleEndian.Uint16(buf[off:]))
+			if off+2+n > len(buf) {
+				return fmt.Errorf("storage: corrupt journal record %d of page %d", i, id)
+			}
+			if err := fn(buf[off+2 : off+2+n]); err != nil {
+				return err
+			}
+			off += 2 + n
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func collectJournal(t *testing.T, j *Journal, seq uint64) [][]byte {
+	t.Helper()
+	var out [][]byte
+	if err := j.Replay(seq, func(p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	j := NewJournal(NewMemFile(128))
+	j.Begin(1)
+	records := [][]byte{[]byte("alpha"), []byte("beta"), bytes.Repeat([]byte{7}, 100)}
+	for _, r := range records {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.End()
+	got := collectJournal(t, j, 1)
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], records[i])
+		}
+	}
+}
+
+func TestJournalPageOverflowAndReuse(t *testing.T) {
+	j := NewJournal(NewMemFile(64))
+	// Operation 1 spills over several pages.
+	j.Begin(1)
+	var want [][]byte
+	for i := 0; i < 20; i++ {
+		r := []byte(fmt.Sprintf("record-%02d", i))
+		want = append(want, r)
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.End()
+	if j.file.NumPages() < 2 {
+		t.Fatalf("expected multiple journal pages, got %d", j.file.NumPages())
+	}
+	got := collectJournal(t, j, 1)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+
+	// Operation 2 reuses the pages; replay must stop at the seq boundary
+	// and not resurrect operation 1's tail.
+	j.Begin(2)
+	if err := j.Append([]byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	j.End()
+	got = collectJournal(t, j, 2)
+	if len(got) != 1 || string(got[0]) != "fresh" {
+		t.Fatalf("operation 2 replay = %q, want [fresh]", got)
+	}
+	if got := collectJournal(t, j, 1); len(got) != 0 {
+		t.Fatalf("operation 1 should be unreadable after page reuse from page 0, got %d records", len(got))
+	}
+}
+
+func TestJournalValidation(t *testing.T) {
+	j := NewJournal(NewMemFile(64))
+	if err := j.Append([]byte("x")); err == nil {
+		t.Fatal("append outside an operation accepted")
+	}
+	j.Begin(1)
+	if err := j.Append(make([]byte, j.MaxRecord()+1)); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+	if err := j.Append(make([]byte, j.MaxRecord())); err != nil {
+		t.Fatalf("max-size record rejected: %v", err)
+	}
+	j.End()
+}

@@ -2,7 +2,9 @@ package graphrnn
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"graphrnn/internal/core"
 	"graphrnn/internal/graph"
@@ -15,11 +17,43 @@ import (
 // substrate of the eager-M algorithm. Lists support k-values up to MaxK
 // and are maintained incrementally as points appear and disappear
 // (Figs 8-11).
+//
+// Every maintenance operation (InsertNode, InsertEdge, DeletePoint and
+// their *Context variants) is atomic: the repair runs inside a journaled
+// operation that records the before-image of every list it touches, and an
+// operation abandoned for any reason — cancellation, deadline, budget
+// exhaustion, an I/O error — is rolled back, leaving the lists and the
+// tracked point set bit-identical to the pre-operation state. See
+// RepairState / Recover for the rare case where the rollback itself cannot
+// complete, and SaveTo / OpenMaterialization for persistence with crash
+// recovery.
 type Materialization struct {
 	db   *DB
 	m    *core.Materialized
 	node *NodePoints
 	edge *EdgePoints
+
+	// file and jfile are the backing page files of a materialization
+	// reopened from disk (nil for the in-memory default).
+	file  storage.PagedFile
+	jfile storage.PagedFile
+
+	// pending describes the point-set half of an uncommitted maintenance
+	// operation, so Recover can undo it when the inline rollback failed.
+	pending *matPendingOp
+	// testCrash makes an abandoned operation skip its rollback, leaving
+	// the journal uncommitted — the simulated-crash seam of the recovery
+	// tests. Never set outside tests.
+	testCrash bool
+}
+
+// matPendingOp is the point-set mutation of one maintenance operation:
+// what Recover must undo if the operation does not commit.
+type matPendingOp struct {
+	insert bool
+	p      PointID
+	node   NodeID   // delete undo, node-resident sets
+	loc    Location // delete undo, edge-resident sets
 }
 
 // MatOptions configures a materialization.
@@ -99,6 +133,16 @@ func seedsForEdgeSet(db *DB, ps *EdgePoints) ([]core.MatSeed, error) {
 // MaxK returns the largest query k the lists support.
 func (m *Materialization) MaxK() int { return m.m.MaxK() }
 
+// NodePoints returns the tracked node-resident point set, nil when the
+// materialization tracks an edge-resident one. For a materialization
+// reopened with OpenMaterialization this is the set reconstructed from the
+// file — the set to query with.
+func (m *Materialization) NodePoints() *NodePoints { return m.node }
+
+// EdgePoints returns the tracked edge-resident point set, nil when the
+// materialization tracks a node-resident one.
+func (m *Materialization) EdgePoints() *EdgePoints { return m.edge }
+
 // IOStats returns the list-file traffic.
 func (m *Materialization) IOStats() IOStats {
 	s := m.m.Stats()
@@ -113,24 +157,39 @@ func (m *Materialization) Flush() error { return m.m.Flush() }
 
 // Close detaches the materialization from the planner (when it is the
 // attached one) and its list pages from the shared buffer pool (flushing
-// dirty ones). Queries through this materialization must not be in flight
-// and the materialization must not be used afterwards.
+// dirty ones), and closes the backing files of a reopened materialization.
+// Queries through this materialization must not be in flight and the
+// materialization must not be used afterwards.
 func (m *Materialization) Close() error {
 	m.db.planMat.CompareAndSwap(m, nil)
-	return m.m.Buffer().Detach()
+	err := m.m.Buffer().Detach()
+	if m.file != nil {
+		if cerr := m.file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if m.jfile != nil {
+		if cerr := m.jfile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
 }
 
 // InsertNode places a new point on node n of the tracked node-resident set
 // and updates the affected lists (the insertion algorithm of Section 4.1).
+// The operation is atomic: on any error the point set and the lists are
+// rolled back to their pre-operation state.
 func (m *Materialization) InsertNode(n NodeID) (PointID, Stats, error) {
 	return m.insertNode(m.db.searcher, n)
 }
 
-// InsertNodeContext is InsertNode under a context. CAUTION: a maintenance
-// operation abandoned mid-flight (typed exec error) leaves the lists
-// partially repaired — the materialization must be rebuilt before further
-// queries use it. Deadlines here are a guardrail for operational
-// emergencies, not a routine control.
+// InsertNodeContext is InsertNode under a context. An operation abandoned
+// mid-flight (cancellation, deadline, budget — the typed exec errors) is
+// rolled back through the repair journal before the error returns: the
+// materialization stays consistent and queryable, and the insertion simply
+// did not happen. Deadlines and budgets are therefore a routine control
+// for maintenance traffic, not an emergency-only guardrail.
 func (m *Materialization) InsertNodeContext(ctx context.Context, n NodeID, opt *QueryOptions) (PointID, Stats, error) {
 	ec, cancel, err := m.db.newExec(ctx, opt)
 	if err != nil {
@@ -144,22 +203,36 @@ func (m *Materialization) insertNode(s *core.Searcher, n NodeID) (PointID, Stats
 	if m.node == nil {
 		return -1, Stats{}, fmt.Errorf("graphrnn: materialization does not track a node point set")
 	}
+	if err := m.recoverPending(); err != nil {
+		return -1, Stats{}, err
+	}
 	p, err := m.node.Place(n)
 	if err != nil {
 		return -1, Stats{}, err
 	}
+	rec := core.PointRecord{U: graph.NodeID(n), V: graph.NodeID(n)}
+	if err := m.begin(&matPendingOp{insert: true, p: p}, rec); err != nil {
+		_ = m.node.Delete(p)
+		return -1, Stats{}, err
+	}
 	st, err := s.MatInsert(m.m, []core.MatSeed{{Node: graph.NodeID(n), P: points.PointID(p), D: 0}})
-	return p, statsOf(st), err
+	if err != nil {
+		return -1, statsOf(st), m.abort(err)
+	}
+	if err := m.commit(p, rec); err != nil {
+		return -1, statsOf(st), err
+	}
+	return p, statsOf(st), nil
 }
 
 // InsertEdge places a new point on edge (u,v) of the tracked edge-resident
-// set and updates the affected lists.
+// set and updates the affected lists. Atomic like InsertNode.
 func (m *Materialization) InsertEdge(u, v NodeID, pos float64) (PointID, Stats, error) {
 	return m.insertEdge(m.db.searcher, u, v, pos)
 }
 
-// InsertEdgeContext is InsertEdge under a context; see InsertNodeContext
-// for the partial-repair caveat.
+// InsertEdgeContext is InsertEdge under a context; see InsertNodeContext —
+// an abandoned operation is rolled back, never left partially applied.
 func (m *Materialization) InsertEdgeContext(ctx context.Context, u, v NodeID, pos float64, opt *QueryOptions) (PointID, Stats, error) {
 	ec, cancel, err := m.db.newExec(ctx, opt)
 	if err != nil {
@@ -173,25 +246,40 @@ func (m *Materialization) insertEdge(s *core.Searcher, u, v NodeID, pos float64)
 	if m.edge == nil {
 		return -1, Stats{}, fmt.Errorf("graphrnn: materialization does not track an edge point set")
 	}
+	if err := m.recoverPending(); err != nil {
+		return -1, Stats{}, err
+	}
 	w, ok := m.db.graph.EdgeWeight(u, v)
 	if !ok {
-		return -1, Stats{}, fmt.Errorf("graphrnn: no edge (%d,%d)", u, v)
+		return -1, Stats{}, fmt.Errorf("graphrnn: no edge (%d,%d): %w", u, v, ErrMissingEdge)
 	}
 	p, err := m.edge.Place(u, v, pos)
 	if err != nil {
 		return -1, Stats{}, err
 	}
 	loc, _ := m.edge.LocationOf(p)
+	rec := core.PointRecord{U: graph.NodeID(loc.U), V: graph.NodeID(loc.V), Pos: loc.Pos}
+	if err := m.begin(&matPendingOp{insert: true, p: p}, rec); err != nil {
+		_ = m.edge.Delete(p)
+		return -1, Stats{}, err
+	}
 	seeds := []core.MatSeed{
 		{Node: graph.NodeID(loc.U), P: points.PointID(p), D: loc.Pos},
 		{Node: graph.NodeID(loc.V), P: points.PointID(p), D: w - loc.Pos},
 	}
 	st, err := s.MatInsert(m.m, seeds)
-	return p, statsOf(st), err
+	if err != nil {
+		return -1, statsOf(st), m.abort(err)
+	}
+	if err := m.commit(p, rec); err != nil {
+		return -1, statsOf(st), err
+	}
+	return p, statsOf(st), nil
 }
 
 // DeletePointContext is DeletePoint under a context; see InsertNodeContext
-// for the partial-repair caveat.
+// — an abandoned operation is rolled back (the point reappears in the
+// tracked set), never left partially applied.
 func (m *Materialization) DeletePointContext(ctx context.Context, p PointID, opt *QueryOptions) (Stats, error) {
 	ec, cancel, err := m.db.newExec(ctx, opt)
 	if err != nil {
@@ -202,14 +290,19 @@ func (m *Materialization) DeletePointContext(ctx context.Context, p PointID, opt
 }
 
 // DeletePoint removes point p from the tracked set and repairs the affected
-// lists with the two-step border-node algorithm (Fig 10).
+// lists with the two-step border-node algorithm (Fig 10). Atomic like
+// InsertNode.
 func (m *Materialization) DeletePoint(p PointID) (Stats, error) {
 	return m.deletePoint(m.db.searcher, p)
 }
 
 func (m *Materialization) deletePoint(s *core.Searcher, p PointID) (Stats, error) {
+	if err := m.recoverPending(); err != nil {
+		return Stats{}, err
+	}
 	pid := points.PointID(p)
 	var seeds []core.MatSeed
+	var pend matPendingOp
 	switch {
 	case m.node != nil:
 		n, ok := m.node.NodeOf(p)
@@ -217,27 +310,143 @@ func (m *Materialization) deletePoint(s *core.Searcher, p PointID) (Stats, error
 			return Stats{}, fmt.Errorf("graphrnn: point %d does not exist", p)
 		}
 		seeds = []core.MatSeed{{Node: graph.NodeID(n), P: pid, D: 0}}
-		if err := m.node.Delete(p); err != nil {
-			return Stats{}, err
-		}
+		pend = matPendingOp{p: p, node: n}
 	case m.edge != nil:
 		loc, ok := m.edge.LocationOf(p)
 		if !ok {
 			return Stats{}, fmt.Errorf("graphrnn: point %d does not exist", p)
 		}
-		w, _ := m.db.graph.EdgeWeight(loc.U, loc.V)
+		w, ok := m.db.graph.EdgeWeight(loc.U, loc.V)
+		if !ok {
+			// A tracked point on an edge the graph does not know cannot be
+			// deleted consistently: its seed distances would be garbage.
+			return Stats{}, fmt.Errorf("graphrnn: point %d lies on edge (%d,%d): %w", p, loc.U, loc.V, ErrMissingEdge)
+		}
 		seeds = []core.MatSeed{
 			{Node: graph.NodeID(loc.U), P: pid, D: loc.Pos},
 			{Node: graph.NodeID(loc.V), P: pid, D: w - loc.Pos},
 		}
-		if err := m.edge.Delete(p); err != nil {
-			return Stats{}, err
-		}
+		pend = matPendingOp{p: p, loc: loc}
 	default:
 		return Stats{}, fmt.Errorf("graphrnn: materialization tracks no point set")
 	}
+	if err := m.begin(&pend, core.PointAbsent); err != nil {
+		return Stats{}, err
+	}
+	var err error
+	if m.node != nil {
+		err = m.node.Delete(p)
+	} else {
+		err = m.edge.Delete(p)
+	}
+	if err != nil {
+		// Nothing mutated yet; close the empty operation frame.
+		m.pending = nil
+		_ = m.m.RollbackRepair()
+		return Stats{}, err
+	}
 	st, err := s.MatDelete(m.m, pid, seeds)
-	return statsOf(st), err
+	if err != nil {
+		return statsOf(st), m.abort(err)
+	}
+	if err := m.commit(p, core.PointAbsent); err != nil {
+		return statsOf(st), err
+	}
+	return statsOf(st), nil
+}
+
+// --- operation framing -----------------------------------------------------
+
+// begin opens the journaled operation covering pend. rec is the committed
+// point record (persisted materializations journal it as the operation
+// descriptor).
+func (m *Materialization) begin(pend *matPendingOp, rec core.PointRecord) error {
+	if err := m.m.BeginRepair(matOpMeta(pend, rec)); err != nil {
+		return err
+	}
+	m.pending = pend
+	return nil
+}
+
+// commit flips the operation committed; on failure the operation stays
+// pending and Recover rolls it back.
+func (m *Materialization) commit(p PointID, rec core.PointRecord) error {
+	if err := m.m.CommitRepair(points.PointID(p), rec); err != nil {
+		return fmt.Errorf("graphrnn: maintenance commit failed; call Recover before further use: %w", err)
+	}
+	m.pending = nil
+	return nil
+}
+
+// abort rolls the abandoned operation back inline and returns opErr (the
+// typed exec error, or whatever failed the repair). If the rollback itself
+// fails — a second I/O fault — the operation stays pending: RepairState
+// reports it and Recover retries.
+func (m *Materialization) abort(opErr error) error {
+	if m.testCrash {
+		m.m.AbandonRepair()
+		return opErr
+	}
+	if rbErr := m.rollbackPending(); rbErr != nil {
+		return fmt.Errorf("graphrnn: rollback failed (%v); call Recover before further use: %w", rbErr, opErr)
+	}
+	return opErr
+}
+
+// rollbackPending undoes the pending operation: lists from the journal's
+// before-images, then the point-set mutation.
+func (m *Materialization) rollbackPending() error {
+	if err := m.m.RollbackRepair(); err != nil {
+		return err
+	}
+	pend := m.pending
+	if pend == nil {
+		return nil
+	}
+	var err error
+	switch {
+	case pend.insert && m.node != nil:
+		err = m.node.Delete(pend.p)
+	case pend.insert:
+		err = m.edge.Delete(pend.p)
+	case m.node != nil:
+		err = m.node.s.Restore(points.PointID(pend.p), graph.NodeID(pend.node))
+	default:
+		err = m.edge.s.Restore(points.PointID(pend.p), graph.NodeID(pend.loc.U), graph.NodeID(pend.loc.V), pend.loc.Pos)
+	}
+	if err != nil {
+		return err
+	}
+	m.pending = nil
+	return nil
+}
+
+// recoverPending auto-recovers a pending operation before a new one
+// starts ("replay to a consistent state on next use").
+func (m *Materialization) recoverPending() error {
+	if m.RepairState() == RepairClean {
+		return nil
+	}
+	_, err := m.Recover()
+	return err
+}
+
+// matOpMeta encodes the operation descriptor logged as the journal's first
+// record: op kind, point id and the would-be committed point record.
+// Rollback is driven by before-images, so the descriptor is informational
+// (it makes journals self-describing for debugging).
+func matOpMeta(pend *matPendingOp, rec core.PointRecord) []byte {
+	buf := make([]byte, 1+4+16)
+	if pend.insert {
+		buf[0] = 1
+	} else {
+		buf[0] = 2
+	}
+	binary.LittleEndian.PutUint32(buf[1:], uint32(pend.p))
+	binary.LittleEndian.PutUint32(buf[5:], uint32(rec.U))
+	binary.LittleEndian.PutUint32(buf[9:], uint32(rec.V))
+	binary.LittleEndian.PutUint64(buf[13:], math.Float64bits(rec.Pos))
+	return buf
 }
 
 func statsOf(st core.Stats) Stats {

@@ -1,12 +1,19 @@
 package graphrnn
 
 import (
+	"errors"
 	"fmt"
 
 	"graphrnn/internal/graph"
 	"graphrnn/internal/points"
 	"graphrnn/internal/storage"
 )
+
+// ErrMissingEdge reports a reference to an edge the graph does not
+// contain — placing a point on a nonexistent edge, or maintaining a point
+// whose recorded edge is not in the (immutable) graph, which means the
+// point set belongs to a different graph. Matched with errors.Is.
+var ErrMissingEdge = errors.New("edge not in graph")
 
 // NodePointsView is a read-only view of a node-resident point set, possibly
 // hiding one point (the query's own location in the paper's workloads).
@@ -85,7 +92,7 @@ func (db *DB) NewEdgePoints() *EdgePoints {
 func (ps *EdgePoints) Place(u, v NodeID, pos float64) (PointID, error) {
 	w, ok := ps.db.graph.EdgeWeight(u, v)
 	if !ok {
-		return -1, fmt.Errorf("graphrnn: no edge (%d,%d)", u, v)
+		return -1, fmt.Errorf("graphrnn: no edge (%d,%d): %w", u, v, ErrMissingEdge)
 	}
 	if pos < 0 || pos > w {
 		return -1, fmt.Errorf("graphrnn: offset %v outside edge (%d,%d) of weight %v", pos, u, v, w)
