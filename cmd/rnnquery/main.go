@@ -82,7 +82,10 @@ func main() {
 	pts := ps.Points()
 	for qi := 0; qi < *queries && qi < len(pts); qi++ {
 		qp := pts[qi]
-		qnode, _ := ps.NodeOf(qp)
+		qnode, ok := ps.NodeOf(qp)
+		if !ok {
+			continue
+		}
 		fmt.Printf("query %d at node %d (point %d excluded):\n", qi, qnode, qp)
 		for _, algo := range selected {
 			db.ResetIOStats()

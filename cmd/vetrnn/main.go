@@ -1,0 +1,218 @@
+// Command vetrnn is the repo's invariant checker: a multichecker over the
+// internal/analysis suite (execpoll, journalbefore, commaok, partialresult)
+// that machine-checks the engine contracts PRs 3-5 established.
+//
+// It runs two ways:
+//
+// Standalone, from the module root:
+//
+//	go run ./cmd/vetrnn ./...
+//	vetrnn -json ./...
+//
+// As a vet tool, speaking the go command's unitchecker protocol
+// (-V=full for build-cache keying, -flags for flag discovery, then one
+// .cfg unit config per package):
+//
+//	go build -o /tmp/vetrnn ./cmd/vetrnn
+//	go vet -vettool=/tmp/vetrnn ./...
+//
+// Each analyzer can be disabled with -<name>=false in either mode. Exit
+// codes: 0 clean, 1 findings (standalone), 2 findings or protocol error
+// (vet-tool mode, where any nonzero exit fails `go vet`).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"graphrnn/internal/analysis"
+	"graphrnn/internal/analysis/commaok"
+	"graphrnn/internal/analysis/execpoll"
+	"graphrnn/internal/analysis/journalbefore"
+	"graphrnn/internal/analysis/load"
+	"graphrnn/internal/analysis/partialresult"
+)
+
+// suite is the full analyzer suite, in report order.
+var suite = []*analysis.Analyzer{
+	commaok.Analyzer,
+	execpoll.Analyzer,
+	journalbefore.Analyzer,
+	partialresult.Analyzer,
+}
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	progname := filepath.Base(os.Args[0])
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	vFlag := fs.String("V", "", "print version and exit (-V=full for a build-cache key)")
+	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit")
+	jsonFlag := fs.Bool("json", false, "emit findings as JSON on stdout")
+	dirFlag := fs.String("dir", ".", "directory to run go list from (standalone mode)")
+	enabled := map[string]*bool{}
+	for _, a := range suite {
+		enabled[a.Name] = fs.Bool(a.Name, true, firstLine(a.Doc))
+	}
+	fs.Parse(args)
+
+	switch {
+	case *vFlag != "":
+		printVersion(progname)
+		return 0
+	case *flagsFlag:
+		printFlags()
+		return 0
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range suite {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return vetUnit(rest[0], active, *jsonFlag)
+	}
+	return standalone(fs.Args(), *dirFlag, active, *jsonFlag)
+}
+
+func firstLine(doc string) string {
+	if i := strings.IndexByte(doc, '\n'); i >= 0 {
+		return doc[:i]
+	}
+	return doc
+}
+
+// printVersion emits the version line the go command keys its build cache
+// on: the unitchecker convention, with the binary's own hash as build ID.
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// printFlags tells the go command which flags may be forwarded to the tool.
+func printFlags() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{{Name: "json", Bool: true, Usage: "emit findings as JSON"}}
+	for _, a := range suite {
+		flags = append(flags, jsonFlag{Name: a.Name, Bool: true, Usage: firstLine(a.Doc)})
+	}
+	data, _ := json.MarshalIndent(flags, "", "\t")
+	os.Stdout.Write(data)
+	fmt.Println()
+}
+
+// vetUnit analyzes one `go vet` unit config. The vetx facts file must be
+// written even when empty — the go command caches it.
+func vetUnit(cfgFile string, active []*analysis.Analyzer, asJSON bool) int {
+	cfg, err := load.ReadVetConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	pkg, err := load.VetCfg(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	findings, err := analysis.Run(pkg, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if asJSON {
+		emitJSON(cfg.ImportPath, findings)
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// standalone loads packages via go list and analyzes them all.
+func standalone(patterns []string, dir string, active []*analysis.Analyzer, asJSON bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.GoList(dir, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var all []analysis.Finding
+	for _, pkg := range pkgs {
+		findings, err := analysis.Run(pkg, active)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		all = append(all, findings...)
+	}
+	if asJSON {
+		emitJSON("", all)
+		return 0
+	}
+	for _, f := range all {
+		fmt.Println(f)
+	}
+	if len(all) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// emitJSON prints findings as a JSON array on stdout.
+func emitJSON(pkg string, findings []analysis.Finding) {
+	type jsonFinding struct {
+		Package  string `json:"package,omitempty"`
+		Analyzer string `json:"analyzer"`
+		Posn     string `json:"posn"`
+		Message  string `json:"message"`
+	}
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			Package:  pkg,
+			Analyzer: "vetrnn/" + f.Analyzer,
+			Posn:     f.Pos.String(),
+			Message:  f.Message,
+		})
+	}
+	data, _ := json.MarshalIndent(out, "", "\t")
+	os.Stdout.Write(data)
+	fmt.Println()
+}

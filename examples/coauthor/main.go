@@ -50,7 +50,10 @@ func main() {
 		}
 		// Query from the first matching author's position.
 		qp := ps.Points()[0]
-		qnode, _ := ps.NodeOf(qp)
+		qnode, ok := ps.NodeOf(qp)
+		if !ok {
+			log.Fatalf("point %d vanished from its own set", qp)
+		}
 		q := graphrnn.Query{
 			Kind:   graphrnn.KindRNN,
 			Target: graphrnn.NodeLocation(qnode),

@@ -47,7 +47,10 @@ func main() {
 	// exclude — it models the newcomer taking that position in the
 	// overlay).
 	newcomer := peers.Points()[0]
-	joinAt, _ := peers.NodeOf(newcomer)
+	joinAt, ok := peers.NodeOf(newcomer)
+	if !ok {
+		log.Fatalf("peer %d vanished from its own set", newcomer)
+	}
 	q := graphrnn.Query{
 		Kind:   graphrnn.KindRNN,
 		Target: graphrnn.NodeLocation(joinAt),

@@ -50,7 +50,10 @@ func main() {
 	bestSite := graphrnn.Location{}
 	bestCount := -1
 	for i, c := range candidates {
-		site, _ := blocks.LocationOf(c)
+		site, ok := blocks.LocationOf(c)
+		if !ok {
+			log.Fatalf("block %d vanished from its own set", c)
+		}
 		res, err := db.Run(context.Background(), graphrnn.Query{
 			Kind:   graphrnn.KindBichromatic,
 			Target: site,

@@ -269,7 +269,10 @@ func hubPointsOf(ps *NodePoints) []hublabel.PointOnNode {
 	ids := ps.Points()
 	out := make([]hublabel.PointOnNode, 0, len(ids))
 	for _, p := range ids {
-		n, _ := ps.NodeOf(p)
+		n, ok := ps.NodeOf(p)
+		if !ok {
+			continue // concurrently deleted since Points(): nothing to index
+		}
 		out = append(out, hublabel.PointOnNode{P: points.PointID(p), Node: graph.NodeID(n)})
 	}
 	return out

@@ -1,0 +1,109 @@
+// Package commaok checks that the ok result of the engine's partial
+// lookups is never discarded. The configured APIs — EdgeWeight, point-set
+// gets (NodeOf, PointAt, Loc, LocationOf), coordinate lookups — return
+// (value, bool) where the zero value is a real, dangerously plausible value
+// (node 0, distance 0): ignoring the bool turns an absent edge or point
+// into silent wrong answers. PR 5's EdgeWeight bug in the deletion path was
+// exactly this shape — seeds built from a garbage weight because the ok
+// result was discarded.
+//
+// Flagged shapes, for calls whose callee is a configured method of a module
+// package with exactly two results, the second bool:
+//
+//	w, _ := g.EdgeWeight(u, v)   // bool assigned to blank
+//	g.EdgeWeight(u, v)           // entire result discarded
+//
+// Oracle tests legitimately ignore ok on known-present data, so _test.go
+// files are exempt; production code annotates deliberate cases with
+// //lint:ignore vetrnn/commaok <why the value must exist here>.
+package commaok
+
+import (
+	"go/ast"
+	"go/types"
+
+	"graphrnn/internal/analysis"
+)
+
+// Analyzer is the commaok check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "commaok",
+	Doc:       "the ok result of EdgeWeight / point-set / coordinate lookups must not be discarded",
+	SkipTests: true,
+	Run:       run,
+}
+
+// modulePrefix scopes the check to this module's APIs.
+const modulePrefix = "graphrnn"
+
+// methods is the configured lookup list.
+var methods = map[string]bool{
+	"EdgeWeight": true,
+	"NodeOf":     true,
+	"PointAt":    true,
+	"Loc":        true,
+	"LocationOf": true,
+	"Coord":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 && len(n.Lhs) == 2 {
+					checkCall(pass, n.Rhs[0], isBlank(n.Lhs[1]))
+				}
+			case *ast.ValueSpec:
+				if len(n.Values) == 1 && len(n.Names) == 2 {
+					checkCall(pass, n.Values[0], n.Names[1].Name == "_")
+				}
+			case *ast.ExprStmt:
+				checkCall(pass, n.X, true)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func checkCall(pass *analysis.Pass, e ast.Expr, boolDiscarded bool) {
+	if !boolDiscarded {
+		return
+	}
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !methods[fn.Name()] {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != modulePrefix && !analysis.PathHasSuffix(path, "internal/graph") &&
+		!analysis.PathHasSuffix(path, "internal/points") && !hasModulePrefix(path) {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 || !isBool(sig.Results().At(1).Type()) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"the ok result of %s.%s is discarded; a missing edge or absent point would silently read as the zero value",
+		fn.Pkg().Name(), fn.Name())
+}
+
+func hasModulePrefix(path string) bool {
+	return path == modulePrefix || len(path) > len(modulePrefix) &&
+		path[:len(modulePrefix)+1] == modulePrefix+"/"
+}
+
+func isBool(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Bool
+}

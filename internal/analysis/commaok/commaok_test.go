@@ -1,0 +1,12 @@
+package commaok_test
+
+import (
+	"testing"
+
+	"graphrnn/internal/analysis/analysistest"
+	"graphrnn/internal/analysis/commaok"
+)
+
+func TestCommaok(t *testing.T) {
+	analysistest.Run(t, "testdata", commaok.Analyzer, "graphrnn/oktest")
+}

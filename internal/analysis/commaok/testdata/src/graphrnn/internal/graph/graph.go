@@ -1,0 +1,17 @@
+package graph
+
+// Store mirrors the weighted-graph lookup surface.
+type Store struct{ w map[[2]uint32]float64 }
+
+// EdgeWeight reports the weight of (u,v) and whether the edge exists; the
+// zero weight is a legal weight, so the bool is load-bearing.
+func (s *Store) EdgeWeight(u, v uint32) (float64, bool) {
+	w, ok := s.w[[2]uint32{u, v}]
+	return w, ok
+}
+
+// Degree has one result: never subject to the check.
+func (s *Store) Degree(u uint32) int { return 0 }
+
+// Neighbor returns (value, error): not a comma-ok API.
+func (s *Store) Neighbor(u uint32, i int) (uint32, error) { return 0, nil }

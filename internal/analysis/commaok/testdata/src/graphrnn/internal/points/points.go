@@ -1,0 +1,15 @@
+package points
+
+// Set mirrors the point-set lookup surface.
+type Set struct{ loc map[uint32]Location }
+
+type Location struct{ U, V uint32 }
+
+// LocationOf reports where point p sits and whether p is in the set.
+func (s *Set) LocationOf(p uint32) (Location, bool) {
+	l, ok := s.loc[p]
+	return l, ok
+}
+
+// Coord is a comma-ok coordinate lookup.
+func (s *Set) Coord(p uint32) (float64, bool) { return 0, false }

@@ -1,0 +1,72 @@
+// Package oktest is the commaok golden fixture. seedWeightsBug reproduces
+// the PR 5 deletion-path bug verbatim in shape: EdgeWeight's ok result
+// discarded while seeding repair candidates, so a concurrently-deleted edge
+// read as weight 0 and became the best seed.
+package oktest
+
+import (
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+)
+
+type seed struct {
+	node uint32
+	dist float64
+}
+
+// seedWeightsBug is the PR 5 bug shape: the blank identifier eats the
+// missing-edge signal and a garbage zero weight seeds the repair.
+func seedWeightsBug(g *graph.Store, ps *points.Set, cands []uint32) []seed {
+	var seeds []seed
+	for _, p := range cands {
+		loc, ok := ps.LocationOf(p)
+		if !ok {
+			continue
+		}
+		w, _ := g.EdgeWeight(loc.U, loc.V) // want `ok result of graph\.EdgeWeight is discarded`
+		seeds = append(seeds, seed{node: p, dist: w})
+	}
+	return seeds
+}
+
+// seedWeightsFixed checks the ok result and skips vanished edges.
+func seedWeightsFixed(g *graph.Store, ps *points.Set, cands []uint32) []seed {
+	var seeds []seed
+	for _, p := range cands {
+		loc, ok := ps.LocationOf(p)
+		if !ok {
+			continue
+		}
+		w, ok := g.EdgeWeight(loc.U, loc.V)
+		if !ok {
+			continue
+		}
+		seeds = append(seeds, seed{node: p, dist: w})
+	}
+	return seeds
+}
+
+// otherShapes covers the remaining flagged forms.
+func otherShapes(g *graph.Store, ps *points.Set) float64 {
+	var loc, _ = ps.LocationOf(7) // want `ok result of points\.LocationOf is discarded`
+	g.EdgeWeight(loc.U, loc.V)    // want `ok result of graph\.EdgeWeight is discarded`
+	c, _ := ps.Coord(7)           // want `ok result of points\.Coord is discarded`
+	return c
+}
+
+// notFlagged: single-result and (value, error) APIs, and map/type comma-ok
+// expressions, are all out of scope.
+func notFlagged(g *graph.Store, m map[uint32]float64) float64 {
+	d := g.Degree(1)
+	n, _ := g.Neighbor(1, 0)
+	w, _ := m[n]
+	return float64(d) + w
+}
+
+// knownPresent is a deliberate exception: the edge was placed two lines up
+// in the same critical section, so it must exist.
+func knownPresent(g *graph.Store) float64 {
+	//lint:ignore vetrnn/commaok edge placed by the caller under the same lock
+	w, _ := g.EdgeWeight(1, 2)
+	return w
+}

@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. The
+// loaders in internal/analysis/load produce these from `go list` export
+// data, from a `go vet -vettool` unit config, or from testdata sources.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Finding is one diagnostic that survived suppression filtering, resolved
+// to a file position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to pkg and returns the surviving findings in
+// position order: suppressed diagnostics are dropped, and analyzers with
+// SkipTests set do not report into _test.go files. Malformed suppression
+// comments are themselves reported (analyzer name "lintignore"), so a
+// reason-less ignore cannot silently disable a check.
+func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	sup, bad := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Finding
+	out = append(out, bad...)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		var diags []Diagnostic
+		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Types.Path(), err)
+		}
+		for _, d := range diags {
+			posn := pkg.Fset.Position(d.Pos)
+			if a.SkipTests && strings.HasSuffix(posn.Filename, "_test.go") {
+				continue
+			}
+			if sup.covers(posn, a.Name) {
+				continue
+			}
+			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out, nil
+}
+
+// --- //lint:ignore suppression ---------------------------------------------
+//
+// A deliberate contract exception is annotated staticcheck-style:
+//
+//	//lint:ignore vetrnn/<name>[,vetrnn/<name>...] <reason>
+//
+// The comment suppresses the named analyzers on its own line and on the
+// line directly below it, so it works both as a trailing comment and on the
+// line before the flagged statement. The reason is mandatory: an ignore
+// without one is reported as a finding in its own right.
+
+const ignorePrefix = "//lint:ignore "
+
+// suppressions maps file -> line -> analyzer names suppressed there.
+type suppressions map[string]map[int]map[string]bool
+
+func (s suppressions) covers(posn token.Position, analyzer string) bool {
+	lines := s[posn.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range [2]int{posn.Line, posn.Line - 1} {
+		if lines[line][analyzer] || lines[line]["*"] {
+			return true
+		}
+	}
+	return false
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
+	sup := suppressions{}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				if names == "" || strings.TrimSpace(reason) == "" {
+					bad = append(bad, Finding{
+						Analyzer: "lintignore",
+						Pos:      posn,
+						Message:  "malformed //lint:ignore: want \"//lint:ignore vetrnn/<check>[,...] reason\"",
+					})
+					continue
+				}
+				lines := sup[posn.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					sup[posn.Filename] = lines
+				}
+				set := lines[posn.Line]
+				if set == nil {
+					set = map[string]bool{}
+					lines[posn.Line] = set
+				}
+				for _, n := range strings.Split(names, ",") {
+					set[strings.TrimPrefix(n, "vetrnn/")] = true
+				}
+			}
+		}
+	}
+	return sup, bad
+}

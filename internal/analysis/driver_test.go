@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// reportCalls is a toy analyzer that reports every call expression, so the
+// tests can position findings precisely.
+var reportCalls = &Analyzer{
+	Name:      "reportcalls",
+	Doc:       "reports every call",
+	SkipTests: true,
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(c.Pos(), "call here")
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func loadSrc(t *testing.T, files map[string]string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	for name, src := range files {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		asts = append(asts, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, asts, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Fset: fset, Files: asts, Types: pkg, Info: info}
+}
+
+func TestSuppressionCoversSameAndNextLine(t *testing.T) {
+	pkg := loadSrc(t, map[string]string{"a.go": `package p
+
+func g() {}
+
+func f() {
+	g() //lint:ignore vetrnn/reportcalls trailing comment, same line
+	//lint:ignore vetrnn/reportcalls comment above the flagged line
+	g()
+	g()
+}
+`})
+	findings, err := Run(pkg, []*Analyzer{reportCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 (only the unannotated call): %v", len(findings), findings)
+	}
+	if findings[0].Pos.Line != 9 {
+		t.Errorf("surviving finding at line %d, want 9", findings[0].Pos.Line)
+	}
+}
+
+func TestSuppressionWrongNameDoesNotCover(t *testing.T) {
+	pkg := loadSrc(t, map[string]string{"a.go": `package p
+
+func g() {}
+
+func f() {
+	//lint:ignore vetrnn/othercheck reason that names a different analyzer
+	g()
+}
+`})
+	findings, err := Run(pkg, []*Analyzer{reportCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || findings[0].Analyzer != "reportcalls" {
+		t.Fatalf("got %v, want the reportcalls finding to survive", findings)
+	}
+}
+
+func TestMalformedIgnoreIsReported(t *testing.T) {
+	pkg := loadSrc(t, map[string]string{"a.go": `package p
+
+func g() {}
+
+func f() {
+	//lint:ignore vetrnn/reportcalls
+	g()
+}
+`})
+	findings, err := Run(pkg, []*Analyzer{reportCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, f := range findings {
+		kinds = append(kinds, f.Analyzer)
+	}
+	got := strings.Join(kinds, ",")
+	// The reason-less ignore must not suppress, and must itself be flagged.
+	if got != "lintignore,reportcalls" {
+		t.Fatalf("got findings %v, want lintignore + reportcalls", findings)
+	}
+}
+
+func TestSkipTestsFiltersTestFiles(t *testing.T) {
+	pkg := loadSrc(t, map[string]string{
+		"a.go":      "package p\n\nfunc g() {}\n",
+		"a_test.go": "package p\n\nfunc h() { g() }\n",
+	})
+	findings, err := Run(pkg, []*Analyzer{reportCalls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("got %v, want findings in _test.go filtered", findings)
+	}
+}

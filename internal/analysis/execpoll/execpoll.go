@@ -1,0 +1,148 @@
+// Package execpoll checks the engine's cancellation contract: every loop
+// that expands nodes or reads pages must poll the query's execution context
+// from inside the loop, so cancellation, deadlines and budgets take effect
+// within one expansion step (the PR 3 contract every algorithm in
+// internal/core and internal/hublabel follows).
+//
+// A loop is an expansion/page-read loop when its body calls one of the
+// engine's paging or expansion primitives: graph adjacency fetches,
+// materialized-list reads, hub-label fetches, buffer-pool page reads, or
+// pops from the expansion heap/scratch. Such a loop must also call
+// (*exec.Ctx).Check — directly or through the Searcher's checkExec /
+// checkExecStride wrappers — somewhere in its body (a poll inside a nested
+// loop counts: it runs at least as often as the outer iteration resumes).
+//
+// Deliberate exceptions — build-time loops, load-time loops, pure in-memory
+// drains — are annotated in place:
+//
+//	//lint:ignore vetrnn/execpoll <why this loop is exempt>
+package execpoll
+
+import (
+	"go/ast"
+
+	"graphrnn/internal/analysis"
+)
+
+// Analyzer is the execpoll check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "execpoll",
+	Doc:       "expansion and page-read loops must poll the exec context (Check/checkExec) in the loop body",
+	SkipTests: true,
+	Run:       run,
+}
+
+// triggers are the paging/expansion primitives that make a loop subject to
+// the polling contract, keyed by method name with the defining package's
+// path suffix.
+var triggers = map[string][]string{
+	"Adjacency": {"internal/graph"},
+	"List":      {"internal/core"},
+	"pop":       {"internal/core"},
+	"InLabel":   {"internal/hublabel"},
+	"OutLabel":  {"internal/hublabel"},
+	"Get":       {"internal/storage"},
+	"GetInto":   {"internal/storage"},
+	"Update":    {"internal/storage"},
+	"Pop":       {"internal/pq"},
+}
+
+// loopInfo tracks one lexical loop during the walk.
+type loopInfo struct {
+	node    ast.Node
+	parent  *loopInfo
+	polled  bool
+	trigger *ast.CallExpr // first uncovered trigger found in the body
+}
+
+func run(pass *analysis.Pass) error {
+	var visit func(n ast.Node, innermost *loopInfo)
+	var done []*loopInfo
+
+	visitChildren := func(n ast.Node, innermost *loopInfo) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			if c != nil {
+				visit(c, innermost)
+			}
+			return false
+		})
+	}
+
+	visit = func(n ast.Node, innermost *loopInfo) {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// A closure runs on its own schedule; its loops are judged in
+			// isolation, and its calls do not belong to the enclosing loop.
+			visitChildren(n, nil)
+			return
+		case *ast.ForStmt, *ast.RangeStmt:
+			li := &loopInfo{node: n, parent: innermost}
+			visitChildren(n, li)
+			done = append(done, li)
+			return
+		case *ast.CallExpr:
+			if isPoll(pass, n) {
+				for l := innermost; l != nil; l = l.parent {
+					l.polled = true
+				}
+			} else if innermost != nil && innermost.trigger == nil && isTrigger(pass, n) {
+				innermost.trigger = n
+			}
+		}
+		visitChildren(n, innermost)
+	}
+
+	for _, file := range pass.Files {
+		visit(file, nil)
+	}
+
+	for _, li := range done {
+		if li.trigger == nil {
+			continue
+		}
+		covered := false
+		for l := li; l != nil; l = l.parent {
+			if l.polled {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		callee := analysis.Callee(pass.TypesInfo, li.trigger)
+		pass.Reportf(li.node.Pos(),
+			"loop expands nodes or reads pages (%s) without polling the exec context; call Check/checkExec in the loop body",
+			callee.Name())
+	}
+	return nil
+}
+
+func isTrigger(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	for _, suffix := range triggers[fn.Name()] {
+		if analysis.PathHasSuffix(fn.Pkg().Path(), suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func isPoll(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := analysis.Callee(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Name() == "Check" && analysis.PathHasSuffix(fn.Pkg().Path(), "internal/exec") {
+		return true
+	}
+	// The Searcher's polling wrappers, and any future substrate's wrapper
+	// following the same naming convention.
+	return fn.Name() == "checkExec" || fn.Name() == "checkExecStride"
+}

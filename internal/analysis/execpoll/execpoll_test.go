@@ -1,0 +1,12 @@
+package execpoll_test
+
+import (
+	"testing"
+
+	"graphrnn/internal/analysis/analysistest"
+	"graphrnn/internal/analysis/execpoll"
+)
+
+func TestExecpoll(t *testing.T) {
+	analysistest.Run(t, "testdata", execpoll.Analyzer, "graphrnn/polltest")
+}

@@ -1,0 +1,8 @@
+package graph
+
+// Store mirrors the adjacency provider.
+type Store struct{ deg int }
+
+func (s *Store) Adjacency(n uint32) ([]uint32, error) {
+	return make([]uint32, s.deg), nil
+}

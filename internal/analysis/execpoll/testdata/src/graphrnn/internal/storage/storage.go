@@ -1,0 +1,10 @@
+package storage
+
+// Pool mirrors the buffer pool's page-read surface.
+type Pool struct{ pages int }
+
+type Page []byte
+
+func (p *Pool) Get(id uint32) (Page, error) { return nil, nil }
+
+func (p *Pool) Update(id uint32, fn func(Page) error) error { return fn(nil) }

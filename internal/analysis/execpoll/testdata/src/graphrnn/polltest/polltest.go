@@ -1,0 +1,126 @@
+// Package polltest is the execpoll golden fixture: loops that expand nodes
+// or read pages with and without polling the exec context.
+package polltest
+
+import (
+	"graphrnn/internal/exec"
+	"graphrnn/internal/graph"
+	"graphrnn/internal/storage"
+)
+
+type searcher struct {
+	ec *exec.Ctx
+	g  *graph.Store
+}
+
+func (s *searcher) checkExec() error { return s.ec.Check(1) }
+
+// expandUnpolled is the bug shape: a frontier expansion with no poll.
+func expandUnpolled(g *graph.Store, frontier []uint32) int {
+	total := 0
+	for _, n := range frontier { // want `without polling the exec context`
+		adj, err := g.Adjacency(n)
+		if err != nil {
+			return total
+		}
+		total += len(adj)
+	}
+	return total
+}
+
+// expandPolled polls the context directly each iteration.
+func expandPolled(ec *exec.Ctx, g *graph.Store, frontier []uint32) (int, error) {
+	total := 0
+	for _, n := range frontier {
+		if err := ec.Check(1); err != nil {
+			return total, err
+		}
+		adj, _ := g.Adjacency(n)
+		total += len(adj)
+	}
+	return total, nil
+}
+
+// expandWrapped polls through the searcher's checkExec wrapper.
+func (s *searcher) expandWrapped(frontier []uint32) (int, error) {
+	total := 0
+	for _, n := range frontier {
+		if err := s.checkExec(); err != nil {
+			return total, err
+		}
+		adj, _ := s.g.Adjacency(n)
+		total += len(adj)
+	}
+	return total, nil
+}
+
+// pageScanUnpolled reads pages in a bare for loop: flagged too.
+func pageScanUnpolled(p *storage.Pool, n uint32) int {
+	total := 0
+	for id := uint32(0); id < n; id++ { // want `without polling the exec context`
+		pg, _ := p.Get(id)
+		total += len(pg)
+	}
+	return total
+}
+
+// nestedInnerPoll polls only in the inner loop; the inner poll runs at
+// least once per outer iteration, so both loops are covered.
+func nestedInnerPoll(ec *exec.Ctx, g *graph.Store, rounds int, frontier []uint32) error {
+	for r := 0; r < rounds; r++ {
+		for _, n := range frontier {
+			if err := ec.Check(1); err != nil {
+				return err
+			}
+			g.Adjacency(n)
+		}
+	}
+	return nil
+}
+
+// closureIsolated: the loop itself only builds closures; the closure's own
+// body is judged separately and has no loop, so nothing is flagged.
+func closureIsolated(g *graph.Store, frontier []uint32) []func() int {
+	var fns []func() int
+	for _, n := range frontier {
+		n := n
+		fns = append(fns, func() int {
+			adj, _ := g.Adjacency(n)
+			return len(adj)
+		})
+	}
+	return fns
+}
+
+// closureLoopUnpolled: a loop inside a closure is judged on its own and
+// still needs a poll.
+func closureLoopUnpolled(g *graph.Store, frontier []uint32) func() int {
+	return func() int {
+		total := 0
+		for _, n := range frontier { // want `without polling the exec context`
+			adj, _ := g.Adjacency(n)
+			total += len(adj)
+		}
+		return total
+	}
+}
+
+// loadAll is a deliberate exception: a load-time loop, annotated in place.
+func loadAll(g *graph.Store, frontier []uint32) int {
+	total := 0
+	//lint:ignore vetrnn/execpoll load-time bulk scan, no query context exists yet
+	for _, n := range frontier {
+		adj, _ := g.Adjacency(n)
+		total += len(adj)
+	}
+	return total
+}
+
+// plainLoop touches none of the paging primitives: not subject to the rule.
+func plainLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

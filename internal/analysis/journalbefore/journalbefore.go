@@ -1,0 +1,115 @@
+// Package journalbefore checks the maintenance write-ahead discipline of
+// the materialized K-NN lists (PR 5): inside a journaled repair operation,
+// every list mutation must be preceded by its before-image.
+//
+// Two rules, both scoped to calls on core.Materialized:
+//
+//  1. A call to writeList(n, ...) must be preceded, in the same function,
+//     by a call to journalTouch(n, ...) with the same node expression — the
+//     before-image must be captured (and, file-backed, be in the journal)
+//     before the list page may be overwritten. Lexical precedence in the
+//     same function is an approximation of dominance, but it is exactly the
+//     shape of every maintenance algorithm: read list, journalTouch, mutate,
+//     writeList.
+//
+//  2. restoreList bypasses both the journal and the write-fault seam; only
+//     the designated restore paths may call it (writeList itself, rollback,
+//     and journal recovery). Anywhere else, a restoreList call is a list
+//     write that would escape the before-image discipline.
+//
+// Deliberate exceptions carry //lint:ignore vetrnn/journalbefore <why>.
+package journalbefore
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"graphrnn/internal/analysis"
+)
+
+// Analyzer is the journalbefore check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "journalbefore",
+	Doc:       "materialized-list writes must be preceded by a journalTouch before-image; restoreList is reserved for rollback paths",
+	SkipTests: true,
+	Run:       run,
+}
+
+// restoreCallers are the functions allowed to call restoreList.
+var restoreCallers = map[string]bool{
+	"writeList":          true,
+	"RollbackRepair":     true,
+	"recoverFromJournal": true,
+}
+
+type listCall struct {
+	pos  token.Pos
+	kind string // "touch", "write", "restore"
+	arg  string // rendering of the node-id argument
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	var calls []listCall
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind := ""
+		switch {
+		case analysis.CalleeIs(pass.TypesInfo, call, "internal/core", "journalTouch"):
+			kind = "touch"
+		case analysis.CalleeIs(pass.TypesInfo, call, "internal/core", "writeList"):
+			kind = "write"
+		case analysis.CalleeIs(pass.TypesInfo, call, "internal/core", "restoreList"):
+			kind = "restore"
+		default:
+			return true
+		}
+		arg := ""
+		if len(call.Args) > 0 {
+			arg = types.ExprString(call.Args[0])
+		}
+		calls = append(calls, listCall{pos: call.Pos(), kind: kind, arg: arg})
+		return true
+	})
+	sort.Slice(calls, func(i, j int) bool { return calls[i].pos < calls[j].pos })
+
+	for i, c := range calls {
+		switch c.kind {
+		case "write":
+			journaled := false
+			for _, prev := range calls[:i] {
+				if prev.kind == "touch" && prev.arg == c.arg {
+					journaled = true
+					break
+				}
+			}
+			if !journaled {
+				pass.Reportf(c.pos,
+					"writeList(%s, ...) is not preceded by journalTouch(%s, ...) in %s; the before-image must be journaled before the list is overwritten",
+					c.arg, c.arg, fd.Name.Name)
+			}
+		case "restore":
+			if !restoreCallers[fd.Name.Name] {
+				pass.Reportf(c.pos,
+					"restoreList called from %s bypasses the repair journal; mutate lists through writeList inside a journaled operation",
+					fd.Name.Name)
+			}
+		}
+	}
+}

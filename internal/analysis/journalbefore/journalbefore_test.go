@@ -1,0 +1,12 @@
+package journalbefore_test
+
+import (
+	"testing"
+
+	"graphrnn/internal/analysis/analysistest"
+	"graphrnn/internal/analysis/journalbefore"
+)
+
+func TestJournalbefore(t *testing.T) {
+	analysistest.Run(t, "testdata", journalbefore.Analyzer, "graphrnn/internal/core")
+}

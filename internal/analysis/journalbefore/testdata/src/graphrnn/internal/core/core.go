@@ -1,0 +1,89 @@
+// Package core is the journalbefore golden fixture: it mirrors the
+// Materialized maintenance surface — journalTouch / writeList / restoreList —
+// and exercises both rules (before-image precedes write; restoreList is
+// reserved for rollback paths).
+package core
+
+type Materialized struct {
+	lists map[uint32][]uint32
+	log   map[uint32][]uint32
+}
+
+func (m *Materialized) journalTouch(n uint32) error {
+	if _, ok := m.log[n]; !ok {
+		m.log[n] = append([]uint32(nil), m.lists[n]...)
+	}
+	return nil
+}
+
+func (m *Materialized) writeList(n uint32, list []uint32) error {
+	old := m.lists[n]
+	m.lists[n] = list
+	if false {
+		m.restoreList(n, old)
+	}
+	return nil
+}
+
+func (m *Materialized) restoreList(n uint32, list []uint32) {
+	m.lists[n] = list
+}
+
+// insertGood follows the discipline: touch, then write.
+func (m *Materialized) insertGood(n uint32, list []uint32) error {
+	if err := m.journalTouch(n); err != nil {
+		return err
+	}
+	return m.writeList(n, list)
+}
+
+// insertBad overwrites the list with no before-image.
+func (m *Materialized) insertBad(n uint32, list []uint32) error {
+	return m.writeList(n, list) // want `not preceded by journalTouch`
+}
+
+// insertWrongNode journals one node but writes another.
+func (m *Materialized) insertWrongNode(a, b uint32, list []uint32) error {
+	if err := m.journalTouch(a); err != nil {
+		return err
+	}
+	return m.writeList(b, list) // want `not preceded by journalTouch`
+}
+
+// repairMany touches and writes in a loop over the same expression: the
+// lexical-precedence approximation accepts it, as it accepts the real
+// maintenance loops.
+func (m *Materialized) repairMany(nodes []uint32, lists map[uint32][]uint32) error {
+	for _, n := range nodes {
+		if err := m.journalTouch(n); err != nil {
+			return err
+		}
+		if err := m.writeList(n, lists[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RollbackRepair is a designated restore path.
+func (m *Materialized) RollbackRepair() {
+	for n, old := range m.log {
+		m.restoreList(n, old)
+	}
+}
+
+// recoverFromJournal is a designated restore path.
+func (m *Materialized) recoverFromJournal(n uint32, img []uint32) {
+	m.restoreList(n, img)
+}
+
+// sneakyRestore bypasses the journal from an arbitrary function.
+func (m *Materialized) sneakyRestore(n uint32, list []uint32) {
+	m.restoreList(n, list) // want `bypasses the repair journal`
+}
+
+// migrateLegacy is a deliberate, documented exception.
+func (m *Materialized) migrateLegacy(n uint32, list []uint32) {
+	//lint:ignore vetrnn/journalbefore one-shot format migration, runs before any journal exists
+	m.restoreList(n, list)
+}

@@ -1,0 +1,320 @@
+// Package load turns Go packages into type-checked analysis.Package values
+// using only the standard library. Three loaders cover the three ways the
+// vetrnn suite runs:
+//
+//   - GoList: standalone mode. `go list -deps -export -json` enumerates the
+//     matched packages plus the export-data files of every dependency, and
+//     each matched package is parsed and type-checked against that export
+//     data — the same artifacts the build cache already holds, so a warm
+//     run re-parses only the module's own sources.
+//
+//   - VetCfg: `go vet -vettool` mode. The go command hands the tool one
+//     JSON config per package (the x/tools unitchecker protocol) naming the
+//     files to parse and the export-data file of every import; see
+//     cmd/vetrnn for the surrounding protocol (-V=full, -flags, vetx).
+//
+//   - Testdata: golden-test mode. Packages live as plain sources under
+//     testdata/src/<importpath>/ (the layout of x/tools' analysistest);
+//     imports resolve against sibling testdata packages first and fall back
+//     to type-checking the standard library from GOROOT source.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"graphrnn/internal/analysis"
+)
+
+// newInfo allocates the full set of type-information maps the analyzers
+// consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+func check(fset *token.FileSet, path string, files []*ast.File, imp types.Importer, goVersion string) (*analysis.Package, error) {
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	if goVersion != "" {
+		conf.GoVersion = goVersion
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", path, err)
+	}
+	return &analysis.Package{Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}
+
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// --- standalone: go list -export -------------------------------------------
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ImportMap  map[string]string
+	Module     *struct{ GoVersion string }
+}
+
+// GoList loads the packages matched by patterns (run in dir), type-checked
+// against the build cache's export data. Test files are not loaded: `go
+// list` GoFiles excludes them, which matches the suite's scope — the engine
+// contracts govern production code.
+func GoList(dir string, patterns ...string) ([]*analysis.Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,ImportMap,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, func(path string) string { return exports[path] })
+	var pkgs []*analysis.Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		names := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			names[i] = filepath.Join(t.Dir, f)
+		}
+		files, err := parseFiles(fset, names)
+		if err != nil {
+			return nil, err
+		}
+		goVersion := ""
+		if t.Module != nil && t.Module.GoVersion != "" {
+			goVersion = "go" + t.Module.GoVersion
+		}
+		pkg, err := check(fset, t.ImportPath, files, importMapped(imp, t.ImportMap), goVersion)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// exportImporter type-checks imports from compiler export data, resolving
+// each import path to its export file through resolve.
+func exportImporter(fset *token.FileSet, resolve func(path string) string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f := resolve(path)
+		if f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// importMapped applies a per-package import map (vendoring, test variants)
+// in front of an importer.
+func importMapped(imp types.Importer, m map[string]string) types.Importer {
+	if len(m) == 0 {
+		return imp
+	}
+	return mappedImporter{imp: imp, m: m}
+}
+
+type mappedImporter struct {
+	imp types.Importer
+	m   map[string]string
+}
+
+func (mi mappedImporter) Import(path string) (*types.Package, error) {
+	if to, ok := mi.m[path]; ok {
+		path = to
+	}
+	return mi.imp.Import(path)
+}
+
+// --- go vet -vettool: unit config ------------------------------------------
+
+// VetConfig is the per-package JSON configuration the go command passes to
+// a vet tool — the x/tools unitchecker wire format (the fields this tool
+// does not consume are accepted and ignored by the decoder).
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// ReadVetConfig parses a unit config file.
+func ReadVetConfig(path string) (*VetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(VetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// VetCfg loads the single package a unit config describes. Unlike GoList
+// it sees test files too (the go command vets test variants as their own
+// units); analyzers opt out of those via SkipTests.
+func VetCfg(cfg *VetConfig) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		return nil, err
+	}
+	imp := exportImporter(fset, func(path string) string {
+		if to, ok := cfg.ImportMap[path]; ok {
+			path = to
+		}
+		return cfg.PackageFile[path]
+	})
+	return check(fset, cfg.ImportPath, files, imp, cfg.GoVersion)
+}
+
+// --- golden tests: testdata/src --------------------------------------------
+
+// Testdata loads importPath from testdataDir/src/importPath, resolving
+// imports against sibling testdata packages first and the standard library
+// (type-checked from GOROOT source) second.
+func Testdata(testdataDir, importPath string) (*analysis.Package, error) {
+	fset := token.NewFileSet()
+	ld := &testdataLoader{
+		fset:   fset,
+		src:    filepath.Join(testdataDir, "src"),
+		std:    importer.ForCompiler(fset, "source", nil),
+		loaded: map[string]*analysis.Package{},
+	}
+	return ld.load(importPath)
+}
+
+type testdataLoader struct {
+	fset   *token.FileSet
+	src    string
+	std    types.Importer
+	loaded map[string]*analysis.Package
+	stack  []string
+}
+
+func (ld *testdataLoader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := ld.loaded[path]; ok {
+		return pkg, nil
+	}
+	for _, s := range ld.stack {
+		if s == path {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+	}
+	dir := filepath.Join(ld.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	files, err := parseFiles(ld.fset, names)
+	if err != nil {
+		return nil, err
+	}
+	ld.stack = append(ld.stack, path)
+	pkg, err := check(ld.fset, path, files, (*testdataImporter)(ld), "")
+	ld.stack = ld.stack[:len(ld.stack)-1]
+	if err != nil {
+		return nil, err
+	}
+	ld.loaded[path] = pkg
+	return pkg, nil
+}
+
+type testdataImporter testdataLoader
+
+func (ti *testdataImporter) Import(path string) (*types.Package, error) {
+	ld := (*testdataLoader)(ti)
+	if _, err := os.Stat(filepath.Join(ld.src, filepath.FromSlash(path))); err == nil {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return ld.std.Import(path)
+}

@@ -1,0 +1,173 @@
+// Package partialresult checks the engine's partial-result contract
+// (PR 3): an execution-control error — cancellation, deadline, budget —
+// carries the result accumulated so far out with it; only real failures
+// invalidate the result. A function that has just established "this is an
+// exec error" and then returns nil (or a zero composite) for a non-error
+// result is throwing the partial result away.
+//
+// The analyzer flags return statements lexically inside a branch whose
+// condition proves the error is an execution-control error — a call to
+// IsExecErr, or errors.Is against ErrCanceled / ErrDeadlineExceeded /
+// ErrBudgetExceeded (possibly conjoined with && ) — when a returned
+// non-error result is the literal nil or an empty composite literal:
+//
+//	if exec.IsExecErr(err) {
+//	    return nil, err          // flagged: drops the partial result
+//	}
+//
+// The fix is to return the accumulated state (execResult, finishResult, the
+// res/ids slice built so far). Negated tests (!IsExecErr) returning nil are
+// the complementary contract — real errors invalidate — and are not
+// flagged. Deliberate exceptions carry //lint:ignore vetrnn/partialresult.
+package partialresult
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"graphrnn/internal/analysis"
+)
+
+// Analyzer is the partialresult check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "partialresult",
+	Doc:       "branches that prove an exec error must return the accumulated result, not nil/zero",
+	SkipTests: true,
+	Run:       run,
+}
+
+// execErrNames are the typed execution-control errors (defined in
+// internal/exec, re-exported by internal/core and the root package).
+var execErrNames = map[string]bool{
+	"ErrCanceled":         true,
+	"ErrDeadlineExceeded": true,
+	"ErrBudgetExceeded":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		var sigStack []*types.Signature
+		var visit func(n ast.Node)
+		visit = func(n ast.Node) {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if fn, ok := pass.TypesInfo.Defs[n.Name].(*types.Func); ok && n.Body != nil {
+					sigStack = append(sigStack, fn.Signature())
+					visitChildren(n.Body, visit)
+					sigStack = sigStack[:len(sigStack)-1]
+				}
+				return
+			case *ast.FuncLit:
+				if sig, ok := pass.TypesInfo.Types[n].Type.(*types.Signature); ok {
+					sigStack = append(sigStack, sig)
+					visitChildren(n.Body, visit)
+					sigStack = sigStack[:len(sigStack)-1]
+				}
+				return
+			case *ast.IfStmt:
+				if condProvesExecErr(pass, n.Cond) && len(sigStack) > 0 {
+					checkBranch(pass, n.Body, sigStack[len(sigStack)-1])
+				}
+			}
+			visitChildren(n, visit)
+		}
+		visit(file)
+	}
+	return nil
+}
+
+func visitChildren(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == n {
+			return true
+		}
+		if c != nil {
+			visit(c)
+		}
+		return false
+	})
+}
+
+// condProvesExecErr reports whether cond being true guarantees the tested
+// error is an execution-control error.
+func condProvesExecErr(pass *analysis.Pass, cond ast.Expr) bool {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.BinaryExpr:
+		if e.Op == token.LAND {
+			return condProvesExecErr(pass, e.X) || condProvesExecErr(pass, e.Y)
+		}
+	case *ast.CallExpr:
+		fn := analysis.Callee(pass.TypesInfo, e)
+		if fn == nil || fn.Pkg() == nil {
+			return false
+		}
+		if fn.Name() == "IsExecErr" && hasModulePrefix(fn.Pkg().Path()) {
+			return true
+		}
+		if fn.Name() == "Is" && fn.Pkg().Path() == "errors" && len(e.Args) == 2 {
+			return isExecErrValue(pass, e.Args[1])
+		}
+	}
+	return false
+}
+
+func isExecErrValue(pass *analysis.Pass, e ast.Expr) bool {
+	var obj types.Object
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = pass.TypesInfo.Uses[e]
+	case *ast.SelectorExpr:
+		obj = pass.TypesInfo.Uses[e.Sel]
+	}
+	return obj != nil && obj.Pkg() != nil && execErrNames[obj.Name()] && hasModulePrefix(obj.Pkg().Path())
+}
+
+// checkBranch flags returns inside the exec-err-proven block that drop a
+// non-error result. Nested function literals are skipped — they return from
+// a different function.
+func checkBranch(pass *analysis.Pass, body *ast.BlockStmt, sig *types.Signature) {
+	errType := types.Universe.Lookup("error").Type()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			if len(n.Results) != sig.Results().Len() {
+				return true // naked return or comma-expansion: out of scope
+			}
+			for i, res := range n.Results {
+				if types.Identical(sig.Results().At(i).Type(), errType) {
+					continue
+				}
+				if isZeroLiteral(res) {
+					pass.Reportf(n.Pos(),
+						"execution-control errors carry the partial result out; return the accumulated result, not %s",
+						types.ExprString(res))
+					break
+				}
+			}
+		}
+		return true
+	})
+}
+
+func isZeroLiteral(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return len(e.Elts) == 0
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			cl, ok := ast.Unparen(e.X).(*ast.CompositeLit)
+			return ok && len(cl.Elts) == 0
+		}
+	}
+	return false
+}
+
+func hasModulePrefix(path string) bool {
+	const m = "graphrnn"
+	return path == m || len(path) > len(m) && path[:len(m)+1] == m+"/"
+}

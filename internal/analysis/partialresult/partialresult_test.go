@@ -1,0 +1,12 @@
+package partialresult_test
+
+import (
+	"testing"
+
+	"graphrnn/internal/analysis/analysistest"
+	"graphrnn/internal/analysis/partialresult"
+)
+
+func TestPartialresult(t *testing.T) {
+	analysistest.Run(t, "testdata", partialresult.Analyzer, "graphrnn/partialtest")
+}

@@ -1,0 +1,16 @@
+package exec
+
+import "errors"
+
+var (
+	ErrCanceled         = errors.New("exec: canceled")
+	ErrDeadlineExceeded = errors.New("exec: deadline exceeded")
+	ErrBudgetExceeded   = errors.New("exec: budget exceeded")
+)
+
+// IsExecErr reports whether err is an execution-control error.
+func IsExecErr(err error) bool {
+	return errors.Is(err, ErrCanceled) ||
+		errors.Is(err, ErrDeadlineExceeded) ||
+		errors.Is(err, ErrBudgetExceeded)
+}

@@ -1,0 +1,94 @@
+// Package partialtest is the partialresult golden fixture: branches that
+// prove an execution-control error must carry the accumulated result out.
+package partialtest
+
+import (
+	"errors"
+
+	"graphrnn/internal/exec"
+)
+
+type result struct{ ids []uint32 }
+
+func search() ([]uint32, error) { return nil, exec.ErrBudgetExceeded }
+
+// dropsPartial is the bug shape: the exec error is identified, then the
+// result built so far is replaced with nil.
+func dropsPartial(found []uint32) ([]uint32, error) {
+	more, err := search()
+	found = append(found, more...)
+	if err != nil {
+		if exec.IsExecErr(err) {
+			return nil, err // want `return the accumulated result, not nil`
+		}
+		return nil, err
+	}
+	return found, nil
+}
+
+// dropsPartialStruct drops a struct result the same way.
+func dropsPartialStruct(r result) (result, error) {
+	_, err := search()
+	if exec.IsExecErr(err) {
+		return result{}, err // want `return the accumulated result, not result\{\}`
+	}
+	return r, nil
+}
+
+// keepsPartial is the contract: the accumulated result rides out with the
+// exec error.
+func keepsPartial(found []uint32) ([]uint32, error) {
+	more, err := search()
+	found = append(found, more...)
+	if exec.IsExecErr(err) {
+		return found, err
+	}
+	if err != nil {
+		return nil, err
+	}
+	return found, nil
+}
+
+// errorsIsForms: errors.Is against a typed exec error proves it too, also
+// under &&.
+func errorsIsForms(found []uint32, strict bool) ([]uint32, error) {
+	_, err := search()
+	if errors.Is(err, exec.ErrCanceled) {
+		return nil, err // want `return the accumulated result, not nil`
+	}
+	if strict && errors.Is(err, exec.ErrDeadlineExceeded) {
+		return nil, err // want `return the accumulated result, not nil`
+	}
+	return found, nil
+}
+
+// negatedIsFine: !IsExecErr means a real failure, and real failures
+// invalidate the result.
+func negatedIsFine(found []uint32) ([]uint32, error) {
+	_, err := search()
+	if err != nil && !exec.IsExecErr(err) {
+		return nil, err
+	}
+	return found, nil
+}
+
+// closureReturnsElsewhere: returns inside a nested function literal belong
+// to that literal, not to the guarded function.
+func closureReturnsElsewhere(found []uint32) ([]uint32, error) {
+	_, err := search()
+	if exec.IsExecErr(err) {
+		f := func() []uint32 { return nil }
+		return f(), err
+	}
+	return found, nil
+}
+
+// documentedDrop is a deliberate exception: nothing was accumulated yet.
+func documentedDrop() ([]uint32, error) {
+	_, err := search()
+	if exec.IsExecErr(err) {
+		//lint:ignore vetrnn/partialresult the budget tripped before the first expansion, nothing accumulated
+		return nil, err
+	}
+	return []uint32{1}, nil
+}

@@ -57,6 +57,9 @@ func (ds *DirectedSearcher) EagerRkNN(ps points.NodeView, qnode graph.NodeID, k 
 			break
 		}
 		st.NodesExpanded++
+		if err := ds.fwd.checkExec(&st); err != nil {
+			return execResult(results, st, err)
+		}
 		// Candidates are verified at their own node's pop: the label d
 		// upper-bounds d(p→q) there (and is exact for true members, whose
 		// reverse path to q is never pruned). A point discovered by a
@@ -68,7 +71,7 @@ func (ds *DirectedSearcher) EagerRkNN(ps points.NodeView, qnode graph.NodeID, k 
 			verified[p] = true
 			member, err := ds.fwd.verify(&st, ps, p, n, target, k, d)
 			if err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 			if member {
 				results = append(results, p)
@@ -78,7 +81,7 @@ func (ds *DirectedSearcher) EagerRkNN(ps points.NodeView, qnode graph.NodeID, k 
 		var err error
 		found, err = ds.fwd.rangeNN(&st, ps, n, k, d, found)
 		if err != nil {
-			return nil, err
+			return execResult(results, st, err)
 		}
 		// Lemma 1 only covers points other than those that justified the
 		// prune, so every probe-discovered point must be verified (its own
@@ -97,7 +100,7 @@ func (ds *DirectedSearcher) EagerRkNN(ps points.NodeView, qnode graph.NodeID, k 
 			}
 			member, err := ds.fwd.verify(&st, ps, pd.P, pnode, target, k, math.Inf(1))
 			if err != nil {
-				return nil, err
+				return execResult(results, st, err)
 			}
 			if member {
 				results = append(results, pd.P)
@@ -108,7 +111,7 @@ func (ds *DirectedSearcher) EagerRkNN(ps points.NodeView, qnode graph.NodeID, k 
 		}
 		var adjErr error
 		if main.adj, adjErr = ds.rev.g.Adjacency(n, main.adj); adjErr != nil {
-			return nil, adjErr
+			return execResult(results, st, adjErr)
 		}
 		for _, e := range main.adj {
 			main.push(e.To, d+e.W)

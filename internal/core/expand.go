@@ -142,10 +142,15 @@ func (s *Searcher) distance(from, to graph.NodeID) (float64, error) {
 	defer s.release(sc)
 	sc.begin()
 	sc.push(from, 0)
+	var st Stats
 	for {
 		m, d, ok := sc.pop()
 		if !ok {
 			return math.Inf(1), nil
+		}
+		st.NodesExpanded++
+		if err := s.checkExec(&st); err != nil {
+			return 0, err
 		}
 		if m == to {
 			return d, nil

@@ -192,8 +192,13 @@ func (m *Materialized) List(n graph.NodeID, buf []MatEntry) ([]MatEntry, error) 
 	if err != nil {
 		return nil, err
 	}
+	// Length before content: a corrupt page can hold a record too short to
+	// even carry the count.
+	if len(rec) < matRecordSize(m.cap) {
+		return nil, fmt.Errorf("core: corrupt materialized record for node %d", n)
+	}
 	count := int(binary.LittleEndian.Uint16(rec[0:]))
-	if count > m.cap || len(rec) < matRecordSize(m.cap) {
+	if count > m.cap {
 		return nil, fmt.Errorf("core: corrupt materialized record for node %d", n)
 	}
 	off := 2
@@ -232,6 +237,9 @@ func (m *Materialized) restoreList(n graph.NodeID, entries []MatEntry) error {
 		rec, err := storage.ReadRecordSlot(page, m.bm.File().PageSize(), int(ref.Slot))
 		if err != nil {
 			return err
+		}
+		if len(rec) < matRecordSize(m.cap) {
+			return fmt.Errorf("core: corrupt materialized record for node %d", n)
 		}
 		binary.LittleEndian.PutUint16(rec[0:], uint16(len(entries)))
 		off := 2
@@ -459,6 +467,7 @@ func (s *Searcher) MatBuildBuffer(seeds []MatSeed, maxK int, file storage.PagedF
 		return entryLess(d, p, last.D, last.P)
 	}
 
+	//lint:ignore vetrnn/execpoll offline index construction; no query context exists yet (ROADMAP: context-aware maintenance)
 	for {
 		e, d, ok := heap.Pop()
 		if !ok {
@@ -705,6 +714,12 @@ func (s *Searcher) MatDelete(m *Materialized, p points.PointID, seeds []MatSeed)
 	// region (e.g. a point residing on an affected node) — see DESIGN.md.
 	var heap pq.Heap[matHeapEntry]
 	for _, a := range visitedStep1 {
+		// Seeding reads one list page and one adjacency per node, so the
+		// exec context must stay responsive here too; the reads are already
+		// charged (MatReads, step 1's counters), so poll without re-charging.
+		if err := s.checkExec(&st); err != nil {
+			return st, err
+		}
 		var err error
 		sc.adj, err = s.g.Adjacency(a, sc.adj)
 		if err != nil {

@@ -127,6 +127,12 @@ type matPersist struct {
 	refsPages int
 	listPages int
 
+	// durable upgrades maintenance from write-ordering to fsync
+	// durability: journal appends sync the journal file, and each header
+	// flip syncs the materialization file — which also pushes every list
+	// and point-region write issued before the flip. See SetDurable.
+	durable bool
+
 	scratch []byte // one page, for direct header/point-region writes
 }
 
@@ -153,7 +159,15 @@ func (pst *matPersist) writeHeader(m *Materialized, seq uint64, pending bool) er
 	binary.LittleEndian.PutUint32(buf[30:], uint32(pst.numPoints))
 	binary.LittleEndian.PutUint32(buf[34:], uint32(pst.refsPages))
 	binary.LittleEndian.PutUint32(buf[38:], uint32(pst.listPages))
-	return pst.file.Write(0, buf)
+	if err := pst.file.Write(0, buf); err != nil {
+		return err
+	}
+	if !pst.durable {
+		return nil
+	}
+	// One sync covers the flip and every list/point write issued before
+	// it: fsync flushes all writes already issued to the file.
+	return storage.SyncFile(pst.file)
 }
 
 // readPointRecord returns the persisted record of p; ids beyond the
@@ -226,6 +240,22 @@ func checkJournalable(cap, pageSize int) error {
 			cap-1, need, pageSize)
 	}
 	return nil
+}
+
+// SetDurable selects the durability level of a file-backed
+// materialization's maintenance. Off (the default) relies on write
+// ordering alone: a process crash is recoverable because the journal
+// record is written before the list page, but an OS crash or power loss
+// may reorder what actually reaches the platter. On, every journal append
+// syncs the journal file and every header flip syncs the materialization
+// file, so a committed operation survives power loss. No-op (and
+// harmless) on a memory-backed materialization.
+func (m *Materialized) SetDurable(on bool) {
+	if m.pst == nil {
+		return
+	}
+	m.pst.durable = on
+	m.pst.journal.SetSync(on)
 }
 
 // MatFilePageSize reads the page size out of a materialization file's
@@ -380,10 +410,24 @@ func MatOpen(file storage.PagedFile, bm *storage.BufferManager, journalFile stor
 	if err := checkJournalable(maxK+1, pageSize); err != nil {
 		return nil, 0, nil, err
 	}
+	// Region geometry must fit the file before anything is sized off it: a
+	// corrupt header could otherwise demand an absurd allocation (refs,
+	// point table) or send recovery appending pages toward a far-off point
+	// region.
+	refsPerPage := pageSize / matRefSize
+	perPage := pageSize / pointRecordSize
+	pointPages := (pst.numPoints + perPage - 1) / perPage
+	switch {
+	case pst.refsPages < 0 || pst.listPages < 0:
+		return nil, 0, nil, fmt.Errorf("core: corrupt materialization header: negative region size")
+	case numNodes > pst.refsPages*refsPerPage:
+		return nil, 0, nil, fmt.Errorf("core: corrupt materialization header: %d nodes exceed %d locator pages", numNodes, pst.refsPages)
+	case pst.pointBase()+pointPages > file.NumPages():
+		return nil, 0, nil, fmt.Errorf("core: corrupt materialization header: regions exceed the file's %d pages", file.NumPages())
+	}
 
 	m := &Materialized{maxK: maxK, cap: maxK + 1, numNodes: numNodes, bm: bm, pst: pst}
 	m.refs = make([]storage.RecRef, numNodes)
-	refsPerPage := pageSize / matRefSize
 	for n := 0; n < numNodes; n++ {
 		page := 1 + n/refsPerPage
 		if n%refsPerPage == 0 {
@@ -409,7 +453,6 @@ func MatOpen(file storage.PagedFile, bm *storage.BufferManager, journalFile stor
 	}
 
 	pts := make([]PointRecord, pst.numPoints)
-	perPage := pageSize / pointRecordSize
 	for p := 0; p < pst.numPoints; p++ {
 		page := pst.pointBase() + p/perPage
 		if p%perPage == 0 {

@@ -64,6 +64,7 @@ func (sc *scratch) push(n graph.NodeID, d float64) *pq.Item[graph.NodeID] {
 // pop removes the next unclosed node in distance order, closes it, and
 // returns it. ok is false when the heap is exhausted.
 func (sc *scratch) pop() (n graph.NodeID, d float64, ok bool) {
+	//lint:ignore vetrnn/execpoll in-memory drain of stale heap entries; callers poll per popped node
 	for {
 		n, d, ok = sc.heap.Pop()
 		if !ok {

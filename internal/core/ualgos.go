@@ -280,6 +280,7 @@ func (s *Searcher) uVerifyWithMat(st *Stats, sites points.EdgeView, self points.
 		}
 	}
 	floor := math.Inf(1)
+	//lint:ignore vetrnn/execpoll fixed two-iteration endpoint loop inside one verification; the query loop driving it polls
 	for side := 0; side < 2; side++ {
 		node, off := from.U, from.Pos
 		if side == 1 {

@@ -139,6 +139,7 @@ func (w *uWalk) pushTarget(d float64) {
 // pop returns the next entry in distance order, closing node entries and
 // skipping stale ones.
 func (w *uWalk) pop() (uEntry, float64, bool) {
+	//lint:ignore vetrnn/execpoll in-memory drain of stale heap entries; callers poll per popped entry
 	for {
 		e, d, ok := w.heap.Pop()
 		if !ok {
@@ -365,6 +366,10 @@ func (s *Searcher) ULocDistance(a, b Loc) (float64, error) {
 			return d, nil
 		case uKindNode:
 			n := ent.node
+			st.NodesExpanded++
+			if err := s.checkExec(&st); err != nil {
+				return 0, err
+			}
 			if target.nodeHit(n) {
 				return d, nil
 			}

@@ -72,7 +72,10 @@ func (e *env) budgetedRow(queries []points.PointID, k int, a Algo, budget int64)
 	}
 	var m Measure
 	for _, qp := range queries {
-		qnode, _ := e.nodePts.NodeOf(qp)
+		qnode, ok := e.nodePts.NodeOf(qp)
+		if !ok {
+			continue // not in this environment's point set
+		}
 		view := points.ExcludeNode(e.nodePts, qp)
 		var ec *exec.Ctx
 		if budget > 0 {

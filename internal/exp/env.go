@@ -201,7 +201,10 @@ func (e *env) buildHubLabel(maxK int) error {
 	e.hubStore = store
 	pts := make([]hublabel.PointOnNode, 0, e.nodePts.Len())
 	for _, p := range e.nodePts.Points() {
-		n, _ := e.nodePts.NodeOf(p)
+		n, ok := e.nodePts.NodeOf(p)
+		if !ok {
+			continue // deleted since Points(): nothing to index
+		}
 		pts = append(pts, hublabel.PointOnNode{P: p, Node: n})
 	}
 	e.hubIdx, err = hublabel.NewIndex(store, maxK, pts)

@@ -56,7 +56,10 @@ func Planner(s Scale) (*Table, error) {
 			var m Measure
 			var planned graphrnn.Algorithm
 			for _, qp := range queries {
-				qnode, _ := ps.NodeOf(qp)
+				qnode, ok := ps.NodeOf(qp)
+				if !ok {
+					continue // not in this environment's point set
+				}
 				before := db.PoolStats().Reads
 				t0 := time.Now()
 				res, err := db.Run(context.Background(), graphrnn.Query{

@@ -243,6 +243,7 @@ func (d *dijkstraState) push(n graph.NodeID, dist float64) bool {
 }
 
 func (d *dijkstraState) pop() (graph.NodeID, float64, bool) {
+	//lint:ignore vetrnn/execpoll in-memory drain of stale heap entries during label construction
 	for {
 		n, dist, ok := d.heap.Pop()
 		if !ok {
@@ -287,6 +288,7 @@ func landmarkOrder(g graph.Access, degree []int) ([]graph.NodeID, error) {
 		st.push(src, 0)
 		parent[src] = -1
 		popOrder = popOrder[:0]
+		//lint:ignore vetrnn/execpoll ordering-time sampling sweep; labeling construction has no query context
 		for {
 			v, dist, ok := st.pop()
 			if !ok {
@@ -338,6 +340,7 @@ func degrees(g graph.Access) ([]int, error) {
 	deg := make([]int, g.NumNodes())
 	var adj []graph.Edge
 	var err error
+	//lint:ignore vetrnn/execpoll ordering-time degree scan; labeling construction has no query context
 	for v := graph.NodeID(0); int(v) < len(deg); v++ {
 		if adj, err = g.Adjacency(v, adj); err != nil {
 			return nil, err
@@ -424,6 +427,7 @@ func BuildDigraph(d *graph.Digraph) (*Labeling, error) {
 func prunedSweep(g graph.Access, h graph.NodeID, lp *landmarkProbe, into [][]Entry, st *dijkstraState) error {
 	st.begin()
 	st.push(h, 0)
+	//lint:ignore vetrnn/execpoll build-time pruned sweep; labeling construction has no query context
 	for {
 		v, dist, ok := st.pop()
 		if !ok {

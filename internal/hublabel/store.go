@@ -350,6 +350,7 @@ func (s *Store) readLabel(at dirEnt, buf []Entry) ([]Entry, error) {
 	scratch := s.pagePool.Get().(*[]byte)
 	defer s.pagePool.Put(scratch)
 	pid, slot := at.page, int(at.slot)
+	//lint:ignore vetrnn/execpoll record-chain walk inside the label-read primitive itself; callers poll per label fetch
 	for {
 		page, err := s.buffer.GetInto(pid, *scratch)
 		if err != nil {
@@ -398,6 +399,7 @@ func Load(f storage.PagedFile) (*Labeling, error) {
 		in = make([][]Entry, n)
 	}
 	var buf []Entry
+	//lint:ignore vetrnn/execpoll load-time bulk read of the whole labeling; no query context exists
 	for v := graph.NodeID(0); int(v) < n; v++ {
 		if buf, err = s.OutLabel(v, buf); err != nil {
 			return nil, err

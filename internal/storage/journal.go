@@ -42,7 +42,18 @@ type Journal struct {
 	used  int
 	nrec  int
 	begun bool
+	// sync makes every record append fsync the journal file, upgrading the
+	// write-ahead rule from write-ordering to crash-durability (see
+	// SetSync).
+	sync bool
 }
+
+// SetSync selects whether each Append also syncs the journal file to
+// stable storage. Off (the default) the journal guarantees write ordering
+// only — enough for process-crash recovery over an OS that keeps its page
+// cache; on, each record is durable before Append returns, extending the
+// guarantee to power loss at the cost of one fsync per record.
+func (j *Journal) SetSync(on bool) { j.sync = on }
 
 const journalPageHeader = 10
 
@@ -116,7 +127,10 @@ func (j *Journal) Append(payload []byte) error {
 // existing page slot when one exists and appending otherwise.
 func (j *Journal) writeCurrent() error {
 	if int(j.page) < j.file.NumPages() {
-		return j.file.Write(j.page, j.buf)
+		if err := j.file.Write(j.page, j.buf); err != nil {
+			return err
+		}
+		return j.maybeSync()
 	}
 	id, err := j.file.Append(j.buf)
 	if err != nil {
@@ -125,7 +139,14 @@ func (j *Journal) writeCurrent() error {
 	if id != j.page {
 		return fmt.Errorf("storage: journal expected page %d, appended %d", j.page, id)
 	}
-	return nil
+	return j.maybeSync()
+}
+
+func (j *Journal) maybeSync() error {
+	if !j.sync {
+		return nil
+	}
+	return SyncFile(j.file)
 }
 
 // End closes the operation's write position (commit or rollback decided

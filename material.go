@@ -56,6 +56,26 @@ type matPendingOp struct {
 	loc    Location // delete undo, edge-resident sets
 }
 
+// Durability selects how hard a file-backed materialization pushes its
+// maintenance writes toward stable storage. It only matters for
+// materializations reopened with OpenMaterialization; the in-memory
+// default has no disk to sync.
+type Durability int
+
+const (
+	// DurabilityWriteOrder (the default) relies on write ordering alone:
+	// the journal record reaches its file before the list page it covers,
+	// and the header flip is a single page write. A process crash is always
+	// recoverable; an OS crash or power loss may lose or reorder writes
+	// still in the page cache.
+	DurabilityWriteOrder Durability = iota
+	// DurabilityFsync additionally syncs the journal file on every record
+	// append and the materialization file on every commit flip, so a
+	// committed operation survives power loss. Maintenance pays one fsync
+	// per journaled record plus one per operation.
+	DurabilityFsync
+)
+
 // MatOptions configures a materialization.
 type MatOptions struct {
 	// PageSize of the list file (default 4096).
@@ -64,6 +84,9 @@ type MatOptions struct {
 	// buffer pool (default 64). On a DB-owned pool the capacity grows by
 	// this amount, matching the former dedicated list buffer.
 	BufferPages int
+	// Durability of file-backed maintenance (OpenMaterialization only);
+	// default DurabilityWriteOrder.
+	Durability Durability
 }
 
 func (o *MatOptions) defaults() (int, int) {
@@ -257,6 +280,7 @@ func (m *Materialization) insertEdge(s *core.Searcher, u, v NodeID, pos float64)
 	if err != nil {
 		return -1, Stats{}, err
 	}
+	//lint:ignore vetrnn/commaok p was created by the Place call two lines up on the same set
 	loc, _ := m.edge.LocationOf(p)
 	rec := core.PointRecord{U: graph.NodeID(loc.U), V: graph.NodeID(loc.V), Pos: loc.Pos}
 	if err := m.begin(&matPendingOp{insert: true, p: p}, rec); err != nil {

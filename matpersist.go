@@ -166,6 +166,9 @@ func (db *DB) OpenMaterialization(path string, opt *MatOptions) (*Materializatio
 		_ = bm.Detach()
 		return fail(err)
 	}
+	if opt != nil && opt.Durability == DurabilityFsync {
+		cm.SetDurable(true)
+	}
 	if cm.NumNodes() != db.store.NumNodes() {
 		_ = bm.Detach()
 		return fail(fmt.Errorf("graphrnn: materialization file covers %d nodes, graph has %d",
