@@ -238,6 +238,60 @@ func BenchmarkCIQueries(b *testing.B) {
 	}
 }
 
+// BenchmarkCIShardedQueries is the scatter-gather workload the bench gate
+// tracks next to BenchmarkCIQueries, against its own committed baseline
+// (BENCH_SHARD.json): the identical fixed-seed query set — every placed
+// point of the 20K-node road network queried once at k=2 — served through
+// a 4-shard Sharded with per-shard hub-label substrates and the default
+// 1-hop halo. One op = one full sweep, so -benchtime=1x is stable; the
+// fan-out, candidate, verification and member counts per op are
+// deterministic for the fixed seed and gate the coordinator's merge +
+// verify overhead across machines the way io_reads/op gates the
+// substrates.
+func BenchmarkCIShardedQueries(b *testing.B) {
+	g, err := graphrnn.GenerateRoadNetwork(2006, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(2007, g.NumNodes()/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh, err := db.Shard(ps, &graphrnn.ShardOptions{Shards: 4, Seed: 2006, HubLabelK: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sh.Close()
+	queries := ps.Points()
+	before := sh.Stats()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, qp := range queries {
+			qnode, _ := ps.NodeOf(qp)
+			q := graphrnn.Query{
+				Kind:   graphrnn.KindRNN,
+				Target: graphrnn.NodeLocation(qnode),
+				K:      2,
+			}
+			if _, err := sh.Run(context.Background(), q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.StopTimer()
+	after := sh.Stats()
+	n := float64(b.N)
+	b.ReportMetric(float64(after.Queries-before.Queries)/n, "queries/op")
+	b.ReportMetric(float64(after.FanOuts-before.FanOuts)/n, "fanout/op")
+	b.ReportMetric(float64(after.Candidates-before.Candidates)/n, "candidates/op")
+	b.ReportMetric(float64(after.VerifyRuns-before.VerifyRuns)/n, "verify_runs/op")
+	b.ReportMetric(float64(after.Members-before.Members)/n, "members/op")
+}
+
 // BenchmarkBudgetedQueries measures the engine layer's overhead and
 // payoff: the tracked eager workload under a per-query node budget (and a
 // generous deadline), reporting how much of the unbounded work budgeted

@@ -19,6 +19,14 @@
 // change:
 //
 //	go run ./cmd/benchci -out BENCH_PR2.json
+//
+// The sharded scatter-gather workload (BenchmarkCIShardedQueries) is gated
+// the same way against its own committed baseline, BENCH_SHARD.json — a
+// second invocation, not a BENCH_PR2 refresh:
+//
+//	go run ./cmd/benchci -bench '^BenchmarkCIShardedQueries$' \
+//	    -workload "$(jq -r .workload BENCH_SHARD.json)" \
+//	    -out bench_shard_current.json -against BENCH_SHARD.json
 package main
 
 import (
@@ -69,6 +77,7 @@ func main() {
 		out       = flag.String("out", "", "write results JSON to this path")
 		against   = flag.String("against", "", "baseline JSON to compare against")
 		threshold = flag.Float64("threshold", 0.25, "maximum tolerated ns/op regression (0.25 = +25%)")
+		workload  = flag.String("workload", workloadNote, "workload note recorded in the JSON document")
 	)
 	flag.Parse()
 
@@ -85,7 +94,7 @@ func main() {
 		baseline = b
 	}
 
-	results, err := run(*bench, *pkg, *benchtime, *count)
+	results, err := run(*bench, *pkg, *benchtime, *count, *workload)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchci: %v\n", err)
 		os.Exit(1)
@@ -134,7 +143,7 @@ func readBaseline(path string) (*File, error) {
 }
 
 // run executes go test -bench and parses the output.
-func run(bench, pkg, benchtime string, count int) (*File, error) {
+func run(bench, pkg, benchtime string, count int, workload string) (*File, error) {
 	args := []string{"test", "-run", "^$", "-bench", bench,
 		"-benchtime", benchtime, "-count", strconv.Itoa(count), pkg}
 	cmd := exec.Command("go", args...)
@@ -143,7 +152,7 @@ func run(bench, pkg, benchtime string, count int) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, outBytes)
 	}
-	results := &File{Schema: 1, Workload: workloadNote}
+	results := &File{Schema: 1, Workload: workload}
 	// With -count > 1 the best (minimum) ns/op per benchmark wins: the
 	// repeats exist to shave scheduler noise off the gate.
 	best := map[string]int{}

@@ -19,6 +19,23 @@
 //	rnnserver [-addr :8080] [-family road|brite|grid] [-nodes N]
 //	          [-density D] [-sites N] [-seed N] [-disk] [-buffer PAGES]
 //	          [-maxk K] [-hublabel K] [-query-timeout D]
+//	          [-shards N [-shard-index i | -shard-peers url1,url2,...]]
+//	          [-shard-halo H]
+//
+// Sharded serving (-shards N) answers /query by scatter-gather: the node
+// set is cut into N balanced regions, one engine and one buffer-pool
+// tenant serve each region's points (plus a replicated halo ring of
+// competitors), and the coordinator merges and re-verifies the per-shard
+// candidates — answers stay bit-identical to unsharded serving. The
+// default runs every shard in this process. For separate shard
+// processes, start N servers with the same -family/-nodes/-seed flags
+// (each process derives the identical graph, point set and partition)
+// plus -shard-index i, and one coordinator with -shard-peers naming
+// their base URLs in shard order; sub-queries travel over POST
+// /shard/query with derived deadlines, and partial results survive
+// per-shard timeouts. -maxk / -hublabel configure per-shard substrates
+// in sharded mode, and the maintenance endpoints are disabled (a local
+// mutation would disagree with peer processes).
 //
 // Endpoints:
 //
@@ -66,6 +83,7 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -103,6 +121,14 @@ type server struct {
 
 	hub      atomic.Pointer[graphrnn.HubLabelIndex]
 	hubBuild sync.Mutex // one build at a time
+
+	// sharded, when non-nil, routes /query through scatter-gather (see
+	// sharded.go in the library and shard_handler.go here); shardIndex >= 0
+	// marks a shard-process role that rejects misrouted /shard/query
+	// sub-queries; shardRole names the mode for logs and /stats.
+	sharded    *graphrnn.Sharded
+	shardIndex int
+	shardRole  string
 }
 
 // queryOptions resolves the per-query deadline of one request: the server
@@ -374,6 +400,10 @@ func (s *server) handleHubBuild(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
 	}
+	if s.sharded != nil {
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("global hub-label builds unavailable in sharded mode: start with -hublabel K to build per-shard indexes"))
+		return
+	}
 	req := hubBuildRequest{MaxK: 4}
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -442,6 +472,10 @@ func (s *server) maintenance(w http.ResponseWriter, r *http.Request, req any,
 	op func(opt *graphrnn.QueryOptions) (graphrnn.PointID, graphrnn.Stats, error)) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
+		return
+	}
+	if s.sharded != nil {
+		s.fail(w, http.StatusServiceUnavailable, fmt.Errorf("maintenance unavailable in sharded mode: every process derives its point set from the startup flags and a local mutation would disagree with its peers"))
 		return
 	}
 	if s.mat == nil {
@@ -565,6 +599,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.sites != nil {
 		stats["sites"] = s.sites.Len()
 	}
+	if s.sharded != nil {
+		stats["shards"] = shardStatsSection(s.shardRole, s.sharded.Stats())
+	}
 	if s.mat != nil {
 		stats["mat"] = map[string]any{
 			"maxk":         s.mat.MaxK(),
@@ -593,9 +630,14 @@ func main() {
 		disk     = flag.Bool("disk", false, "serve the graph disk-backed through the LRU buffer")
 		buffer   = flag.Int("buffer", 256, "LRU buffer capacity in pages (disk-backed only)")
 		sites    = flag.Int("sites", -1, "site set size for bichromatic /query requests (-1 = points/10, 0 disables)")
-		maxK     = flag.Int("maxk", 4, "materialize K-NN lists up to this k for eager-m (0 disables)")
-		hubLabel = flag.Int("hublabel", 0, "build the hub-label index up to this k at startup (0 defers to POST /index/hublabel)")
+		maxK     = flag.Int("maxk", 4, "materialize K-NN lists up to this k for eager-m (0 disables; sharded: per-shard MatK)")
+		hubLabel = flag.Int("hublabel", 0, "build the hub-label index up to this k at startup (0 defers to POST /index/hublabel; sharded: per-shard HubLabelK)")
 		queryTO  = flag.Duration("query-timeout", 0, "per-query deadline; expired queries answer 504 (0 disables)")
+
+		shards     = flag.Int("shards", 0, "serve /query by scatter-gather over N shards (0 = unsharded)")
+		shardIndex = flag.Int("shard-index", -1, "shard-process role: reject /shard/query sub-queries for other shard indexes (-1 serves any)")
+		shardPeers = flag.String("shard-peers", "", "coordinator role: comma-separated shard process base URLs, one per shard, in shard order")
+		shardHalo  = flag.Int("shard-halo", 0, "halo ring depth in hops (0 = default 1, negative disables the halo)")
 	)
 	flag.Parse()
 
@@ -633,7 +675,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &server{db: db, ps: ps, family: *family, started: time.Now(), queryTimeout: *queryTO}
+	srv := &server{db: db, ps: ps, family: *family, started: time.Now(), queryTimeout: *queryTO, shardIndex: -1}
 	nsites := *sites
 	if nsites < 0 {
 		nsites = ps.Len() / 10
@@ -647,21 +689,69 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if *maxK > 0 {
-		srv.mat, err = db.MaterializeNodePoints(ps, *maxK, nil)
-		if err != nil {
-			log.Fatal(err)
-		}
+
+	var peers []string
+	if *shardPeers != "" {
+		peers = strings.Split(*shardPeers, ",")
 	}
-	if *hubLabel > 0 {
+	switch {
+	case *shards == 0 && (*shardIndex >= 0 || len(peers) > 0):
+		fmt.Fprintln(os.Stderr, "-shard-index and -shard-peers require -shards N")
+		os.Exit(2)
+	case *shards > 0 && *shardIndex >= 0 && len(peers) > 0:
+		fmt.Fprintln(os.Stderr, "-shard-index (shard process) and -shard-peers (coordinator) are mutually exclusive")
+		os.Exit(2)
+	case *shards > 0 && len(peers) > 0 && len(peers) != *shards:
+		fmt.Fprintf(os.Stderr, "-shard-peers names %d peers, -shards %d\n", len(peers), *shards)
+		os.Exit(2)
+	case *shards > 0 && *shardIndex >= *shards:
+		fmt.Fprintf(os.Stderr, "-shard-index %d out of range for -shards %d\n", *shardIndex, *shards)
+		os.Exit(2)
+	}
+
+	if *shards > 0 {
+		// Sharded mode: every process derives the same partition (and so
+		// the same global point-id space) from the shared flags; -maxk and
+		// -hublabel configure the per-shard substrates, and the global
+		// materialization endpoints are disabled (mutating one process's
+		// point set would silently disagree with its peers).
+		shOpt := &graphrnn.ShardOptions{
+			Shards: *shards, HaloDepth: *shardHalo, Seed: *seed, Sites: srv.sites,
+			HubLabelK: *hubLabel, MatK: *maxK,
+			DiskBacked: *disk, BufferPages: *buffer,
+		}
+		srv.shardRole = "in-process"
+		if len(peers) > 0 {
+			srv.shardRole = "coordinator"
+			shOpt.Runner = newHTTPShardRunner(peers)
+		} else if *shardIndex >= 0 {
+			srv.shardRole = fmt.Sprintf("shard %d", *shardIndex)
+			srv.shardIndex = *shardIndex
+		}
 		start := time.Now()
-		idx, err := db.BuildHubLabelIndex(ps, *hubLabel, nil)
+		srv.sharded, err = db.Shard(ps, shOpt)
 		if err != nil {
 			log.Fatal(err)
 		}
-		srv.hub.Store(idx)
-		log.Printf("rnnserver: hub-label index built in %v (%d entries, %.1f avg label)",
-			time.Since(start).Round(time.Millisecond), idx.LabelEntries(), idx.AverageLabelSize())
+		log.Printf("rnnserver: sharded serving (%s) over %d shards built in %v",
+			srv.shardRole, *shards, time.Since(start).Round(time.Millisecond))
+	} else {
+		if *maxK > 0 {
+			srv.mat, err = db.MaterializeNodePoints(ps, *maxK, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *hubLabel > 0 {
+			start := time.Now()
+			idx, err := db.BuildHubLabelIndex(ps, *hubLabel, nil)
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv.hub.Store(idx)
+			log.Printf("rnnserver: hub-label index built in %v (%d entries, %.1f avg label)",
+				time.Since(start).Round(time.Millisecond), idx.LabelEntries(), idx.AverageLabelSize())
+		}
 	}
 
 	mux := http.NewServeMux()
@@ -674,6 +764,12 @@ func main() {
 	mux.HandleFunc("/index/hublabel", srv.handleHubBuild)
 	mux.HandleFunc("/healthz", srv.handleHealthz)
 	mux.HandleFunc("/stats", srv.handleStats)
+	if srv.sharded != nil && srv.shardRole != "coordinator" {
+		// Any process with local shard engines can answer sub-queries — a
+		// coordinator (pure, no engines) cannot and does not mount the
+		// endpoint.
+		mux.HandleFunc("/shard/query", srv.handleShardQuery)
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: mux}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

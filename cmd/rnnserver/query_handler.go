@@ -142,12 +142,18 @@ func (r queryRequest) toQuery(s *server, base *graphrnn.QueryOptions) (graphrnn.
 		}
 		q.Algorithm = algo
 	}
-	q.Points = s.ps
+	// A sharded server owns its point sets (the Sharded rejects explicit
+	// Points/Sites); unsharded queries name the server's sets directly.
+	if s.sharded == nil {
+		q.Points = s.ps
+	}
 	if q.Kind == graphrnn.KindBichromatic {
 		if s.sites == nil {
 			return q, fmt.Errorf("bichromatic queries unavailable: server started without a site set (-sites 0)")
 		}
-		q.Sites = s.sites
+		if s.sharded == nil {
+			q.Sites = s.sites
+		}
 	}
 	if r.Timeout != "" {
 		d, err := time.ParseDuration(r.Timeout)
@@ -274,9 +280,18 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		queries[i] = q
 	}
 
+	// The sharded surface mirrors DB.Run/RunBatch, so the only fork is
+	// which engine the queries hit.
+	run := s.db.Run
+	runBatch := s.db.RunBatch
+	if s.sharded != nil {
+		run = s.sharded.Run
+		runBatch = s.sharded.RunBatch
+	}
+
 	if !batch {
 		s.mu.RLock()
-		res, err := s.db.Run(r.Context(), queries[0])
+		res, err := run(r.Context(), queries[0])
 		s.mu.RUnlock()
 		if err != nil {
 			s.failQuery(w, err)
@@ -305,7 +320,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		opt.FailFast = ff
 	}
 	s.mu.RLock()
-	rep, err := s.db.RunBatch(r.Context(), queries, opt)
+	rep, err := runBatch(r.Context(), queries, opt)
 	s.mu.RUnlock()
 	if err != nil {
 		s.fail(w, http.StatusServiceUnavailable, err)

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"math"
+
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+)
+
+// Per-candidate membership checks for scatter-gather serving: a
+// coordinator that merges shard-local candidate sets confirms each
+// candidate with exactly the expansion the brute-force oracle runs for
+// it, so a verified merge is bit-identical to an unsharded answer — same
+// distances, same epsilon bounds, same tie handling.
+
+// VerifyRkNNMember reports whether point p of ps is a member of the
+// monochromatic RkNN(qnode, k) answer over ps. A deleted p is not a
+// member. The expansion is unbounded (oracle semantics).
+func (s *Searcher) VerifyRkNNMember(ps points.NodeView, p points.PointID, qnode graph.NodeID, k int) (bool, Stats, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return false, Stats{}, err
+	}
+	return s.verifyMember(ps, ps, p, true, singleTarget(qnode), k)
+}
+
+// VerifyContinuousMember is the continuous (route) variant of
+// VerifyRkNNMember: p is a member iff some route node is met before k
+// other points strictly closer.
+func (s *Searcher) VerifyContinuousMember(ps points.NodeView, p points.PointID, route []graph.NodeID, k int) (bool, Stats, error) {
+	if err := s.checkRoute(route, k); err != nil {
+		return false, Stats{}, err
+	}
+	return s.verifyMember(ps, ps, p, true, routeTarget(route), k)
+}
+
+// VerifyBichromaticMember reports whether candidate p of cands belongs
+// to the bichromatic bRkNN(qnode, k) answer against the site set.
+func (s *Searcher) VerifyBichromaticMember(cands, sites points.NodeView, p points.PointID, qnode graph.NodeID, k int) (bool, Stats, error) {
+	if err := s.checkQuery(qnode, k); err != nil {
+		return false, Stats{}, err
+	}
+	return s.verifyMember(cands, sites, p, false, singleTarget(qnode), k)
+}
+
+func (s *Searcher) verifyMember(cands, sites points.NodeView, p points.PointID, mono bool, target nodeTarget, k int) (bool, Stats, error) {
+	var st Stats
+	pnode, ok := cands.NodeOf(p)
+	if !ok {
+		return false, st, nil
+	}
+	self := points.NoPoint
+	if mono {
+		self = p
+	}
+	member, err := s.verify(&st, sites, self, pnode, target, k, math.Inf(1))
+	return member, st, err
+}

@@ -10,8 +10,8 @@ func tinyScale() Scale { return Scale{Queries: 3, Seed: 99} }
 
 func TestAllExperimentsRegistered(t *testing.T) {
 	all := All()
-	if len(all) != 15 {
-		t.Fatalf("registered %d experiments, want 15 (2 tables + 10 figures + hub substrate + budget + planner)", len(all))
+	if len(all) != 16 {
+		t.Fatalf("registered %d experiments, want 16 (2 tables + 10 figures + hub substrate + budget + planner + shard)", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {

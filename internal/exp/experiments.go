@@ -35,6 +35,7 @@ func All() []Experiment {
 		{"hub", "Hub-label substrate vs |V| (road-like restricted, D=0.01, k=1)", HubSubstrate},
 		{"budget", "Budgeted queries: degradation under per-query node budgets (road-like, D=0.01, k=2)", Budgeted},
 		{"plan", "Planner auto-selection vs eager across attachment states (road-like, D=0.01, k=2)", Planner},
+		{"shard", "Sharded scatter-gather vs unsharded engine across shard counts (road-like, D=0.01, k=2)", ShardedServing},
 	}
 }
 

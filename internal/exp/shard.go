@@ -1,0 +1,111 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"time"
+
+	"graphrnn"
+)
+
+// shardCols are the two columns of the sharding experiment: the
+// scatter-gather coordinator and the unsharded engine it must match.
+var shardCols = []Algo{"sharded", "global"}
+
+// ShardedServing measures the scatter-gather coordinator against the
+// unsharded engine through the public Run surface, beyond the paper: one
+// road-like restricted workload (D=0.01, k=2) re-queried at increasing
+// shard counts. Per-shard hub labels answer the shard-local sweeps, the
+// coordinator re-verifies every merged candidate, so the sharded column
+// pays fan-out plus verification on top of smaller per-shard searches; the
+// row label reports the measured fan-out and the partition's cut size. The
+// experiment is self-checking: any row where the merged answer differs
+// from the global engine's fails instead of reporting numbers.
+func ShardedServing(s Scale) (*Table, error) {
+	n := s.pick(20000, 175000)
+	counts := []int{1, 2, 4, 8}
+	t := &Table{
+		ID:      "Shard",
+		Title:   fmt.Sprintf("sharded scatter-gather vs unsharded engine, road-like restricted |V|=%d, D=0.01, k=2", n),
+		XLabel:  "shards",
+		Columns: shardCols,
+	}
+	g, err := graphrnn.GenerateRoadNetwork(s.seed(), n)
+	if err != nil {
+		return nil, err
+	}
+	db, err := graphrnn.Open(g, &graphrnn.Options{DiskBacked: true, BufferPages: s.bufferPages()})
+	if err != nil {
+		return nil, err
+	}
+	ps, err := db.PlaceRandomNodePoints(s.seed()+51, max(2, int(0.01*float64(g.NumNodes()))))
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(s.seed() + 52))
+	pts := ps.Points()
+	queries := make([]graphrnn.PointID, s.queries())
+	for i := range queries {
+		queries[i] = pts[rng.Intn(len(pts))]
+	}
+
+	for _, c := range counts {
+		sh, err := db.Shard(ps, &graphrnn.ShardOptions{Shards: c, Seed: s.seed(), HubLabelK: 2})
+		if err != nil {
+			return nil, err
+		}
+		var sm, gm Measure
+		for _, qp := range queries {
+			qnode, ok := ps.NodeOf(qp)
+			if !ok {
+				continue // not in this environment's point set
+			}
+			q := graphrnn.Query{Kind: graphrnn.KindRNN, Target: graphrnn.NodeLocation(qnode), K: 2}
+			before := db.PoolStats().Reads
+			t0 := time.Now()
+			sres, err := sh.Run(context.Background(), q)
+			if err != nil {
+				sh.Close()
+				return nil, err
+			}
+			sm.CPU += time.Since(t0).Seconds()
+			sm.IO += float64(db.PoolStats().Reads - before)
+			sm.Results += float64(len(sres.Points))
+
+			gq := q
+			gq.Points = ps
+			before = db.PoolStats().Reads
+			t0 = time.Now()
+			gres, err := db.Run(context.Background(), gq)
+			if err != nil {
+				sh.Close()
+				return nil, err
+			}
+			gm.CPU += time.Since(t0).Seconds()
+			gm.IO += float64(db.PoolStats().Reads - before)
+			gm.Results += float64(len(gres.Points))
+
+			if !reflect.DeepEqual(sres.Points, gres.Points) {
+				sh.Close()
+				return nil, fmt.Errorf("exp: %d shards disagree with the global engine at point %d: sharded %v, global %v",
+					c, qp, sres.Points, gres.Points)
+			}
+		}
+		nq := float64(len(queries))
+		sm.CPU /= nq
+		sm.IO /= nq
+		sm.Results /= nq
+		gm.CPU /= nq
+		gm.IO /= nq
+		gm.Results /= nq
+		st := sh.Stats()
+		if err := sh.Close(); err != nil {
+			return nil, err
+		}
+		t.Xs = append(t.Xs, fmt.Sprintf("%d (fan %.1f, cut %d)", c, float64(st.FanOuts)/float64(st.Queries), st.CutEdges))
+		t.Cells = append(t.Cells, []Measure{sm, gm})
+	}
+	return t, nil
+}

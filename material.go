@@ -84,9 +84,17 @@ type MatOptions struct {
 	// buffer pool (default 64). On a DB-owned pool the capacity grows by
 	// this amount, matching the former dedicated list buffer.
 	BufferPages int
-	// Durability of file-backed maintenance (OpenMaterialization only);
-	// default DurabilityWriteOrder.
+	// Durability of file-backed maintenance (OpenMaterialization and
+	// Path-persisted builds); default DurabilityWriteOrder.
 	Durability Durability
+	// Path stores the built lists on disk at this location, matching the
+	// hub-label option of the same name: the all-NN build runs in memory,
+	// the result is persisted to path, and the returned materialization
+	// serves from the file with journaled, durable maintenance — exactly
+	// as if it had been saved with SaveTo and reopened with
+	// OpenMaterialization, except it keeps tracking the point set the
+	// build was given. Empty keeps the lists in a memory-backed file.
+	Path string
 }
 
 func (o *MatOptions) defaults() (int, int) {
@@ -115,6 +123,14 @@ func (db *DB) MaterializeNodePoints(ps *NodePoints, maxK int, opt *MatOptions) (
 		return nil, err
 	}
 	mat := &Materialization{db: db, m: m, node: ps}
+	if opt != nil && opt.Path != "" {
+		persisted, err := mat.persistBuild(opt)
+		if err != nil {
+			return nil, err
+		}
+		persisted.node = ps
+		return persisted, nil
+	}
 	db.AttachMaterialization(mat)
 	return mat, nil
 }
@@ -131,8 +147,33 @@ func (db *DB) MaterializeEdgePoints(ps *EdgePoints, maxK int, opt *MatOptions) (
 		return nil, err
 	}
 	mat := &Materialization{db: db, m: m, edge: ps}
+	if opt != nil && opt.Path != "" {
+		persisted, err := mat.persistBuild(opt)
+		if err != nil {
+			return nil, err
+		}
+		persisted.edge = ps
+		return persisted, nil
+	}
 	db.AttachMaterialization(mat)
 	return mat, nil
+}
+
+// persistBuild converts a freshly built in-memory materialization into
+// the file-backed form MatOptions.Path asks for: snapshot to the path,
+// detach the memory copy, and reopen through the journaled restart path.
+// The caller rebinds the tracked point set (the reopen reconstructs an
+// identical copy from the file; the build's own set is the one the caller
+// holds and mutates).
+func (m *Materialization) persistBuild(opt *MatOptions) (*Materialization, error) {
+	if err := m.SaveTo(opt.Path); err != nil {
+		_ = m.m.Buffer().Detach()
+		return nil, err
+	}
+	if err := m.m.Buffer().Detach(); err != nil {
+		return nil, err
+	}
+	return m.db.OpenMaterialization(opt.Path, opt)
 }
 
 // materialize packs the lists into a fresh memory page file attached to

@@ -1,0 +1,677 @@
+package graphrnn
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphrnn/internal/core"
+	"graphrnn/internal/exec"
+	"graphrnn/internal/graph"
+	"graphrnn/internal/points"
+	"graphrnn/internal/shard"
+)
+
+// This file is the scatter-gather serving layer: one DB per shard over a
+// region of an edge-cut node partition, a coordinator that fans a Query
+// out with per-shard deadlines and merges the confirmed members. The
+// paper's RkNN algorithms confirm each member by a local expansion around
+// the member itself, so results union cleanly across a partition of the
+// point set — the property this layer exploits.
+//
+// # Exactness
+//
+// Every shard serves the full (immutable) topology but only a subset of
+// the points: the points on nodes of its region, plus replicas of the
+// points on the halo ring just outside it. Removing competitors never
+// removes members — a point confirmed against the full point set is
+// confirmed a fortiori against a subset, at identical (exact) shortest
+// path distances — so the union of shard-local answers over owned points
+// is a superset of the true answer. The halo shrinks that superset
+// cheaply near region borders; the coordinator then confirms every
+// merged candidate with the same per-candidate expansion the brute-force
+// oracle runs, against the full point set. Verified scatter-gather
+// answers are therefore bit-identical to unsharded ones: same distances,
+// same epsilon bounds, same tie handling — no member is lost at cut
+// edges, and no false candidate survives.
+//
+// KindBichromatic partitions the candidate set and replicates the
+// (typically small) site set to every shard; KindKNN is answered by the
+// coordinator's global engine — a forward distance search does not
+// decompose over owned-point unions without a distance merge.
+
+// ShardRunner executes one shard's sub-query. The in-process mode uses
+// the Sharded value's own engines; a serving front end can provide a
+// remote runner (e.g. POST /shard/query) so shards run as separate
+// processes behind the same coordinator. Candidates must be global point
+// ids; the coordinator re-verifies every candidate, so a runner that
+// returns garbage degrades performance, not correctness.
+type ShardRunner interface {
+	RunShard(ctx context.Context, shard int, q Query) (*ShardResult, error)
+}
+
+// ShardResult is one shard's contribution to a scatter-gather query: the
+// shard-locally confirmed members among the points the shard owns, as
+// global point ids in ascending order, plus the work performed.
+type ShardResult struct {
+	Candidates []PointID
+	Stats      Stats
+}
+
+// ShardOptions configures DB.Shard.
+type ShardOptions struct {
+	// Shards is the number of regions (>= 1).
+	Shards int
+	// HaloDepth is the width, in hops, of the replicated frontier ring
+	// around each region: points on foreign nodes within HaloDepth hops
+	// serve as local competitors, shrinking the candidate supersets the
+	// coordinator must verify. 0 defaults to 1; negative disables the
+	// halo entirely (still exact — the verify pass carries correctness
+	// alone, at more verification work).
+	HaloDepth int
+	// Seed drives the deterministic partitioner: identical
+	// (graph, Shards, HaloDepth, Seed) tuples produce identical
+	// partitions in every process.
+	Seed int64
+	// Sites is the bichromatic site set, replicated to every shard.
+	// Queries of KindBichromatic require it.
+	Sites *NodePoints
+	// HubLabelK, when positive, builds a per-shard hub-label index
+	// (maxK = HubLabelK) over each shard's point set; the per-shard
+	// planner then serves compatible sub-queries from it.
+	HubLabelK int
+	// MatK, when positive, materializes per-shard K-NN lists (maxK =
+	// MatK) for the eager-M substrate.
+	MatK int
+	// DiskBacked serves each shard's adjacency from its own paged file,
+	// attached to the parent DB's buffer pool as one tenant per shard.
+	// Default shares the parent's in-memory topology (zero copy).
+	DiskBacked bool
+	// BufferPages is the per-shard tenant quota when DiskBacked.
+	BufferPages int
+	// Runner, when non-nil, makes the Sharded a pure coordinator: no
+	// local shard engines are built and every sub-query goes through the
+	// runner. The partition (and so the global point-id space) is still
+	// computed locally, which is how separate shard processes agree with
+	// the coordinator without exchanging state.
+	Runner ShardRunner
+}
+
+func (o *ShardOptions) haloDepth() int {
+	switch {
+	case o.HaloDepth < 0:
+		return 0
+	case o.HaloDepth == 0:
+		return 1
+	default:
+		return o.HaloDepth
+	}
+}
+
+// shardHandle is one in-process shard: its own engine (and so its own
+// planner and substrates) over the shared topology, serving the shard's
+// owned points plus halo replicas.
+type shardHandle struct {
+	db    *DB
+	ps    *NodePoints
+	sites *NodePoints
+	// toGlobal maps a local point id to its global id; owned reports
+	// whether the local point is owned (halo replicas are competitors
+	// only and never proposed as candidates).
+	toGlobal []PointID
+	owned    []bool
+	hub      *HubLabelIndex
+	mat      *Materialization
+}
+
+// shardCounters hold one shard's serving counters (atomic: RunBatch fans
+// queries out over a worker pool).
+type shardCounters struct {
+	queries    atomic.Int64
+	errors     atomic.Int64
+	candidates atomic.Int64
+	latencyNS  atomic.Int64
+}
+
+// Sharded executes queries by scatter-gather over a partition of the
+// point set. Build one with DB.Shard; it is safe for concurrent use
+// (queries only — the underlying point sets must be quiescent, as with
+// every query surface of the package).
+type Sharded struct {
+	db     *DB
+	ps     *NodePoints
+	sites  *NodePoints
+	part   *shard.Partition
+	runner ShardRunner
+	// handles are the in-process shard engines; nil in pure-coordinator
+	// mode (Runner set).
+	handles []*shardHandle
+	// ownedPoints / haloPoints are the static per-shard point counts.
+	ownedPoints []int
+	haloPoints  []int
+
+	queries        atomic.Int64
+	globalRuns     atomic.Int64
+	fanOuts        atomic.Int64
+	candidates     atomic.Int64
+	verifyRuns     atomic.Int64
+	verifyRejected atomic.Int64
+	members        atomic.Int64
+	shardErrors    atomic.Int64
+	perShard       []shardCounters
+}
+
+// Shard partitions ps for scatter-gather serving: the graph's node set is
+// cut into opt.Shards balanced regions, each shard gets an engine over
+// the shared topology serving the region's points plus a halo ring of
+// replicated competitors, and the returned Sharded coordinates queries
+// across them (Run / RunBatch). With opt.Runner set no local engines are
+// built; sub-queries go through the runner instead (see ShardRunner).
+func (db *DB) Shard(ps *NodePoints, opt *ShardOptions) (*Sharded, error) {
+	if opt == nil || opt.Shards < 1 {
+		return nil, fmt.Errorf("graphrnn: ShardOptions.Shards must be >= 1")
+	}
+	if ps == nil || ps.db != db {
+		return nil, fmt.Errorf("graphrnn: Shard needs a point set of this DB")
+	}
+	if opt.Sites != nil && opt.Sites.db != db {
+		return nil, fmt.Errorf("graphrnn: ShardOptions.Sites belongs to a different DB")
+	}
+	part, err := shard.Cut(db.graph.g, opt.Shards, opt.haloDepth(), opt.Seed)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{
+		db: db, ps: ps, sites: opt.Sites, part: part, runner: opt.Runner,
+		ownedPoints: make([]int, opt.Shards),
+		haloPoints:  make([]int, opt.Shards),
+		perShard:    make([]shardCounters, opt.Shards),
+	}
+	for _, p := range ps.Points() {
+		n, ok := ps.NodeOf(p)
+		if !ok {
+			continue
+		}
+		s.ownedPoints[part.ShardOf(graph.NodeID(n))]++
+	}
+	for sh := range opt.Shards {
+		for _, hn := range part.Halo[sh] {
+			if _, ok := ps.PointAt(NodeID(hn)); ok {
+				s.haloPoints[sh]++
+			}
+		}
+	}
+	if opt.Runner != nil {
+		return s, nil
+	}
+	if err := s.buildHandles(opt); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// buildHandles creates the in-process shard engines and their point
+// sets: owned points first (ascending global id), then halo replicas
+// (ascending node id) — a deterministic local-id layout every process
+// reproduces from the same inputs.
+func (s *Sharded) buildHandles(opt *ShardOptions) error {
+	s.handles = make([]*shardHandle, s.part.Shards)
+	for sh := range s.part.Shards {
+		shOpt := &Options{}
+		if opt.DiskBacked {
+			shOpt = &Options{DiskBacked: true, BufferPages: opt.BufferPages, Pool: s.db.pool}
+		}
+		shDB, err := Open(s.db.graph, shOpt)
+		if err != nil {
+			return err
+		}
+		h := &shardHandle{db: shDB, ps: shDB.NewNodePoints()}
+		for _, gp := range s.ps.Points() {
+			n, ok := s.ps.NodeOf(gp)
+			if !ok || s.part.ShardOf(graph.NodeID(n)) != sh {
+				continue
+			}
+			if _, err := h.ps.Place(n); err != nil {
+				return err
+			}
+			h.toGlobal = append(h.toGlobal, gp)
+			h.owned = append(h.owned, true)
+		}
+		for _, hn := range s.part.Halo[sh] {
+			gp, ok := s.ps.PointAt(NodeID(hn))
+			if !ok {
+				continue
+			}
+			if _, err := h.ps.Place(NodeID(hn)); err != nil {
+				return err
+			}
+			h.toGlobal = append(h.toGlobal, gp)
+			h.owned = append(h.owned, false)
+		}
+		if s.sites != nil {
+			h.sites = shDB.NewNodePoints()
+			for _, sp := range s.sites.Points() {
+				n, ok := s.sites.NodeOf(sp)
+				if !ok {
+					continue
+				}
+				if _, err := h.sites.Place(n); err != nil {
+					return err
+				}
+			}
+		}
+		if opt.HubLabelK > 0 {
+			hub, err := shDB.BuildHubLabelIndex(h.ps, opt.HubLabelK, nil)
+			if err != nil {
+				return err
+			}
+			h.hub = hub
+		}
+		if opt.MatK > 0 {
+			mat, err := shDB.MaterializeNodePoints(h.ps, opt.MatK, nil)
+			if err != nil {
+				return err
+			}
+			h.mat = mat
+		}
+		s.handles[sh] = h
+	}
+	return nil
+}
+
+// Close releases the per-shard substrates (hub-label indexes,
+// materializations, disk-backed tenants). The Sharded must be quiescent.
+func (s *Sharded) Close() error {
+	var first error
+	for _, h := range s.handles {
+		if h == nil {
+			continue
+		}
+		if h.hub != nil {
+			if err := h.hub.Close(); first == nil {
+				first = err
+			}
+		}
+		if h.mat != nil {
+			if err := h.mat.Close(); first == nil {
+				first = err
+			}
+		}
+		if h.db.disk != nil {
+			if err := h.db.disk.Buffer().Detach(); first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return s.part.Shards }
+
+// ShardOf returns the shard owning node n.
+func (s *Sharded) ShardOf(n NodeID) int {
+	return s.part.ShardOf(graph.NodeID(n))
+}
+
+// shardTimeout derives a shard sub-query deadline from the parent
+// budget: the parent reserves a slice (a tenth, at most 50 ms) for the
+// merge and the verify pass. A parent timeout too small to split
+// propagates unchanged, so microscopic deadlines keep failing with the
+// typed upfront rejection instead of silently turning unbounded.
+func shardTimeout(parent time.Duration) time.Duration {
+	if parent <= 0 {
+		return 0
+	}
+	reserve := parent / 10
+	if reserve > 50*time.Millisecond {
+		reserve = 50 * time.Millisecond
+	}
+	if d := parent - reserve; d > 0 {
+		return d
+	}
+	return parent
+}
+
+// shardQuery derives the per-shard sub-query: same kind, target, depth
+// and algorithm preference; the deadline shrinks by the coordinator's
+// reserve, the work budget applies per shard (documented on Run).
+func shardQuery(q Query) Query {
+	sq := Query{
+		Kind: q.Kind, Target: q.Target, Route: q.Route, K: q.K,
+		Algorithm: q.Algorithm, Strict: q.Strict,
+		QueryOptions: q.QueryOptions,
+	}
+	sq.Timeout = shardTimeout(q.Timeout)
+	return sq
+}
+
+// RunShard executes shard sh's slice of q on this process's engines:
+// Points (and Sites) resolve to the shard's own sets, and the answer is
+// the shard-locally confirmed members among the points the shard owns,
+// as global ids. It is the execution half a shard process serves behind
+// /shard/query; q's QueryOptions are applied as given (the coordinator
+// already derived them). Partial candidates ride along with typed
+// execution errors, per the engine contract.
+func (s *Sharded) RunShard(ctx context.Context, sh int, q Query) (*ShardResult, error) {
+	if sh < 0 || sh >= s.part.Shards {
+		return nil, fmt.Errorf("graphrnn: shard %d out of range [0,%d)", sh, s.part.Shards)
+	}
+	if s.handles == nil {
+		return nil, fmt.Errorf("graphrnn: pure coordinator (ShardOptions.Runner set) has no local shard engines")
+	}
+	if q.Points != nil || q.Sites != nil {
+		return nil, fmt.Errorf("graphrnn: sharded queries name no Points/Sites; the Sharded owns its point sets")
+	}
+	switch q.Kind {
+	case KindRNN, KindContinuous:
+	case KindBichromatic:
+		if s.sites == nil {
+			return nil, fmt.Errorf("graphrnn: KindBichromatic needs ShardOptions.Sites")
+		}
+	default:
+		return nil, fmt.Errorf("graphrnn: kind %v is served by the coordinator's global engine, not per shard", q.Kind)
+	}
+	h := s.handles[sh]
+	lq := q
+	lq.Points = h.ps
+	if q.Kind == KindBichromatic {
+		lq.Sites = h.sites
+	}
+	res, err := h.db.Run(ctx, lq)
+	if res == nil {
+		return nil, err
+	}
+	sr := &ShardResult{Stats: res.Stats}
+	for _, lp := range res.Points {
+		if int(lp) < len(h.owned) && h.owned[lp] {
+			sr.Candidates = append(sr.Candidates, h.toGlobal[lp])
+		}
+	}
+	return sr, err
+}
+
+// runOneShard dispatches to the runner or the local engines and keeps
+// the per-shard serving counters.
+func (s *Sharded) runOneShard(ctx context.Context, sh int, q Query) (*ShardResult, error) {
+	start := time.Now()
+	var sr *ShardResult
+	var err error
+	if s.runner != nil {
+		sr, err = s.runner.RunShard(ctx, sh, q)
+	} else {
+		sr, err = s.RunShard(ctx, sh, q)
+	}
+	c := &s.perShard[sh]
+	c.queries.Add(1)
+	c.latencyNS.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		c.errors.Add(1)
+		s.shardErrors.Add(1)
+	}
+	if sr != nil {
+		c.candidates.Add(int64(len(sr.Candidates)))
+	}
+	return sr, err
+}
+
+// Run executes one query by scatter-gather: one sub-query per shard with
+// a derived deadline, a merge of the per-shard candidate sets, and an
+// exact verification of every candidate on the coordinator's global
+// engine. The answer equals the unsharded DB.Run answer over the same
+// point set. Points and Sites must be nil (the Sharded owns them);
+// Algorithm hints pass through to every shard's planner. q.Budget, when
+// set, applies to each shard sub-query individually (and again to the
+// verify pass), not to the aggregate.
+//
+// KindKNN runs on the coordinator's global engine. Typed execution
+// errors follow the engine contract: shards cut short contribute their
+// partial candidates, the verified merge rides along with the first
+// shard's typed error.
+func (s *Sharded) Run(ctx context.Context, q Query) (*Result, error) {
+	if q.Points != nil || q.Sites != nil {
+		return nil, fmt.Errorf("graphrnn: sharded queries name no Points/Sites; the Sharded owns its point sets")
+	}
+	if q.Kind == KindKNN {
+		s.globalRuns.Add(1)
+		gq := q
+		gq.Points = s.ps
+		return s.db.Run(ctx, gq)
+	}
+	if q.Kind == KindBichromatic && s.sites == nil {
+		return nil, fmt.Errorf("graphrnn: KindBichromatic needs ShardOptions.Sites")
+	}
+	// The coordinator's own execution context carries the parent
+	// deadline and rejects an already-expired one upfront, before any
+	// fan-out.
+	ec, cancel, err := s.db.newExec(ctx, &q.QueryOptions)
+	if err != nil {
+		return nil, err
+	}
+	defer cancel()
+	s.queries.Add(1)
+	s.fanOuts.Add(int64(s.part.Shards))
+
+	sq := shardQuery(q)
+	results := make([]*ShardResult, s.part.Shards)
+	errs := make([]error, s.part.Shards)
+	var wg sync.WaitGroup
+	for sh := range s.part.Shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[sh], errs[sh] = s.runOneShard(ctx, sh, sq)
+		}()
+	}
+	wg.Wait()
+
+	var execErr error
+	lists := make([][]PointID, 0, s.part.Shards)
+	var gathered Stats
+	for sh := range s.part.Shards {
+		if sr := results[sh]; sr != nil {
+			lists = append(lists, sr.Candidates)
+			gathered.add(sr.Stats)
+		}
+		if err := errs[sh]; err != nil {
+			if !IsExecErr(err) {
+				return nil, fmt.Errorf("graphrnn: shard %d: %w", sh, err)
+			}
+			if execErr == nil {
+				execErr = fmt.Errorf("graphrnn: shard %d: %w", sh, err)
+			}
+		}
+	}
+	cands := mergeCandidates(lists)
+	s.candidates.Add(int64(len(cands)))
+
+	res, verr := s.verifyCandidates(ec, q, cands)
+	res.Stats.add(gathered)
+	res.Plan = Plan{
+		Kind:      q.Kind,
+		Algorithm: q.Algorithm,
+		Reason: fmt.Sprintf("scatter-gather over %d shards; %d candidates verified on the coordinator",
+			s.part.Shards, len(cands)),
+	}
+	s.members.Add(int64(len(res.Points)))
+	if verr != nil {
+		return res, verr
+	}
+	return res, execErr
+}
+
+// RunBatch fans a slice of queries out over a worker pool, each entry
+// executed as if through Run (so each entry scatters to every shard).
+// Semantics mirror DB.RunBatch: per-entry results in input order,
+// FailFast, PerQuery bounds, context-aware dispatch.
+func (s *Sharded) RunBatch(ctx context.Context, queries []Query, opt *BatchOptions) (*BatchReport, error) {
+	start := time.Now()
+	out := make([]BatchResult, len(queries))
+	workers := runBatch(ctx, len(queries), opt.workers(len(queries)), opt.failFast(), out, func(ctx context.Context, i int) {
+		q := queries[i]
+		if pq := opt.perQuery(); pq != nil && q.QueryOptions == (QueryOptions{}) {
+			q.QueryOptions = *pq
+		}
+		out[i].Result, out[i].Err = s.Run(ctx, q)
+	})
+	rep := &BatchReport{Results: out, Workers: workers, Wall: time.Since(start)}
+	for _, r := range out {
+		if r.Err != nil {
+			rep.Failed++
+		} else {
+			rep.Succeeded++
+		}
+		if r.Result != nil {
+			rep.Work.add(r.Result.Stats)
+		}
+	}
+	return rep, nil
+}
+
+// mergeCandidates unions per-shard candidate lists into one ascending,
+// duplicate-free list. Inputs need not be sorted or valid — the verify
+// pass re-checks every id — so the merge is safe on adversarial remote
+// responses.
+func mergeCandidates(lists [][]PointID) []PointID {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]PointID, 0, n)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	dedup := out[:1]
+	for _, p := range out[1:] {
+		if p != dedup[len(dedup)-1] {
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup
+}
+
+// verifyCandidates confirms each merged candidate with the exact
+// per-candidate expansion of the brute-force oracle, against the full
+// point set — the cross-shard verify pass that makes scatter-gather
+// answers identical to unsharded ones. Ids that name no live point are
+// rejected (a shard — or an adversarial remote — proposed garbage).
+// Typed execution errors return the members verified so far.
+func (s *Sharded) verifyCandidates(ec *exec.Ctx, q Query, cands []PointID) (*Result, error) {
+	bs := s.db.searcher.Bound(ec)
+	// Points is non-nil even when empty, matching wrapResult's shape on
+	// the unsharded surface.
+	res := &Result{Points: []PointID{}}
+	qnode := graph.NodeID(q.Target.U)
+	route := toNodeIDs(q.Route)
+	for _, p := range cands {
+		var member bool
+		var st core.Stats
+		var err error
+		switch q.Kind {
+		case KindContinuous:
+			member, st, err = bs.VerifyContinuousMember(s.ps.s, points.PointID(p), route, q.K)
+		case KindBichromatic:
+			member, st, err = bs.VerifyBichromaticMember(s.ps.s, s.sites.s, points.PointID(p), qnode, q.K)
+		default: // KindRNN
+			member, st, err = bs.VerifyRkNNMember(s.ps.s, points.PointID(p), qnode, q.K)
+		}
+		s.verifyRuns.Add(1)
+		res.Stats.add(statsOf(st))
+		if err != nil {
+			if IsExecErr(err) {
+				return res, err
+			}
+			return nil, err
+		}
+		if member {
+			res.Points = append(res.Points, p)
+		} else {
+			s.verifyRejected.Add(1)
+		}
+	}
+	return res, nil
+}
+
+// ShardStats is one shard's static shape and serving counters.
+type ShardStats struct {
+	// Shard is the shard index.
+	Shard int
+	// OwnedNodes is the region size in nodes; OwnedPoints / HaloPoints
+	// count the points served (owned, and replicated halo competitors).
+	OwnedNodes  int
+	OwnedPoints int
+	HaloPoints  int
+	// Queries / Errors / Candidates count sub-queries dispatched to this
+	// shard, their failures, and the candidates they proposed.
+	Queries    int64
+	Errors     int64
+	Candidates int64
+	// Latency is the cumulative wall time of this shard's sub-queries.
+	Latency time.Duration
+}
+
+// ShardedStats is a snapshot of the coordinator's serving counters.
+type ShardedStats struct {
+	// Shards / HaloDepth / CutEdges describe the partition.
+	Shards    int
+	HaloDepth int
+	CutEdges  int
+	// Queries counts scatter-gather queries; GlobalRuns counts queries
+	// the coordinator's global engine served instead (KindKNN); FanOuts
+	// counts shard sub-queries issued.
+	Queries    int64
+	GlobalRuns int64
+	FanOuts    int64
+	// Candidates counts merged candidates; VerifyRuns / VerifyRejected
+	// count coordinator verifications and the candidates they rejected
+	// (halo misses — a shard proposed a point the full competitor set
+	// disqualifies); Members counts confirmed members returned.
+	Candidates     int64
+	VerifyRuns     int64
+	VerifyRejected int64
+	Members        int64
+	// ShardErrors counts failed shard sub-queries.
+	ShardErrors int64
+	// PerShard holds one entry per shard.
+	PerShard []ShardStats
+}
+
+// Stats snapshots the serving counters. Safe under live traffic.
+func (s *Sharded) Stats() ShardedStats {
+	st := ShardedStats{
+		Shards:         s.part.Shards,
+		HaloDepth:      s.part.HaloDepth,
+		CutEdges:       s.part.CutEdges,
+		Queries:        s.queries.Load(),
+		GlobalRuns:     s.globalRuns.Load(),
+		FanOuts:        s.fanOuts.Load(),
+		Candidates:     s.candidates.Load(),
+		VerifyRuns:     s.verifyRuns.Load(),
+		VerifyRejected: s.verifyRejected.Load(),
+		Members:        s.members.Load(),
+		ShardErrors:    s.shardErrors.Load(),
+		PerShard:       make([]ShardStats, s.part.Shards),
+	}
+	for sh := range s.part.Shards {
+		c := &s.perShard[sh]
+		st.PerShard[sh] = ShardStats{
+			Shard:       sh,
+			OwnedNodes:  s.part.Sizes[sh],
+			OwnedPoints: s.ownedPoints[sh],
+			HaloPoints:  s.haloPoints[sh],
+			Queries:     c.queries.Load(),
+			Errors:      c.errors.Load(),
+			Candidates:  c.candidates.Load(),
+			Latency:     time.Duration(c.latencyNS.Load()),
+		}
+	}
+	return st
+}
