@@ -364,6 +364,76 @@ func BenchmarkHubLabelBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkHubLabelBuildParallel is the tracked counterpart of
+// BenchmarkHubLabelBuild for the batched build: the same 20K-node road
+// network constructed with every core and delta-compressed labels.
+// BENCH_BUILD.json is the committed baseline; wall time gates the
+// parallel speedup staying real, while the label byte and entry counters
+// are machine-independent (the batched build is bit-identical to the
+// sequential one, so the entry count can never drift without a gate
+// failure).
+func BenchmarkHubLabelBuildParallel(b *testing.B) {
+	g, err := graphrnn.GenerateRoadNetwork(2006, 20000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(2007, g.NumNodes()/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := &graphrnn.HubLabelOptions{Build: graphrnn.BuildOptions{Workers: -1, Compression: true}}
+	var idx *graphrnn.HubLabelIndex
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if idx, err = db.BuildHubLabelIndex(ps, 4, opt); err != nil {
+			b.Fatal(err)
+		}
+		if idx.LabelEntries() == 0 {
+			b.Fatal("empty labeling")
+		}
+	}
+	b.StopTimer()
+	stored, raw := idx.LabelBytes()
+	b.ReportMetric(float64(stored), "label_bytes/op")
+	b.ReportMetric(float64(raw), "raw_label_bytes/op")
+	b.ReportMetric(float64(idx.LabelEntries()), "label_entries/op")
+}
+
+// BenchmarkHubLabelBuild100K is the nightly build smoke: a 100K-node road
+// network through the parallel compressed path. Not part of the per-PR
+// gate (minutes, not milliseconds); the nightly workflow runs it at
+// -benchtime=1x to catch scaling regressions and allocator blowups that a
+// 20K graph hides.
+func BenchmarkHubLabelBuild100K(b *testing.B) {
+	g, err := graphrnn.GenerateRoadNetwork(2016, 100000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(2017, g.NumNodes()/100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := &graphrnn.HubLabelOptions{Build: graphrnn.BuildOptions{Workers: -1, Compression: true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx, err := db.BuildHubLabelIndex(ps, 4, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if idx.LabelEntries() == 0 {
+			b.Fatal("empty labeling")
+		}
+	}
+}
+
 // Parallel variants: identical workload fanned out over GOMAXPROCS
 // goroutines with b.RunParallel, tracking throughput scaling of the
 // concurrent query path. Memory-backed so the numbers isolate CPU-side

@@ -18,9 +18,17 @@
 //
 //	rnnserver [-addr :8080] [-family road|brite|grid] [-nodes N]
 //	          [-density D] [-sites N] [-seed N] [-disk] [-buffer PAGES]
-//	          [-maxk K] [-hublabel K] [-query-timeout D]
+//	          [-maxk K] [-hublabel K] [-build-workers N] [-label-compress]
+//	          [-query-timeout D]
 //	          [-shards N [-shard-index i | -shard-peers url1,url2,...]]
 //	          [-shard-halo H]
+//
+// Hub-label builds run the pruned-landmark sweeps across -build-workers
+// goroutines (default all cores; the labels are bit-identical at any
+// worker count) and -label-compress serves the labels delta+varint
+// encoded through the paged store, cutting label bytes in memory and on
+// disk. Both apply to the startup build, POST /index/hublabel, and the
+// per-shard builds in sharded mode.
 //
 // Sharded serving (-shards N) answers /query by scatter-gather: the node
 // set is cut into N balanced regions, one engine and one buffer-pool
@@ -57,8 +65,12 @@
 //	                  partially applied, so the endpoints are safe under
 //	                  per-request deadlines. Maintenance takes the write
 //	                  half of a server RW-lock; queries take the read half.
-//	                  A successful mutation drops the (now stale) hub-label
-//	                  index; rebuild it with POST /index/hublabel.
+//	                  A successful mutation repairs the attached hub-label
+//	                  index in place (point-level insert/delete on its
+//	                  reverse lists); only if that repair fails is the
+//	                  index dropped, and then it is rebuilt outside the
+//	                  write lock and republished under the read half, so
+//	                  queries are never blocked behind a rebuild.
 //	POST /index/hublabel   {"maxk":K}   build/replace the hub-label index
 //	GET  /healthz
 //	GET  /stats            shared buffer pool (per-tenant) + planner decisions
@@ -121,6 +133,13 @@ type server struct {
 
 	hub      atomic.Pointer[graphrnn.HubLabelIndex]
 	hubBuild sync.Mutex // one build at a time
+	// buildOpts configure every hub-label construction (startup,
+	// POST /index/hublabel, repair-failure rebuilds, per-shard builds).
+	buildOpts graphrnn.BuildOptions
+	// hub-label maintenance counters for /stats.
+	hubRepairs     atomic.Int64
+	hubRepairFails atomic.Int64
+	hubRebuilds    atomic.Int64
 
 	// sharded, when non-nil, routes /query through scatter-gather (see
 	// sharded.go in the library and shard_handler.go here); shardIndex >= 0
@@ -417,14 +436,13 @@ func (s *server) handleHubBuild(w http.ResponseWriter, r *http.Request) {
 	}
 	s.hubBuild.Lock()
 	defer s.hubBuild.Unlock()
-	start := time.Now()
 	// The build reads the point set; hold the query (read) lock so
 	// maintenance cannot mutate it mid-build. The new index is published
 	// under the same lock hold: a maintenance op can only interleave
-	// after the Store, and then its hub-drop swap retires this index like
-	// any other stale one.
+	// after the Store, and then its hub repair/retire path treats this
+	// index like any other attached one.
 	s.mu.RLock()
-	idx, err := s.db.BuildHubLabelIndex(s.ps, req.MaxK, nil)
+	idx, err := s.db.BuildHubLabelIndex(s.ps, req.MaxK, s.hubOptions())
 	if err == nil {
 		s.hub.Store(idx)
 	}
@@ -433,12 +451,43 @@ func (s *server) handleHubBuild(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
+	bst := idx.BuildStats()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"maxk":           idx.MaxK(),
-		"label_entries":  idx.LabelEntries(),
-		"avg_label_size": idx.AverageLabelSize(),
-		"build_seconds":  time.Since(start).Seconds(),
+		"maxk":            idx.MaxK(),
+		"label_entries":   idx.LabelEntries(),
+		"avg_label_size":  idx.AverageLabelSize(),
+		"build_seconds":   bst.WallSeconds,
+		"build_workers":   bst.Workers,
+		"build_batches":   bst.Batches,
+		"pruned_visits":   bst.Pruned,
+		"label_bytes":     bst.LabelBytes,
+		"raw_label_bytes": bst.RawLabelBytes,
 	})
+}
+
+// hubOptions derives the HubLabelOptions every server-side build uses.
+func (s *server) hubOptions() *graphrnn.HubLabelOptions {
+	return &graphrnn.HubLabelOptions{Build: s.buildOpts}
+}
+
+// rebuildHub rebuilds the hub-label index after a failed in-place repair:
+// outside the maintenance write lock, published under the read half (the
+// pattern the journaled materialization maintenance established), so
+// queries keep flowing on the remaining substrates while the labeling
+// reconstructs. Returns whether the rebuild succeeded.
+func (s *server) rebuildHub(maxK int) bool {
+	s.hubBuild.Lock()
+	defer s.hubBuild.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx, err := s.db.BuildHubLabelIndex(s.ps, maxK, s.hubOptions())
+	if err != nil {
+		log.Printf("rnnserver: hub-label rebuild after failed repair: %v", err)
+		return false
+	}
+	s.hub.Store(idx)
+	s.hubRebuilds.Add(1)
+	return true
 }
 
 type matInsertRequest struct {
@@ -455,9 +504,15 @@ type matResponse struct {
 	Points      int              `json:"points"`
 	RepairState string           `json:"repair_state"`
 	Stats       statsJSON        `json:"stats"`
-	// HubLabelDropped reports that the mutation invalidated the hub-label
-	// index (it tracks the same point set but maintains its own lists);
-	// rebuild it with POST /index/hublabel when needed.
+	// HubLabelRepaired reports that the attached hub-label index was
+	// repaired in place (point-level insert/delete on its reverse lists)
+	// — the common path; the index keeps serving without a rebuild.
+	HubLabelRepaired bool `json:"hub_label_repaired,omitempty"`
+	// HubLabelRebuilt reports that an in-place repair failed and the
+	// index was rebuilt from scratch (outside the write lock).
+	HubLabelRebuilt bool `json:"hub_label_rebuilt,omitempty"`
+	// HubLabelDropped reports that the index was invalidated and could
+	// not be rebuilt; rebuild it with POST /index/hublabel when needed.
 	HubLabelDropped bool `json:"hub_label_dropped,omitempty"`
 }
 
@@ -468,8 +523,17 @@ type matResponse struct {
 // rolled back by the journal before the error surfaces, so a 504 here
 // means "not applied", never "partially applied" — which is what makes
 // this endpoint safe to expose at all.
+//
+// The hub-label index maintains its own reverse lists over the same point
+// set, so a successful mutation leaves it stale. The common path repairs
+// the attached index in place (a point-level insert/delete on its lists)
+// while still under the write lock. If the repair fails the index is
+// dropped — queries fall back to eager-M / expansion, never serve stale
+// answers — and a full rebuild runs *outside* the write lock, published
+// under the read lock once ready (the PR 5 pattern for /index/hublabel).
 func (s *server) maintenance(w http.ResponseWriter, r *http.Request, req any,
-	op func(opt *graphrnn.QueryOptions) (graphrnn.PointID, graphrnn.Stats, error)) {
+	op func(opt *graphrnn.QueryOptions) (graphrnn.PointID, graphrnn.Stats, error),
+	repair func(idx *graphrnn.HubLabelIndex, p graphrnn.PointID) error) {
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("POST required"))
 		return
@@ -493,15 +557,24 @@ func (s *server) maintenance(w http.ResponseWriter, r *http.Request, req any,
 	}
 	s.mu.Lock()
 	p, st, opErr := op(opt)
-	dropped := false
+	var repaired, dropped bool
+	rebuildK := 0
 	if opErr == nil {
-		// The hub-label index maintains its own lists over the same point
-		// set; a mutation through the materialization leaves it stale.
-		// Drop it (queries fall back to eager-M / expansion) rather than
-		// serve wrong answers; POST /index/hublabel rebuilds it.
-		if idx := s.hub.Swap(nil); idx != nil {
-			s.db.AttachHubLabel(nil)
-			dropped = true
+		if idx := s.hub.Load(); idx != nil {
+			if rerr := repair(idx, p); rerr == nil {
+				repaired = true
+				s.hubRepairs.Add(1)
+			} else {
+				// Repair could not bring the index in sync: drop it now
+				// (under the lock, so no query ever sees the stale lists)
+				// and rebuild after we release the write lock.
+				log.Printf("rnnserver: hub-label repair failed, rebuilding: %v", rerr)
+				rebuildK = idx.MaxK()
+				s.hub.CompareAndSwap(idx, nil)
+				s.db.AttachHubLabel(nil)
+				dropped = true
+				s.hubRepairFails.Add(1)
+			}
 		}
 	}
 	// Snapshot the response fields before releasing the write lock: a
@@ -513,12 +586,18 @@ func (s *server) maintenance(w http.ResponseWriter, r *http.Request, req any,
 		s.failQuery(w, opErr)
 		return
 	}
+	rebuilt := false
+	if dropped {
+		rebuilt = s.rebuildHub(rebuildK)
+	}
 	writeJSON(w, http.StatusOK, matResponse{
-		Point:           p,
-		Points:          count,
-		RepairState:     state,
-		Stats:           toStatsJSON(st),
-		HubLabelDropped: dropped,
+		Point:            p,
+		Points:           count,
+		RepairState:      state,
+		Stats:            toStatsJSON(st),
+		HubLabelRepaired: repaired,
+		HubLabelRebuilt:  rebuilt,
+		HubLabelDropped:  dropped && !rebuilt,
 	})
 }
 
@@ -532,6 +611,9 @@ func (s *server) handleMatInsert(w http.ResponseWriter, r *http.Request) {
 			s.matInserts.Add(1)
 		}
 		return p, st, err
+	}, func(idx *graphrnn.HubLabelIndex, p graphrnn.PointID) error {
+		_, err := idx.RepairInsert(p, graphrnn.NodeID(req.Node))
+		return err
 	})
 }
 
@@ -545,6 +627,9 @@ func (s *server) handleMatDelete(w http.ResponseWriter, r *http.Request) {
 			s.matDeletes.Add(1)
 		}
 		return graphrnn.PointID(req.Point), st, err
+	}, func(idx *graphrnn.HubLabelIndex, p graphrnn.PointID) error {
+		_, err := idx.RepairDelete(p)
+		return err
 	})
 }
 
@@ -611,10 +696,23 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if idx := s.hub.Load(); idx != nil {
+		bst := idx.BuildStats()
+		stored, raw := idx.LabelBytes()
 		stats["hublabel"] = map[string]any{
-			"maxk":           idx.MaxK(),
-			"label_entries":  idx.LabelEntries(),
-			"avg_label_size": idx.AverageLabelSize(),
+			"maxk":            idx.MaxK(),
+			"label_entries":   idx.LabelEntries(),
+			"avg_label_size":  idx.AverageLabelSize(),
+			"compressed":      idx.Compressed(),
+			"label_bytes":     stored,
+			"raw_label_bytes": raw,
+			"build_seconds":   bst.WallSeconds,
+			"build_workers":   bst.Workers,
+			"build_batches":   bst.Batches,
+			"pruned_visits":   bst.Pruned,
+			"resweeps":        bst.Resweeps,
+			"repairs":         s.hubRepairs.Load(),
+			"repair_failures": s.hubRepairFails.Load(),
+			"rebuilds":        s.hubRebuilds.Load(),
 		}
 	}
 	writeJSON(w, http.StatusOK, stats)
@@ -633,6 +731,9 @@ func main() {
 		maxK     = flag.Int("maxk", 4, "materialize K-NN lists up to this k for eager-m (0 disables; sharded: per-shard MatK)")
 		hubLabel = flag.Int("hublabel", 0, "build the hub-label index up to this k at startup (0 defers to POST /index/hublabel; sharded: per-shard HubLabelK)")
 		queryTO  = flag.Duration("query-timeout", 0, "per-query deadline; expired queries answer 504 (0 disables)")
+
+		buildWorkers  = flag.Int("build-workers", 0, "worker goroutines for hub-label construction (0 = all cores, 1 = sequential)")
+		labelCompress = flag.Bool("label-compress", false, "store hub labels delta+varint compressed through the page store")
 
 		shards     = flag.Int("shards", 0, "serve /query by scatter-gather over N shards (0 = unsharded)")
 		shardIndex = flag.Int("shard-index", -1, "shard-process role: reject /shard/query sub-queries for other shard indexes (-1 serves any)")
@@ -676,6 +777,12 @@ func main() {
 		log.Fatal(err)
 	}
 	srv := &server{db: db, ps: ps, family: *family, started: time.Now(), queryTimeout: *queryTO, shardIndex: -1}
+	// Flag value 0 means "use every core"; the library spells that -1
+	// (0 there falls back to sequential).
+	srv.buildOpts = graphrnn.BuildOptions{Workers: *buildWorkers, Compression: *labelCompress}
+	if *buildWorkers == 0 {
+		srv.buildOpts.Workers = -1
+	}
 	nsites := *sites
 	if nsites < 0 {
 		nsites = ps.Len() / 10
@@ -719,6 +826,7 @@ func main() {
 			Shards: *shards, HaloDepth: *shardHalo, Seed: *seed, Sites: srv.sites,
 			HubLabelK: *hubLabel, MatK: *maxK,
 			DiskBacked: *disk, BufferPages: *buffer,
+			Build: srv.buildOpts,
 		}
 		srv.shardRole = "in-process"
 		if len(peers) > 0 {
@@ -743,14 +851,14 @@ func main() {
 			}
 		}
 		if *hubLabel > 0 {
-			start := time.Now()
-			idx, err := db.BuildHubLabelIndex(ps, *hubLabel, nil)
+			idx, err := db.BuildHubLabelIndex(ps, *hubLabel, srv.hubOptions())
 			if err != nil {
 				log.Fatal(err)
 			}
 			srv.hub.Store(idx)
-			log.Printf("rnnserver: hub-label index built in %v (%d entries, %.1f avg label)",
-				time.Since(start).Round(time.Millisecond), idx.LabelEntries(), idx.AverageLabelSize())
+			bst := idx.BuildStats()
+			log.Printf("rnnserver: hub-label index built in %.3fs with %d workers (%d entries, %.1f avg label)",
+				bst.WallSeconds, bst.Workers, idx.LabelEntries(), idx.AverageLabelSize())
 		}
 	}
 

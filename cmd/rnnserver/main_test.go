@@ -206,9 +206,9 @@ func FuzzDecodeQuery(f *testing.F) {
 }
 
 // TestHandleMaintenance covers the materialization maintenance endpoints:
-// insert + delete round trip, the hub-label index dropping on mutation,
-// an unmeetable deadline answering 504 with nothing applied, and queries
-// staying correct throughout.
+// insert + delete round trip, the hub-label index repairing in place on
+// mutation, an unmeetable deadline answering 504 with nothing applied,
+// and queries staying correct throughout.
 func TestHandleMaintenance(t *testing.T) {
 	s := newTestServer(t)
 
@@ -252,7 +252,7 @@ func TestHandleMaintenance(t *testing.T) {
 	}
 
 	// A successful insert places the point, reports a clean repair state,
-	// and drops the stale hub-label index.
+	// and repairs the hub-label index in place — no drop, no rebuild.
 	rec, out := post("/mat/insert", `{"node":`+strconv.Itoa(free)+`}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("insert answered %d: %v", rec.Code, out)
@@ -260,16 +260,22 @@ func TestHandleMaintenance(t *testing.T) {
 	if out["repair_state"] != "clean" {
 		t.Fatalf("repair_state = %v, want clean", out["repair_state"])
 	}
-	if out["hub_label_dropped"] != true {
-		t.Fatalf("hub_label_dropped = %v, want true", out["hub_label_dropped"])
+	if out["hub_label_repaired"] != true {
+		t.Fatalf("hub_label_repaired = %v, want true", out["hub_label_repaired"])
 	}
-	if s.hub.Load() != nil {
-		t.Fatal("stale hub-label index still attached")
+	if out["hub_label_dropped"] != nil || out["hub_label_rebuilt"] != nil {
+		t.Fatalf("insert reported drop/rebuild: %v", out)
+	}
+	if s.hub.Load() == nil {
+		t.Fatal("repaired hub-label index was detached")
+	}
+	if got := s.hubRepairs.Load(); got != 1 {
+		t.Fatalf("hubRepairs = %d, want 1", got)
 	}
 	p := int(out["point"].(float64))
 
-	// Queries after maintenance agree with brute force (the planner now
-	// falls back to eager-M / expansion).
+	// Queries after maintenance agree with brute force — served through
+	// the repaired hub-label index, not a fallback.
 	rec2, qout := postQuery(t, s, "/query", `{"kind":"rnn","node":3,"k":2}`)
 	if rec2.Code != http.StatusOK {
 		t.Fatalf("query after insert answered %d: %v", rec2.Code, qout)
@@ -282,13 +288,19 @@ func TestHandleMaintenance(t *testing.T) {
 		t.Fatalf("post-maintenance query = %v, brute = %v", qout["points"], bout["points"])
 	}
 
-	// Delete the point again.
+	// Delete the point again; the index repairs in place once more.
 	rec, out = post("/mat/delete", `{"point":`+strconv.Itoa(p)+`}`)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("delete answered %d: %v", rec.Code, out)
 	}
 	if s.ps.Len() != before {
 		t.Fatalf("point count = %d after round trip, want %d", s.ps.Len(), before)
+	}
+	if out["hub_label_repaired"] != true {
+		t.Fatalf("delete: hub_label_repaired = %v, want true", out["hub_label_repaired"])
+	}
+	if got := s.hubRepairs.Load(); got != 2 {
+		t.Fatalf("hubRepairs after round trip = %d, want 2", got)
 	}
 
 	// Client errors: malformed body, nonexistent point, bad method.
@@ -312,5 +324,108 @@ func TestHandleMaintenance(t *testing.T) {
 	s2.handleMatInsert(rec3, req)
 	if rec3.Code != http.StatusServiceUnavailable {
 		t.Fatalf("maintenance without -maxk answered %d, want 503", rec3.Code)
+	}
+}
+
+// TestMaintenanceRepairEquivalence is the repair-vs-rebuild oracle: a
+// workload of inserts and deletes served entirely through the in-place
+// hub-label repair must answer every query exactly like an index rebuilt
+// from scratch over the final point set (and like brute force).
+func TestMaintenanceRepairEquivalence(t *testing.T) {
+	s := newTestServer(t)
+
+	post := func(target, body string) map[string]any {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodPost, target, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		switch {
+		case strings.HasPrefix(target, "/mat/insert"):
+			s.handleMatInsert(rec, req)
+		default:
+			s.handleMatDelete(rec, req)
+		}
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s answered %d: %s", target, rec.Code, rec.Body.String())
+		}
+		var out map[string]any
+		if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+			t.Fatalf("response is not JSON (%v): %s", err, rec.Body.String())
+		}
+		if out["hub_label_repaired"] != true {
+			t.Fatalf("%s did not repair in place: %v", target, out)
+		}
+		return out
+	}
+
+	// Insert five points on free nodes, then delete two of them and one
+	// of the original points — exercising both repair directions.
+	var inserted []int
+	for n := 0; n < s.db.Graph().NumNodes() && len(inserted) < 5; n++ {
+		if _, taken := s.ps.PointAt(graphrnn.NodeID(n)); taken {
+			continue
+		}
+		out := post("/mat/insert", `{"node":`+strconv.Itoa(n)+`}`)
+		inserted = append(inserted, int(out["point"].(float64)))
+		n += 7
+	}
+	orig := -1
+	for n := 0; n < s.db.Graph().NumNodes(); n++ {
+		if p, taken := s.ps.PointAt(graphrnn.NodeID(n)); taken {
+			skip := false
+			for _, ip := range inserted {
+				if int(p) == ip {
+					skip = true
+				}
+			}
+			if !skip {
+				orig = int(p)
+				break
+			}
+		}
+	}
+	for _, p := range append(inserted[:2:2], orig) {
+		post("/mat/delete", `{"point":`+strconv.Itoa(p)+`}`)
+	}
+	if s.hubRepairFails.Load() != 0 || s.hubRebuilds.Load() != 0 {
+		t.Fatalf("workload fell off the repair path: %d failures, %d rebuilds",
+			s.hubRepairFails.Load(), s.hubRebuilds.Load())
+	}
+
+	// Answer a spread of RNN queries through the repaired index.
+	type qk struct {
+		node, k int
+	}
+	var queries []qk
+	for n := 0; n < s.db.Graph().NumNodes(); n += 29 {
+		queries = append(queries, qk{n, 1 + n%4})
+	}
+	ask := func(q qk, algo string) string {
+		t.Helper()
+		rec, out := postQuery(t, s, "/query",
+			fmt.Sprintf(`{"kind":"rnn","node":%d,"k":%d,"algo":%q}`, q.node, q.k, algo))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s query %+v answered %d: %v", algo, q, rec.Code, out)
+		}
+		return fmt.Sprint(out["points"])
+	}
+	repairedAns := make(map[qk]string)
+	for _, q := range queries {
+		repairedAns[q] = ask(q, "hub")
+	}
+
+	// Rebuild from scratch over the final point set and re-ask.
+	req := httptest.NewRequest(http.MethodPost, "/index/hublabel", strings.NewReader(`{"maxk":4}`))
+	rec := httptest.NewRecorder()
+	s.handleHubBuild(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("rebuild answered %d: %s", rec.Code, rec.Body.String())
+	}
+	for _, q := range queries {
+		if fresh := ask(q, "hub"); fresh != repairedAns[q] {
+			t.Fatalf("query %+v: repaired index answered %s, fresh rebuild %s", q, repairedAns[q], fresh)
+		}
+		if brute := ask(q, "brute"); brute != repairedAns[q] {
+			t.Fatalf("query %+v: repaired index answered %s, brute force %s", q, repairedAns[q], brute)
+		}
 	}
 }

@@ -31,11 +31,44 @@ import (
 // build survives process restarts and label reads count I/O like every
 // other substrate.
 type HubLabelIndex struct {
-	db    *DB
-	idx   *hublabel.Index
-	lab   *hublabel.Labeling // retained when built in this process
-	store *hublabel.Store    // non-nil when labels are served paged
-	node  *NodePoints
+	db       *DB
+	idx      *hublabel.Index
+	lab      *hublabel.Labeling // retained when built in this process
+	store    *hublabel.Store    // non-nil when labels are served paged
+	node     *NodePoints
+	compress bool
+	build    HubLabelBuildStats
+}
+
+// BuildOptions tunes the labeling construction.
+type BuildOptions struct {
+	// Workers is the number of goroutines running the pruned landmark
+	// sweeps. 0 and 1 build sequentially; negative uses GOMAXPROCS. The
+	// labels are bit-identical at every worker count.
+	Workers int
+	// Compression stores labels delta+varint encoded. Implies paged label
+	// serving (an in-memory page file when no Path is set), so the saving
+	// applies to served memory as well as disk.
+	Compression bool
+}
+
+// HubLabelBuildStats describes how a hub-label index was constructed.
+type HubLabelBuildStats struct {
+	// Workers that ran the landmark sweeps.
+	Workers int
+	// Batches of landmarks processed; 0 for a sequential build.
+	Batches int
+	// Landmarks swept (= graph nodes).
+	Landmarks int
+	// Visits counts nodes popped across all pruned sweeps; Pruned the
+	// visits cut by the 2-hop cover test; Resweeps the batched landmarks
+	// redone sequentially after in-batch coverage.
+	Visits, Pruned, Resweeps int64
+	// WallSeconds is the labeling construction time.
+	WallSeconds float64
+	// LabelBytes is the encoded label payload; RawLabelBytes what the raw
+	// fixed-width codec would occupy. Both 0 when labels are not paged.
+	LabelBytes, RawLabelBytes int64
 }
 
 // HubLabelOptions configures how the labeling is stored and served.
@@ -50,9 +83,12 @@ type HubLabelOptions struct {
 	// Path stores the label file on disk at this location (implies
 	// DiskBacked); empty keeps it in memory.
 	Path string
+	// Build controls the labeling construction (worker count,
+	// compression).
+	Build BuildOptions
 }
 
-func (o *HubLabelOptions) defaults() (pageSize, buffer int, paged bool, path string) {
+func (o *HubLabelOptions) defaults() (pageSize, buffer int, paged bool, path string, build BuildOptions) {
 	pageSize, buffer = storage.DefaultPageSize, 64
 	if o != nil {
 		if o.PageSize > 0 {
@@ -61,28 +97,39 @@ func (o *HubLabelOptions) defaults() (pageSize, buffer int, paged bool, path str
 		if o.BufferPages > 0 {
 			buffer = o.BufferPages
 		}
-		paged = o.DiskBacked || o.Path != ""
+		paged = o.DiskBacked || o.Path != "" || o.Build.Compression
 		path = o.Path
+		build = o.Build
 	}
-	return pageSize, buffer, paged, path
+	return pageSize, buffer, paged, path, build
 }
 
 // BuildHubLabelIndex builds the 2-hop labeling of the graph (CPU-bound, one
-// pruned Dijkstra per node) and the reverse index over ps, materializing
-// K-NN thresholds for monochromatic queries up to maxK. The labeling build
-// reads the in-memory graph directly and performs no counted I/O. The new
-// index is attached to the planner (last built wins; see AttachHubLabel),
-// so auto-planned queries over ps start using it immediately.
+// pruned Dijkstra per node, parallel across Build.Workers) and the reverse
+// index over ps, materializing K-NN thresholds for monochromatic queries up
+// to maxK. The labeling build reads the in-memory graph directly and
+// performs no counted I/O. The new index is attached to the planner (last
+// built wins; see AttachHubLabel), so auto-planned queries over ps start
+// using it immediately.
 func (db *DB) BuildHubLabelIndex(ps *NodePoints, maxK int, opt *HubLabelOptions) (*HubLabelIndex, error) {
 	if maxK < 1 {
 		return nil, fmt.Errorf("graphrnn: maxK must be >= 1, got %d", maxK)
 	}
-	lab, err := hublabel.Build(db.graph.g)
+	pageSize, buffer, paged, path, build := opt.defaults()
+	lab, bst, err := hublabel.BuildOpt(db.graph.g, hublabel.BuildOptions{Workers: build.Workers})
 	if err != nil {
 		return nil, err
 	}
-	pageSize, buffer, paged, path := opt.defaults()
-	h := &HubLabelIndex{db: db, lab: lab, node: ps}
+	h := &HubLabelIndex{db: db, lab: lab, node: ps, compress: build.Compression}
+	h.build = HubLabelBuildStats{
+		Workers:     bst.Workers,
+		Batches:     bst.Batches,
+		Landmarks:   bst.Landmarks,
+		Visits:      bst.Visits,
+		Pruned:      bst.Pruned,
+		Resweeps:    bst.Resweeps,
+		WallSeconds: bst.Wall.Seconds(),
+	}
 	src := hublabel.Source(lab)
 	if paged {
 		var file storage.PagedFile
@@ -95,7 +142,7 @@ func (db *DB) BuildHubLabelIndex(ps *NodePoints, maxK int, opt *HubLabelOptions)
 		} else {
 			file = storage.NewMemFile(pageSize)
 		}
-		if err := hublabel.Write(lab, file); err != nil {
+		if err := hublabel.WriteOpt(lab, file, hublabel.WriteOptions{Compression: build.Compression}); err != nil {
 			file.Close()
 			return nil, err
 		}
@@ -107,6 +154,8 @@ func (db *DB) BuildHubLabelIndex(ps *NodePoints, maxK int, opt *HubLabelOptions)
 			return nil, err
 		}
 		src = h.store
+		h.build.LabelBytes = h.store.PayloadBytes()
+		h.build.RawLabelBytes = h.store.RawBytes()
 	}
 	h.idx, err = hublabel.NewIndex(src, maxK, hubPointsOf(ps))
 	if err != nil {
@@ -123,7 +172,7 @@ func (db *DB) BuildHubLabelIndex(ps *NodePoints, maxK int, opt *HubLabelOptions)
 // LRU buffer on demand. Like BuildHubLabelIndex, the reopened index is
 // attached to the planner.
 func (db *DB) OpenHubLabelIndex(ps *NodePoints, maxK int, path string, opt *HubLabelOptions) (*HubLabelIndex, error) {
-	_, buffer, _, _ := opt.defaults()
+	_, buffer, _, _, _ := opt.defaults()
 	// The page size lives in the file header, so reopening needs no
 	// recollection of the build-time options.
 	pageSize, err := hublabel.FilePageSize(path)
@@ -147,7 +196,9 @@ func (db *DB) OpenHubLabelIndex(ps *NodePoints, maxK int, path string, opt *HubL
 		return nil, fmt.Errorf("graphrnn: label file covers %d nodes, graph has %d",
 			store.NumNodes(), db.store.NumNodes())
 	}
-	h := &HubLabelIndex{db: db, store: store, node: ps}
+	h := &HubLabelIndex{db: db, store: store, node: ps, compress: store.Compressed()}
+	h.build.LabelBytes = store.PayloadBytes()
+	h.build.RawLabelBytes = store.RawBytes()
 	h.idx, err = hublabel.NewIndex(store, maxK, hubPointsOf(ps))
 	if err != nil {
 		file.Close()
@@ -169,7 +220,7 @@ func (h *HubLabelIndex) SaveTo(path string) error {
 	if err != nil {
 		return err
 	}
-	if err := hublabel.Write(h.lab, f); err != nil {
+	if err := hublabel.WriteOpt(h.lab, f, hublabel.WriteOptions{Compression: h.compress}); err != nil {
 		f.Close()
 		return err
 	}
@@ -210,6 +261,22 @@ func (h *HubLabelIndex) AverageLabelSize() float64 {
 		return h.store.AverageLabelSize()
 	}
 	return h.lab.AverageLabelSize()
+}
+
+// BuildStats returns the construction counters. An index reopened from a
+// file reports only the label-byte fields (nothing was built).
+func (h *HubLabelIndex) BuildStats() HubLabelBuildStats { return h.build }
+
+// Compressed reports whether labels are served delta+varint encoded.
+func (h *HubLabelIndex) Compressed() bool { return h.compress }
+
+// LabelBytes returns the stored label payload and what the raw fixed-width
+// codec would occupy; both 0 when labels are served from plain memory.
+func (h *HubLabelIndex) LabelBytes() (stored, raw int64) {
+	if h.store == nil {
+		return 0, 0
+	}
+	return h.store.PayloadBytes(), h.store.RawBytes()
 }
 
 // IOStats returns the label-file traffic; zero when labels are served from
@@ -260,6 +327,36 @@ func (h *HubLabelIndex) DeletePoint(p PointID) (Stats, error) {
 	}
 	if err := h.node.Delete(p); err != nil {
 		return Stats{}, err
+	}
+	st, err := h.idx.Delete(points.PointID(p))
+	return hubStats(st), err
+}
+
+// RepairInsert incrementally adds an already-placed point of the tracked
+// set to the reverse index — the maintenance path for callers that mutate
+// the point set through another substrate (e.g. a materialized index) and
+// repair this one in place instead of rebuilding it. The point must
+// already reside on node n.
+func (h *HubLabelIndex) RepairInsert(p PointID, n NodeID) (Stats, error) {
+	if h.node == nil {
+		return Stats{}, fmt.Errorf("graphrnn: hub-label index does not track a point set")
+	}
+	if on, ok := h.node.NodeOf(p); !ok || on != n {
+		return Stats{}, fmt.Errorf("graphrnn: point %d is not placed on node %d", p, n)
+	}
+	st, err := h.idx.Insert(points.PointID(p), graph.NodeID(n))
+	return hubStats(st), err
+}
+
+// RepairDelete incrementally removes a point from the reverse index after
+// it was deleted from the tracked set elsewhere; the counterpart of
+// RepairInsert.
+func (h *HubLabelIndex) RepairDelete(p PointID) (Stats, error) {
+	if h.node == nil {
+		return Stats{}, fmt.Errorf("graphrnn: hub-label index does not track a point set")
+	}
+	if _, ok := h.node.NodeOf(p); ok {
+		return Stats{}, fmt.Errorf("graphrnn: point %d still resides in the tracked set", p)
 	}
 	st, err := h.idx.Delete(points.PointID(p))
 	return hubStats(st), err

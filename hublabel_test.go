@@ -474,3 +474,149 @@ func TestHubLabelErrors(t *testing.T) {
 		t.Fatal("edge-resident query accepted")
 	}
 }
+
+// TestHubLabelParallelCompressed builds the index through the public API
+// with every core and delta-compressed labels, and checks the result is
+// indistinguishable from the default build: same label entries, same RNN
+// answers — while the build stats report the parallel batched schedule and
+// the stored payload shrinks below the raw fixed-width bytes.
+func TestHubLabelParallelCompressed(t *testing.T) {
+	for name, g := range hubTopologies(t) {
+		t.Run(name, func(t *testing.T) {
+			base := newHubEnv(t, g, 104, g.NumNodes()/10, 4, nil)
+			opt := &graphrnn.HubLabelOptions{Build: graphrnn.BuildOptions{Workers: -1, Compression: true}}
+			e := newHubEnv(t, g, 104, g.NumNodes()/10, 4, opt)
+
+			bst := e.idx.BuildStats()
+			if bst.Workers < 1 || bst.Landmarks != g.NumNodes() || bst.Visits == 0 || bst.WallSeconds <= 0 {
+				t.Fatalf("implausible build stats: %+v", bst)
+			}
+			if bst.Workers > 1 && bst.Batches == 0 {
+				t.Fatalf("parallel build reports no batches: %+v", bst)
+			}
+			if !e.idx.Compressed() {
+				t.Fatal("index does not report compressed labels")
+			}
+			stored, raw := e.idx.LabelBytes()
+			if stored <= 0 || stored >= raw {
+				t.Fatalf("stored %d bytes did not shrink below raw %d", stored, raw)
+			}
+			if e.idx.LabelEntries() != base.idx.LabelEntries() {
+				t.Fatalf("label entries diverge: %d vs %d (sequential)", e.idx.LabelEntries(), base.idx.LabelEntries())
+			}
+
+			algo := graphrnn.HubLabel(e.idx)
+			ref := graphrnn.HubLabel(base.idx)
+			for _, qp := range e.ps.Points()[:12] {
+				qnode, _ := e.ps.NodeOf(qp)
+				view := e.ps.Excluding(qp)
+				for _, k := range []int{1, 2, 4} {
+					want, err := base.db.RNN(base.ps.Excluding(qp), qnode, k, ref)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := e.db.RNN(view, qnode, k, algo)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !samePoints(got.Points, want.Points) {
+						t.Fatalf("q=%d k=%d: got %v, want %v", qp, k, got.Points, want.Points)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestHubLabelRepairVsRebuild drives the substrate-crossing maintenance
+// path: the point set mutates through the materialized index, the hub
+// index repairs in place with RepairInsert/RepairDelete, and afterwards it
+// must answer exactly like an index rebuilt from scratch.
+func TestHubLabelRepairVsRebuild(t *testing.T) {
+	g, err := graphrnn.GenerateGrid(131, 400, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := graphrnn.Open(g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := db.PlaceRandomNodePoints(132, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := db.MaterializeNodePoints(ps, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.BuildHubLabelIndex(ps, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Insert points on free nodes and repair; delete some (old and new)
+	// and repair the other direction.
+	var inserted []graphrnn.PointID
+	for n := 0; n < g.NumNodes() && len(inserted) < 6; n++ {
+		if _, taken := ps.PointAt(graphrnn.NodeID(n)); taken {
+			continue
+		}
+		p, _, err := mat.InsertNode(graphrnn.NodeID(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.RepairInsert(p, graphrnn.NodeID(n)); err != nil {
+			t.Fatalf("RepairInsert(%d): %v", p, err)
+		}
+		inserted = append(inserted, p)
+		n += 11
+	}
+	victims := []graphrnn.PointID{inserted[0], inserted[3], ps.Points()[0]}
+	for _, p := range victims {
+		if _, err := mat.DeletePoint(p); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := idx.RepairDelete(p); err != nil {
+			t.Fatalf("RepairDelete(%d): %v", p, err)
+		}
+	}
+
+	// Misuse is rejected: re-inserting a live point under the wrong node,
+	// deleting a point that still resides in the set.
+	if _, err := idx.RepairInsert(inserted[1], graphrnn.NodeID(0)); err == nil {
+		t.Fatal("RepairInsert with a mismatched node succeeded")
+	}
+	if _, err := idx.RepairDelete(inserted[1]); err == nil {
+		t.Fatal("RepairDelete of a live point succeeded")
+	}
+
+	fresh, err := db.BuildHubLabelIndex(ps, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired := graphrnn.HubLabel(idx)
+	rebuilt := graphrnn.HubLabel(fresh)
+	for _, qp := range ps.Points()[:12] {
+		qnode, _ := ps.NodeOf(qp)
+		for _, k := range []int{1, 2, 4} {
+			want, err := db.RNN(ps.Excluding(qp), qnode, k, rebuilt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := db.RNN(ps.Excluding(qp), qnode, k, repaired)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePoints(got.Points, want.Points) {
+				t.Fatalf("q=%d k=%d: repaired %v, rebuilt %v", qp, k, got.Points, want.Points)
+			}
+			oracle, err := db.RNN(ps.Excluding(qp), qnode, k, graphrnn.BruteForce())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !samePoints(got.Points, oracle.Points) {
+				t.Fatalf("q=%d k=%d: repaired %v, brute %v", qp, k, got.Points, oracle.Points)
+			}
+		}
+	}
+}

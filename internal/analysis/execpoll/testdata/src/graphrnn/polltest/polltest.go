@@ -3,6 +3,8 @@
 package polltest
 
 import (
+	"sync"
+
 	"graphrnn/internal/exec"
 	"graphrnn/internal/graph"
 	"graphrnn/internal/storage"
@@ -123,4 +125,52 @@ func plainLoop(xs []int) int {
 		total += x
 	}
 	return total
+}
+
+// batchedBuildPolled mirrors the parallel hub-label build: worker
+// goroutine closures drain a jobs channel, and each drain loop polls the
+// shared exec context (Check is read-only, so one Ctx serves every
+// worker).
+func batchedBuildPolled(ec *exec.Ctx, g *graph.Store, batch []uint32) {
+	jobs := make(chan uint32, len(batch))
+	for _, h := range batch {
+		jobs <- h
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := range jobs {
+				if err := ec.Check(1); err != nil {
+					return
+				}
+				g.Adjacency(h)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// batchedBuildUnpolled is the same shape with the poll missing: the drain
+// loop lives in a goroutine closure, but it expands adjacency like any
+// other loop and is flagged the same way.
+func batchedBuildUnpolled(g *graph.Store, batch []uint32) {
+	jobs := make(chan uint32, len(batch))
+	for _, h := range batch {
+		jobs <- h
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := range jobs { // want `without polling the exec context`
+				g.Adjacency(h)
+			}
+		}()
+	}
+	wg.Wait()
 }

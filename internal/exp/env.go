@@ -125,6 +125,9 @@ type env struct {
 
 	hubStore *hublabel.Store
 	hubIdx   *hublabel.Index
+	// hubBuild records how the labeling was constructed, for the
+	// experiment notes (wall time, workers, batches, compression ratio).
+	hubBuild hublabel.BuildStats
 }
 
 func newEnv(g *graph.Graph, bufferPages int) (*env, error) {
@@ -182,16 +185,19 @@ func (e *env) materializeEdge(maxK int) error {
 	return nil
 }
 
-// buildHubLabel builds the 2-hop labeling, persists it into a paged memory
+// buildHubLabel builds the 2-hop labeling — batched across every core,
+// which cannot change the result (the parallel build is bit-identical to
+// the sequential one) — persists it delta-compressed into a paged memory
 // file served through its own LRU buffer (so label I/O is counted like the
 // other substrates), and indexes the node point set for queries up to maxK.
 func (e *env) buildHubLabel(maxK int) error {
-	lab, err := hublabel.Build(e.g)
+	lab, bst, err := hublabel.BuildOpt(e.g, hublabel.BuildOptions{Workers: -1})
 	if err != nil {
 		return err
 	}
+	e.hubBuild = bst
 	file := newMemPageFile()
-	if err := hublabel.Write(lab, file); err != nil {
+	if err := hublabel.WriteOpt(lab, file, hublabel.WriteOptions{Compression: true}); err != nil {
 		return err
 	}
 	store, err := hublabel.OpenStore(file, MatBufferPages)

@@ -575,6 +575,11 @@ func HubSubstrate(s Scale) (*Table, error) {
 		}
 		t.Xs = append(t.Xs, fmt.Sprintf("%d", g.NumNodes()))
 		t.Cells = append(t.Cells, row)
+		bst := e.hubBuild
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"HL build |V|=%d: %.3fs, %d workers, %d batches, %d pruned visits, %d resweeps, labels %dB compressed / %dB raw",
+			g.NumNodes(), bst.Wall.Seconds(), bst.Workers, bst.Batches, bst.Pruned, bst.Resweeps,
+			e.hubStore.PayloadBytes(), e.hubStore.RawBytes()))
 	}
 	return t, nil
 }

@@ -14,6 +14,10 @@ type Table struct {
 	Xs      []string
 	Columns []Algo
 	Cells   [][]Measure // [x][column]
+	// Notes are free-form lines appended below the table — build-side
+	// observations (construction wall time, worker count, compression
+	// ratio) that have no column of their own.
+	Notes []string
 }
 
 // Format renders the table in the paper's style: per algorithm, the I/O
@@ -35,6 +39,9 @@ func (t *Table) Format() string {
 			fmt.Fprintf(&b, " | %7.1f %6.3f %7.2f", m.IO, m.CPU, m.Total())
 		}
 		b.WriteString("\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "  %s\n", n)
 	}
 	return b.String()
 }

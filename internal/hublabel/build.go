@@ -1,0 +1,427 @@
+package hublabel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"graphrnn/internal/exec"
+	"graphrnn/internal/graph"
+)
+
+// BuildOptions tunes the labeling construction. The zero value is the
+// sequential build.
+type BuildOptions struct {
+	// Workers is the number of goroutines that run the pruned landmark
+	// sweeps. 0 and 1 run the classic sequential build; negative uses
+	// GOMAXPROCS. Every worker count produces bit-identical labels for a
+	// given graph: parallelism changes the schedule, never the result.
+	Workers int
+	// Exec, when non-nil, makes the build cancellable: every sweep polls
+	// it each CheckStride pops and the build returns the typed execution
+	// error. Only the cancellation/deadline half is meaningful — builds
+	// have no per-query budget. Workers share the Ctx for polling only
+	// (Check is a read-only probe), never for Emit.
+	Exec *exec.Ctx
+}
+
+// BuildStats describes one labeling construction.
+type BuildStats struct {
+	// Workers actually used (after resolving the GOMAXPROCS default).
+	Workers int
+	// Batches of landmarks processed; 0 for the sequential build, which
+	// commits after every landmark.
+	Batches int
+	// Landmarks swept (= nodes of the graph).
+	Landmarks int
+	// Visits counts nodes popped across every pruned sweep, speculative
+	// batch sweeps included.
+	Visits int64
+	// Pruned counts visits cut by the 2-hop cover test.
+	Pruned int64
+	// Resweeps counts batched landmarks whose speculative sweep was
+	// discarded because a same-batch predecessor covered part of its
+	// frontier; each one is redone sequentially at merge time.
+	Resweeps int64
+	// Wall is the total construction time, ordering included.
+	Wall time.Duration
+}
+
+func (o BuildOptions) workers() int {
+	w := o.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// BuildOpt is Build with worker and cancellation control. Workers > 1
+// processes landmarks in rank-ordered batches: each batch's pruned
+// Dijkstras run across a worker pool pruning against the labels committed
+// by earlier batches only, and a sequential rank-order merge re-checks
+// every candidate against its in-batch predecessors before appending — so
+// the labeling is a pure function of graph and landmark order,
+// bit-identical to the sequential build and independent of worker count
+// and batch boundaries.
+func BuildOpt(g graph.Access, opt BuildOptions) (*Labeling, BuildStats, error) {
+	start := time.Now()
+	st := BuildStats{Workers: opt.workers()}
+	n := g.NumNodes()
+	order, err := buildOrder(g, nil, opt.Exec)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Landmarks = len(order)
+	var entries [][]Entry
+	if st.Workers == 1 {
+		entries, err = buildSequential(g, order, n, opt.Exec, &st)
+	} else {
+		entries, err = buildBatched(g, order, n, st.Workers, opt.Exec, &st)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	l := &Labeling{numNodes: n, out: finalize(n, entries)}
+	st.Wall = time.Since(start)
+	return l, st, nil
+}
+
+// BuildDigraphOpt is BuildDigraph with worker and cancellation control;
+// see BuildOpt for the batching scheme and its determinism guarantee.
+func BuildDigraphOpt(d *graph.Digraph, opt BuildOptions) (*Labeling, BuildStats, error) {
+	start := time.Now()
+	st := BuildStats{Workers: opt.workers()}
+	n := d.NumNodes()
+	order, err := buildOrder(d.Out(), d.In(), opt.Exec)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Landmarks = len(order)
+	var outL, inL [][]Entry
+	if st.Workers == 1 {
+		outL, inL, err = buildDigraphSequential(d, order, n, opt.Exec, &st)
+	} else {
+		outL, inL, err = buildDigraphBatched(d, order, n, st.Workers, opt.Exec, &st)
+	}
+	if err != nil {
+		return nil, st, err
+	}
+	l := &Labeling{numNodes: n, directed: true, out: finalize(n, outL), in: finalize(n, inL)}
+	st.Wall = time.Since(start)
+	return l, st, nil
+}
+
+// buildOrder computes the landmark order: degrees (both directions for
+// digraphs) feed the sampled-centrality ranking.
+func buildOrder(g graph.Access, in graph.Access, ec *exec.Ctx) ([]graph.NodeID, error) {
+	deg, err := degrees(g, ec)
+	if err != nil {
+		return nil, err
+	}
+	if in != nil {
+		degIn, err := degrees(in, ec)
+		if err != nil {
+			return nil, err
+		}
+		for v := range deg {
+			deg[v] += degIn[v]
+		}
+	}
+	return landmarkOrder(g, deg, ec)
+}
+
+func buildSequential(g graph.Access, order []graph.NodeID, n int, ec *exec.Ctx, st *BuildStats) ([][]Entry, error) {
+	entries := make([][]Entry, n)
+	ds := newDijkstraState(n)
+	lp := newLandmarkProbe(n)
+	for _, h := range order {
+		lp.load(entries[h])
+		if err := prunedSweep(g, h, lp, entries, ds, ec, st); err != nil {
+			return nil, err
+		}
+	}
+	return entries, nil
+}
+
+func buildDigraphSequential(d *graph.Digraph, order []graph.NodeID, n int, ec *exec.Ctx, st *BuildStats) (outL, inL [][]Entry, err error) {
+	out, in := d.Out(), d.In()
+	outL = make([][]Entry, n)
+	inL = make([][]Entry, n)
+	ds := newDijkstraState(n)
+	lp := newLandmarkProbe(n)
+	for _, h := range order {
+		// Forward sweep computes d(h→v) and fills L_in(v); the pruning
+		// query d(h→v) intersects L_out(h) with L_in(v).
+		lp.load(outL[h])
+		if err := prunedSweep(out, h, lp, inL, ds, ec, st); err != nil {
+			return nil, nil, err
+		}
+		// Backward sweep computes d(v→h) and fills L_out(v); the pruning
+		// query d(v→h) intersects L_out(v) with L_in(h).
+		lp.load(inL[h])
+		if err := prunedSweep(in, h, lp, outL, ds, ec, st); err != nil {
+			return nil, nil, err
+		}
+	}
+	return outL, inL, nil
+}
+
+// --- Batched parallel build ------------------------------------------------
+
+// buildScratch is the per-worker sweep state, recycled through a sync.Pool
+// like the query-side scratch.
+type buildScratch struct {
+	ds *dijkstraState
+	lp *landmarkProbe
+}
+
+// buildCand is one batched-sweep candidate: the sweep proved no
+// earlier-batch landmark covers (h, node) at dist; in-batch predecessors
+// are re-checked at merge time.
+type buildCand struct {
+	node graph.NodeID
+	dist float64
+}
+
+// sweepResult is the output of one batched sweep, indexed by the
+// landmark's position in its batch so the merge is schedule-independent.
+type sweepResult struct {
+	cands  []buildCand
+	visits int64
+	pruned int64
+	err    error
+}
+
+// batchCap bounds the batch size: large batches amortize worker wake-ups
+// but prune against staler labels, so the sweeps do more speculative work
+// that the merge then discards.
+func batchCap(workers int) int {
+	c := 4 * workers
+	if c < 16 {
+		c = 16
+	}
+	return c
+}
+
+// batchedSweep runs one pruned Dijkstra from landmark h against the labels
+// committed by earlier batches only. Candidates are collected instead of
+// appended — committed is read-only here, which is what lets a whole batch
+// run concurrently. The sweep is speculative: as long as no same-batch
+// predecessor covers any popped node, its pop decisions (and therefore its
+// distances) are bit-identical to the sequential sweep's; the merge
+// verifies exactly that condition before committing.
+func batchedSweep(g graph.Access, h graph.NodeID, hub []Entry, committed [][]Entry, sc *buildScratch, ec *exec.Ctx, out *sweepResult) {
+	sc.lp.load(hub)
+	ds := sc.ds
+	ds.begin()
+	ds.push(h, 0)
+	out.cands = out.cands[:0]
+	for {
+		v, dist, ok := ds.pop()
+		if !ok {
+			return
+		}
+		out.visits++
+		if out.visits&(exec.CheckStride-1) == 0 {
+			if out.err = ec.Check(out.visits); out.err != nil {
+				return
+			}
+		}
+		if sc.lp.query(committed[v]) <= dist {
+			out.pruned++
+			continue
+		}
+		out.cands = append(out.cands, buildCand{node: v, dist: dist})
+		if ds.adj, out.err = g.Adjacency(v, ds.adj); out.err != nil {
+			return
+		}
+		for _, e := range ds.adj {
+			ds.push(e.To, dist+e.W)
+		}
+	}
+}
+
+// runBatch fans the batch's jobs across the worker pool and waits for all
+// of them. Results land at each job's own index, so nothing downstream
+// depends on completion order; failed flips as soon as any job errors and
+// later jobs skip their sweeps. A skipped slot is never read: jobs are
+// dispatched in index order, so the first recorded error always has a
+// lower index than any skipped job, and the merge stops there.
+func runBatch(jobs int, workers int, failed *atomic.Bool, scratch *sync.Pool, sweep func(i int, sc *buildScratch)) {
+	if workers > jobs {
+		workers = jobs
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := scratch.Get().(*buildScratch)
+			defer scratch.Put(sc)
+			for i := range ch {
+				if failed.Load() {
+					continue
+				}
+				sweep(i, sc)
+			}
+		}()
+	}
+	for i := 0; i < jobs; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// mergeBatch commits one batch's candidates in landmark-rank order. The
+// probe carries the landmark's label as of its own turn (committed batches
+// plus in-batch predecessors already merged). If no candidate is covered
+// by that label state, the speculative sweep made exactly the pop
+// decisions the sequential sweep would have — before the first divergent
+// decision distances are bit-equal, and the first divergence is always a
+// keep-vs-prune flip that shows up here as a covered candidate — so the
+// candidates commit as-is. Otherwise the exploration may have relaxed
+// edges the sequential build pruned, which can perturb later distances in
+// the last float bit; the whole landmark is redone with the sequential
+// sweep against the now-current labels. Either way the result is
+// bit-identical to the sequential build.
+func mergeBatch(g graph.Access, batch []graph.NodeID, side func(i int) (*sweepResult, []Entry, [][]Entry), mergeLP *landmarkProbe, mergeDS *dijkstraState, ec *exec.Ctx, st *BuildStats) error {
+	for i, h := range batch {
+		r, hub, into := side(i)
+		if r.err != nil {
+			return r.err
+		}
+		st.Visits += r.visits
+		st.Pruned += r.pruned
+		mergeLP.load(hub)
+		clean := true
+		for _, c := range r.cands {
+			if mergeLP.query(into[c.node]) <= c.dist {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			for _, c := range r.cands {
+				into[c.node] = append(into[c.node], Entry{Hub: h, Dist: c.dist})
+			}
+			continue
+		}
+		st.Resweeps++
+		if err := prunedSweep(g, h, mergeLP, into, mergeDS, ec, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func newBuildScratchPool(n int) *sync.Pool {
+	return &sync.Pool{New: func() any {
+		return &buildScratch{ds: newDijkstraState(n), lp: newLandmarkProbe(n)}
+	}}
+}
+
+// batchSpan yields the next rank-ordered batch: sizes double from 1 up to
+// batchCap, so the first (widest-reaching) landmarks commit quickly and
+// later sweeps prune against nearly fresh labels.
+func batchSpan(order []graph.NodeID, start, size int) []graph.NodeID {
+	end := start + size
+	if end > len(order) {
+		end = len(order)
+	}
+	return order[start:end]
+}
+
+func buildBatched(g graph.Access, order []graph.NodeID, n, workers int, ec *exec.Ctx, st *BuildStats) ([][]Entry, error) {
+	entries := make([][]Entry, n)
+	scratch := newBuildScratchPool(n)
+	mergeLP := newLandmarkProbe(n)
+	mergeDS := newDijkstraState(n)
+	maxBatch := batchCap(workers)
+	res := make([]sweepResult, maxBatch)
+	var failed atomic.Bool
+	for start, size := 0, 1; start < len(order); size *= 2 {
+		if size > maxBatch {
+			size = maxBatch
+		}
+		batch := batchSpan(order, start, size)
+		start += len(batch)
+		runBatch(len(batch), workers, &failed, scratch, func(i int, sc *buildScratch) {
+			r := &res[i]
+			*r = sweepResult{cands: r.cands}
+			batchedSweep(g, batch[i], entries[batch[i]], entries, sc, ec, r)
+			if r.err != nil {
+				failed.Store(true)
+			}
+		})
+		err := mergeBatch(g, batch, func(i int) (*sweepResult, []Entry, [][]Entry) {
+			return &res[i], entries[batch[i]], entries
+		}, mergeLP, mergeDS, ec, st)
+		if err != nil {
+			return nil, err
+		}
+		st.Batches++
+	}
+	return entries, nil
+}
+
+// digraphResult pairs the two sweeps of one directed landmark.
+type digraphResult struct {
+	fwd sweepResult
+	bwd sweepResult
+}
+
+func buildDigraphBatched(d *graph.Digraph, order []graph.NodeID, n, workers int, ec *exec.Ctx, st *BuildStats) (outLabels, inLabels [][]Entry, err error) {
+	out, in := d.Out(), d.In()
+	outL := make([][]Entry, n)
+	inL := make([][]Entry, n)
+	scratch := newBuildScratchPool(n)
+	mergeLP := newLandmarkProbe(n)
+	mergeDS := newDijkstraState(n)
+	maxBatch := batchCap(workers)
+	res := make([]digraphResult, maxBatch)
+	var failed atomic.Bool
+	for start, size := 0, 1; start < len(order); size *= 2 {
+		if size > maxBatch {
+			size = maxBatch
+		}
+		batch := batchSpan(order, start, size)
+		start += len(batch)
+		runBatch(len(batch), workers, &failed, scratch, func(i int, sc *buildScratch) {
+			h := batch[i]
+			r := &res[i]
+			*r = digraphResult{fwd: sweepResult{cands: r.fwd.cands}, bwd: sweepResult{cands: r.bwd.cands}}
+			batchedSweep(out, h, outL[h], inL, sc, ec, &r.fwd)
+			if r.fwd.err == nil {
+				batchedSweep(in, h, inL[h], outL, sc, ec, &r.bwd)
+			}
+			if r.fwd.err != nil || r.bwd.err != nil {
+				failed.Store(true)
+			}
+		})
+		// The merge mirrors the sequential interleaving per landmark:
+		// forward candidates commit into L_in before the backward probe
+		// loads L_in(h), so a landmark's own self-entry is visible to its
+		// backward half exactly as in the sequential build.
+		for i, h := range batch {
+			one := []graph.NodeID{h}
+			if err := mergeBatch(out, one, func(int) (*sweepResult, []Entry, [][]Entry) {
+				return &res[i].fwd, outL[h], inL
+			}, mergeLP, mergeDS, ec, st); err != nil {
+				return nil, nil, err
+			}
+			if err := mergeBatch(in, one, func(int) (*sweepResult, []Entry, [][]Entry) {
+				return &res[i].bwd, inL[h], outL
+			}, mergeLP, mergeDS, ec, st); err != nil {
+				return nil, nil, err
+			}
+		}
+		st.Batches++
+	}
+	return outL, inL, nil
+}

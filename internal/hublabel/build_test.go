@@ -1,0 +1,268 @@
+package hublabel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"graphrnn/internal/exec"
+	"graphrnn/internal/gen"
+	"graphrnn/internal/graph"
+	"graphrnn/internal/storage"
+)
+
+// sameLabeling compares two labelings bit for bit: identical CSR offsets,
+// hub ids and float64 distances on both sides.
+func sameLabeling(t *testing.T, want, got *Labeling) {
+	t.Helper()
+	if want.numNodes != got.numNodes || want.directed != got.directed {
+		t.Fatalf("shape mismatch: (%d,%v) vs (%d,%v)", want.numNodes, want.directed, got.numNodes, got.directed)
+	}
+	sameSet := func(side string, a, b labelSet) {
+		if len(a.offsets) != len(b.offsets) || len(a.hubs) != len(b.hubs) {
+			t.Fatalf("%s: size mismatch: %d/%d entries", side, len(a.hubs), len(b.hubs))
+		}
+		for i := range a.offsets {
+			if a.offsets[i] != b.offsets[i] {
+				t.Fatalf("%s: offsets diverge at node %d: %d vs %d", side, i, a.offsets[i], b.offsets[i])
+			}
+		}
+		for i := range a.hubs {
+			if a.hubs[i] != b.hubs[i] || a.dists[i] != b.dists[i] {
+				t.Fatalf("%s: entry %d diverges: (%d,%v) vs (%d,%v)",
+					side, i, a.hubs[i], a.dists[i], b.hubs[i], b.dists[i])
+			}
+		}
+	}
+	sameSet("out", want.out, got.out)
+	if want.directed {
+		sameSet("in", want.in, got.in)
+	}
+}
+
+// TestBuildOptDeterminism is the parallel-build property test: for every
+// worker count the batched build must produce labels bit-identical to the
+// sequential build, on road and grid topologies, undirected and directed.
+// Run under -race this also exercises the worker pool for data races.
+func TestBuildOptDeterminism(t *testing.T) {
+	graphs := testGraphs(t)
+	for _, name := range []string{"road", "grid"} {
+		g := graphs[name]
+		seq, err := Build(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(name, func(t *testing.T) {
+				par, st, err := BuildOpt(g, BuildOptions{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameLabeling(t, seq, par)
+				if st.Workers != workers {
+					t.Fatalf("stats report %d workers, want %d", st.Workers, workers)
+				}
+				if st.Landmarks != g.NumNodes() || st.Visits == 0 {
+					t.Fatalf("implausible stats: %+v", st)
+				}
+				if workers > 1 && st.Batches == 0 {
+					t.Fatalf("batched build reports no batches: %+v", st)
+				}
+				if st.Wall <= 0 {
+					t.Fatalf("no wall time recorded: %+v", st)
+				}
+			})
+		}
+	}
+	d := testDigraph(t, 21)
+	seq, err := BuildDigraph(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		t.Run("digraph", func(t *testing.T) {
+			par, _, err := BuildDigraphOpt(d, BuildOptions{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameLabeling(t, seq, par)
+		})
+	}
+}
+
+// TestBuildOptNegativeWorkers resolves the GOMAXPROCS default and still
+// matches the sequential labels.
+func TestBuildOptNegativeWorkers(t *testing.T) {
+	g := testGraphs(t)["grid"]
+	seq, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, st, err := BuildOpt(g, BuildOptions{Workers: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers < 1 {
+		t.Fatalf("resolved workers = %d", st.Workers)
+	}
+	sameLabeling(t, seq, par)
+}
+
+// TestBuildOptCancel: a pre-canceled exec context abandons the build with
+// the typed error, sequential and parallel alike.
+func TestBuildOptCancel(t *testing.T) {
+	g := testGraphs(t)["road"]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ec := exec.New(ctx, exec.Budget{}, nil)
+	for _, workers := range []int{1, 4} {
+		if _, _, err := BuildOpt(g, BuildOptions{Workers: workers, Exec: ec}); !errors.Is(err, exec.ErrCanceled) {
+			t.Fatalf("workers=%d: err = %v, want ErrCanceled", workers, err)
+		}
+	}
+	d := testDigraph(t, 21)
+	if _, _, err := BuildDigraphOpt(d, BuildOptions{Workers: 4, Exec: ec}); !errors.Is(err, exec.ErrCanceled) {
+		t.Fatalf("digraph: err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestBuildOptTinyGraph exercises the batch schedule on graphs smaller
+// than one batch.
+func TestBuildOptTinyGraph(t *testing.T) {
+	b := graph.NewBuilder(3)
+	if err := b.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := BuildOpt(g, BuildOptions{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLabeling(t, seq, par)
+}
+
+// TestStoreCompressedRoundTrip persists labelings with the delta+varint
+// codec — across page sizes that force chunk restarts — and checks the
+// served labels are identical to the in-memory ones while the payload
+// shrinks below the raw fixed-width encoding.
+func TestStoreCompressedRoundTrip(t *testing.T) {
+	graphs := testGraphs(t)
+	for name, g := range graphs {
+		for _, pageSize := range []int{128, 4096} {
+			t.Run(fmt.Sprintf("%s/page%d", name, pageSize), func(t *testing.T) {
+				l, err := Build(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f := storage.NewMemFile(pageSize)
+				if err := WriteOpt(l, f, WriteOptions{Compression: true}); err != nil {
+					t.Fatal(err)
+				}
+				s, err := OpenStore(f, 16)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !s.Compressed() {
+					t.Fatal("store does not report the delta codec")
+				}
+				if s.PayloadBytes() <= 0 || s.PayloadBytes() >= s.RawBytes() {
+					t.Fatalf("payload %d bytes did not shrink below raw %d", s.PayloadBytes(), s.RawBytes())
+				}
+				var a, b []Entry
+				for v := graph.NodeID(0); int(v) < l.NumNodes(); v++ {
+					if a, err = l.OutLabel(v, a); err != nil {
+						t.Fatal(err)
+					}
+					if b, err = s.OutLabel(v, b); err != nil {
+						t.Fatal(err)
+					}
+					if !sameEntries(a, b) {
+						t.Fatalf("node %d label mismatch: %v vs %v", v, a, b)
+					}
+				}
+			})
+		}
+	}
+	// Directed: both sides plus full Load through the compressed codec.
+	d := testDigraph(t, 23)
+	l, err := BuildDigraph(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := storage.NewMemFile(256)
+	if err := WriteOpt(l, f, WriteOptions{Compression: true}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenStore(f, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b []Entry
+	for v := graph.NodeID(0); int(v) < l.NumNodes(); v++ {
+		for side := 0; side < 2; side++ {
+			if side == 0 {
+				a, _ = l.OutLabel(v, a)
+				b, err = s.OutLabel(v, b)
+			} else {
+				a, _ = l.InLabel(v, a)
+				b, err = s.InLabel(v, b)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameEntries(a, b) {
+				t.Fatalf("node %d side %d mismatch", v, side)
+			}
+		}
+	}
+	l2, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Entries() != l.Entries() || l2.Directed() != l.Directed() {
+		t.Fatalf("Load: %d entries directed=%v, want %d/%v", l2.Entries(), l2.Directed(), l.Entries(), l.Directed())
+	}
+	// A raw store of the same labeling reports no compression and a
+	// payload at least as large as the raw entry bytes.
+	rf := storage.NewMemFile(256)
+	if err := Write(l, rf); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := OpenStore(rf, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Compressed() || rs.PayloadBytes() < rs.RawBytes() {
+		t.Fatalf("raw store: compressed=%v payload=%d raw=%d", rs.Compressed(), rs.PayloadBytes(), rs.RawBytes())
+	}
+}
+
+// TestBuildOptBrite covers the scale-free topology too (not part of the
+// bit-identity matrix above, but the batch merge must hold on hub-heavy
+// graphs where within-batch coverage is the common case).
+func TestBuildOptBrite(t *testing.T) {
+	g, err := gen.Brite(gen.BriteConfig{Seed: 12, Nodes: 400, AvgDegree: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := Build(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, _, err := BuildOpt(g, BuildOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameLabeling(t, seq, par)
+}

@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 
+	"graphrnn/internal/exec"
 	"graphrnn/internal/graph"
 	"graphrnn/internal/pq"
 )
@@ -270,7 +271,7 @@ const centralitySamples = 12
 // collapses on road networks (near-uniform degrees), where centrality
 // ordering keeps labels several times smaller and the build an order of
 // magnitude faster.
-func landmarkOrder(g graph.Access, degree []int) ([]graph.NodeID, error) {
+func landmarkOrder(g graph.Access, degree []int, ec *exec.Ctx) ([]graph.NodeID, error) {
 	n := g.NumNodes()
 	score := make([]float64, n)
 	st := newDijkstraState(n)
@@ -288,13 +289,17 @@ func landmarkOrder(g graph.Access, degree []int) ([]graph.NodeID, error) {
 		st.push(src, 0)
 		parent[src] = -1
 		popOrder = popOrder[:0]
-		//lint:ignore vetrnn/execpoll ordering-time sampling sweep; labeling construction has no query context
 		for {
 			v, dist, ok := st.pop()
 			if !ok {
 				break
 			}
 			popOrder = append(popOrder, v)
+			if len(popOrder)&(exec.CheckStride-1) == 0 {
+				if err := ec.Check(0); err != nil {
+					return nil, err
+				}
+			}
 			var err error
 			if st.adj, err = g.Adjacency(v, st.adj); err != nil {
 				return nil, err
@@ -336,12 +341,16 @@ func landmarkOrder(g graph.Access, degree []int) ([]graph.NodeID, error) {
 }
 
 // degrees collects per-node degrees over an Access.
-func degrees(g graph.Access) ([]int, error) {
+func degrees(g graph.Access, ec *exec.Ctx) ([]int, error) {
 	deg := make([]int, g.NumNodes())
 	var adj []graph.Edge
 	var err error
-	//lint:ignore vetrnn/execpoll ordering-time degree scan; labeling construction has no query context
 	for v := graph.NodeID(0); int(v) < len(deg); v++ {
+		if v&(exec.CheckStride-1) == 0 {
+			if err := ec.Check(0); err != nil {
+				return nil, err
+			}
+		}
 		if adj, err = g.Adjacency(v, adj); err != nil {
 			return nil, err
 		}
@@ -352,88 +361,40 @@ func degrees(g graph.Access) ([]int, error) {
 
 // Build constructs an undirected labeling over g with pruned landmark
 // labeling. The graph is read directly (no counted I/O); builds are
-// CPU-bound and meant to run once per graph, then persist via Write.
+// CPU-bound and meant to run once per graph, then persist via Write. Use
+// BuildOpt for a parallel (and cancellable) build of the same labeling.
 func Build(g graph.Access) (*Labeling, error) {
-	n := g.NumNodes()
-	deg, err := degrees(g)
-	if err != nil {
-		return nil, err
-	}
-	order, err := landmarkOrder(g, deg)
-	if err != nil {
-		return nil, err
-	}
-	entries := make([][]Entry, n)
-	st := newDijkstraState(n)
-	lp := newLandmarkProbe(n)
-	for _, h := range order {
-		lp.load(entries[h])
-		if err := prunedSweep(g, h, lp, entries, st); err != nil {
-			return nil, err
-		}
-	}
-	return &Labeling{numNodes: n, out: finalize(n, entries)}, nil
+	l, _, err := BuildOpt(g, BuildOptions{})
+	return l, err
 }
 
 // BuildDigraph constructs forward and backward labels over a directed
 // graph: one pruned forward sweep (over out-arcs, filling L_in) and one
-// pruned backward sweep (over in-arcs, filling L_out) per landmark.
+// pruned backward sweep (over in-arcs, filling L_out) per landmark. Use
+// BuildDigraphOpt for a parallel (and cancellable) build.
 func BuildDigraph(d *graph.Digraph) (*Labeling, error) {
-	n := d.NumNodes()
-	out, in := d.Out(), d.In()
-	degOut, err := degrees(out)
-	if err != nil {
-		return nil, err
-	}
-	degIn, err := degrees(in)
-	if err != nil {
-		return nil, err
-	}
-	for v := range degOut {
-		degOut[v] += degIn[v]
-	}
-	order, err := landmarkOrder(out, degOut)
-	if err != nil {
-		return nil, err
-	}
-	outL := make([][]Entry, n)
-	inL := make([][]Entry, n)
-	st := newDijkstraState(n)
-	lp := newLandmarkProbe(n)
-	for _, h := range order {
-		// Forward sweep computes d(h→v) and fills L_in(v); the pruning
-		// query d(h→v) intersects L_out(h) with L_in(v).
-		lp.load(outL[h])
-		if err := prunedSweep(out, h, lp, inL, st); err != nil {
-			return nil, err
-		}
-		// Backward sweep computes d(v→h) and fills L_out(v); the pruning
-		// query d(v→h) intersects L_out(v) with L_in(h).
-		lp.load(inL[h])
-		if err := prunedSweep(in, h, lp, outL, st); err != nil {
-			return nil, err
-		}
-	}
-	return &Labeling{
-		numNodes: n,
-		directed: true,
-		out:      finalize(n, outL),
-		in:       finalize(n, inL),
-	}, nil
+	l, _, err := BuildDigraphOpt(d, BuildOptions{})
+	return l, err
 }
 
 // prunedSweep runs one pruned Dijkstra from landmark h, appending (h, dist)
 // to the labels of every node the loaded probe cannot already cover.
-func prunedSweep(g graph.Access, h graph.NodeID, lp *landmarkProbe, into [][]Entry, st *dijkstraState) error {
+func prunedSweep(g graph.Access, h graph.NodeID, lp *landmarkProbe, into [][]Entry, st *dijkstraState, ec *exec.Ctx, bst *BuildStats) error {
 	st.begin()
 	st.push(h, 0)
-	//lint:ignore vetrnn/execpoll build-time pruned sweep; labeling construction has no query context
 	for {
 		v, dist, ok := st.pop()
 		if !ok {
 			return nil
 		}
+		bst.Visits++
+		if bst.Visits&(exec.CheckStride-1) == 0 {
+			if err := ec.Check(0); err != nil {
+				return err
+			}
+		}
 		if lp.query(into[v]) <= dist {
+			bst.Pruned++
 			continue // already covered by higher-ranked hubs
 		}
 		into[v] = append(into[v], Entry{Hub: h, Dist: dist})

@@ -16,47 +16,80 @@ import (
 // pages so labelings survive process restarts:
 //
 //	page 0          header: magic "GRNHUBL1", version, page size, numNodes,
-//	                directed, directory start page, directory page count,
-//	                entry total
+//	                directed, label codec, directory start page, directory
+//	                page count, entry total, label payload bytes
 //	pages 1..D-1    label chunk records in node order (out label, then in
 //	                label for directed graphs); one record holds
-//	                [flags u8][count u16] count×[hub u32][dist f64],
-//	                flag bit 0 = more chunks follow in the next slot
+//	                [flags u8][count u16] followed by count entries in the
+//	                file's codec, flag bit 0 = more chunks follow in the
+//	                next slot
 //	pages D..       the directory: one packed 8-byte entry per label
 //	                ([page i32][slot u16][pad u16]) pointing at the first
 //	                chunk of each node's label, node-major, out before in
 //
 // Chunks of one label always occupy consecutive slots (continuing at slot 0
 // of the next page), so a reader only needs the first chunk's address.
+//
+// Codecs: codecRaw stores count×[hub u32][dist f64]. codecDelta exploits
+// the hub-id-sorted label order and stores count×[uvarint hub][dist f64]
+// where the first hub of a chunk is absolute and every later one is the
+// gap to its predecessor — dense low-id hubs (the high-rank landmarks that
+// dominate every label) shrink to one or two bytes. Each chunk restarts
+// absolute, so chunks stay independently decodable. Files written before
+// the codec existed carry zeros in the reserved header bytes and read back
+// as codecRaw with an unknown payload size.
 
 const (
 	storeMagic   = "GRNHUBL1"
 	storeVersion = 1
 
 	// Header field offsets: magic [0:8), version [8:12), pageSize [12:16),
-	// numNodes [16:20), directed [20], pad [21:24), dirStart [24:28),
-	// dirPages [28:32), entries [32:40).
-	headerSize   = 40
+	// numNodes [16:20), directed [20], codec [21], pad [22:24),
+	// dirStart [24:28), dirPages [28:32), entries [32:40),
+	// payloadBytes [40:48).
+	headerSize   = 48
 	dirEntrySize = 8
 	entrySize    = 4 + 8
 	chunkHeader  = 1 + 2
 
 	flagMore = 1
+
+	codecRaw   = 0
+	codecDelta = 1
+
+	// maxVarintHub bounds one uvarint-encoded 32-bit hub id.
+	maxVarintHub = 5
 )
+
+// WriteOptions tunes Write. The zero value writes the raw fixed-width
+// codec, byte-compatible with files written before options existed.
+type WriteOptions struct {
+	// Compression switches label chunks to the delta+varint codec.
+	Compression bool
+}
 
 type dirEnt struct {
 	page storage.PageID
 	slot uint16
 }
 
-// Write persists l into an empty paged file. The file's page 0 becomes the
-// header; label and directory pages follow.
+// Write persists l into an empty paged file with the raw codec. The
+// file's page 0 becomes the header; label and directory pages follow.
 func Write(l *Labeling, f storage.PagedFile) error {
+	return WriteOpt(l, f, WriteOptions{})
+}
+
+// WriteOpt is Write with codec control.
+func WriteOpt(l *Labeling, f storage.PagedFile, opt WriteOptions) error {
 	if f.NumPages() != 0 {
 		return fmt.Errorf("hublabel: refusing to write labeling into non-empty file (%d pages)", f.NumPages())
 	}
 	pageSize := f.PageSize()
-	if pageSize < headerSize || storage.MaxRecordPayload(pageSize) < chunkHeader+entrySize {
+	maxEntryBytes := entrySize
+	if opt.Compression {
+		maxEntryBytes = maxVarintHub + 8
+	}
+	if pageSize < headerSize || storage.MaxRecordPayload(pageSize) < chunkHeader+maxEntryBytes {
 		return fmt.Errorf("hublabel: page size %d cannot hold one label entry", pageSize)
 	}
 	// Reserve page 0 for the header.
@@ -85,7 +118,20 @@ func Write(l *Labeling, f storage.PagedFile) error {
 		return nil
 	}
 
-	writeLabel := func(di int, label []Entry) error {
+	var payload uint64
+	addChunk := func(di int, rec []byte, first bool) (bool, error) {
+		slot, ok := builder.TryAdd(rec)
+		if !ok {
+			return first, fmt.Errorf("hublabel: label chunk of %d bytes does not fit a fresh page", len(rec))
+		}
+		payload += uint64(len(rec))
+		if first {
+			dir[di] = dirEnt{page: nextPage, slot: uint16(slot)}
+		}
+		return false, nil
+	}
+
+	writeRaw := func(di int, label []Entry) error {
 		first := true
 		for {
 			// Fit as many entries as the current page allows; open a fresh
@@ -113,19 +159,74 @@ func Write(l *Labeling, f storage.PagedFile) error {
 				binary.LittleEndian.PutUint32(rec[off:], uint32(e.Hub))
 				binary.LittleEndian.PutUint64(rec[off+4:], math.Float64bits(e.Dist))
 			}
-			slot, ok := builder.TryAdd(rec)
-			if !ok {
-				return fmt.Errorf("hublabel: label chunk of %d entries does not fit a fresh page", count)
-			}
-			if first {
-				dir[di] = dirEnt{page: nextPage, slot: uint16(slot)}
-				first = false
+			var err error
+			if first, err = addChunk(di, rec, first); err != nil {
+				return err
 			}
 			label = label[count:]
 			if !more {
 				return nil
 			}
 		}
+	}
+
+	// writeDelta packs entries greedily: each chunk takes as many
+	// varint-delta entries as the page has room for, restarting the
+	// absolute hub encoding on every chunk.
+	var rec []byte
+	writeDelta := func(di int, label []Entry) error {
+		first := true
+		for {
+			avail := builder.FreeBytes() - chunkHeader
+			if avail < maxVarintHub+8 && !builder.Empty() {
+				if err := flush(); err != nil {
+					return err
+				}
+				avail = builder.FreeBytes() - chunkHeader
+			}
+			rec = append(rec[:0], 0, 0, 0)
+			count := 0
+			prev := graph.NodeID(0)
+			var tmp [maxVarintHub]byte
+			for count < len(label) {
+				e := label[count]
+				d := uint64(e.Hub)
+				if count > 0 {
+					d = uint64(e.Hub - prev)
+				}
+				n := binary.PutUvarint(tmp[:], d)
+				if len(rec)-chunkHeader+n+8 > avail {
+					break
+				}
+				rec = append(rec, tmp[:n]...)
+				rec = binary.LittleEndian.AppendUint64(rec, math.Float64bits(e.Dist))
+				prev = e.Hub
+				count++
+			}
+			more := count < len(label)
+			if more && count == 0 {
+				return fmt.Errorf("hublabel: label entry does not fit a fresh page")
+			}
+			if more {
+				rec[0] = flagMore
+			}
+			binary.LittleEndian.PutUint16(rec[1:], uint16(count))
+			var err error
+			if first, err = addChunk(di, rec, first); err != nil {
+				return err
+			}
+			label = label[count:]
+			if !more {
+				return nil
+			}
+		}
+	}
+
+	writeLabel := writeRaw
+	codec := byte(codecRaw)
+	if opt.Compression {
+		writeLabel = writeDelta
+		codec = codecDelta
 	}
 
 	for v := graph.NodeID(0); int(v) < l.numNodes; v++ {
@@ -172,9 +273,11 @@ func Write(l *Labeling, f storage.PagedFile) error {
 	if l.directed {
 		hdr[20] = 1
 	}
+	hdr[21] = codec
 	binary.LittleEndian.PutUint32(hdr[24:], uint32(dirStart))
 	binary.LittleEndian.PutUint32(hdr[28:], uint32(nextPage-dirStart))
 	binary.LittleEndian.PutUint64(hdr[32:], uint64(l.Entries()))
+	binary.LittleEndian.PutUint64(hdr[40:], payload)
 	return f.Write(0, hdr)
 }
 
@@ -206,6 +309,8 @@ type Store struct {
 	numNodes int
 	directed bool
 	entries  int
+	codec    byte
+	payload  int64
 	dir      []dirEnt
 	pageSize int
 	pagePool sync.Pool // []byte page buffers for capacity-0 reads
@@ -247,9 +352,14 @@ func openStore(f storage.PagedFile, buffer func() *storage.BufferManager) (*Stor
 	}
 	numNodes := int(binary.LittleEndian.Uint32(hdr[16:]))
 	directed := hdr[20] == 1
+	codec := hdr[21]
+	if codec > codecDelta {
+		return nil, fmt.Errorf("hublabel: unsupported label codec %d", codec)
+	}
 	dirStart := storage.PageID(binary.LittleEndian.Uint32(hdr[24:]))
 	dirPages := int(binary.LittleEndian.Uint32(hdr[28:]))
 	entries := int(binary.LittleEndian.Uint64(hdr[32:]))
+	payload := int64(binary.LittleEndian.Uint64(hdr[40:]))
 
 	sides := 1
 	if directed {
@@ -279,6 +389,8 @@ func openStore(f storage.PagedFile, buffer func() *storage.BufferManager) (*Stor
 		numNodes: numNodes,
 		directed: directed,
 		entries:  entries,
+		codec:    codec,
+		payload:  payload,
 		dir:      dir,
 		pageSize: pageSize,
 	}
@@ -297,6 +409,17 @@ func (s *Store) Directed() bool { return s.directed }
 
 // Entries returns the total number of label entries (both sides).
 func (s *Store) Entries() int { return s.entries }
+
+// Compressed reports whether label chunks use the delta+varint codec.
+func (s *Store) Compressed() bool { return s.codec == codecDelta }
+
+// PayloadBytes returns the encoded label record bytes (chunk headers
+// included), or 0 for files written before the counter existed.
+func (s *Store) PayloadBytes() int64 { return s.payload }
+
+// RawBytes returns what the entries occupy in the raw fixed-width codec,
+// the baseline the compression ratio is measured against.
+func (s *Store) RawBytes() int64 { return int64(s.entries) * entrySize }
 
 // AverageLabelSize returns the mean entries per node per side.
 func (s *Store) AverageLabelSize() float64 {
@@ -364,15 +487,36 @@ func (s *Store) readLabel(at dirEnt, buf []Entry) ([]Entry, error) {
 			return nil, fmt.Errorf("hublabel: truncated label chunk on page %d slot %d", pid, slot)
 		}
 		count := int(binary.LittleEndian.Uint16(rec[1:]))
-		if len(rec) < chunkHeader+count*entrySize {
-			return nil, fmt.Errorf("hublabel: corrupt label chunk on page %d slot %d", pid, slot)
-		}
-		for i := 0; i < count; i++ {
-			off := chunkHeader + i*entrySize
-			buf = append(buf, Entry{
-				Hub:  graph.NodeID(binary.LittleEndian.Uint32(rec[off:])),
-				Dist: math.Float64frombits(binary.LittleEndian.Uint64(rec[off+4:])),
-			})
+		if s.codec == codecDelta {
+			body := rec[chunkHeader:]
+			prev := graph.NodeID(0)
+			for i := 0; i < count; i++ {
+				d, n := binary.Uvarint(body)
+				if n <= 0 || len(body) < n+8 {
+					return nil, fmt.Errorf("hublabel: corrupt label chunk on page %d slot %d", pid, slot)
+				}
+				hub := graph.NodeID(d)
+				if i > 0 {
+					hub = prev + graph.NodeID(d)
+				}
+				buf = append(buf, Entry{
+					Hub:  hub,
+					Dist: math.Float64frombits(binary.LittleEndian.Uint64(body[n:])),
+				})
+				prev = hub
+				body = body[n+8:]
+			}
+		} else {
+			if len(rec) < chunkHeader+count*entrySize {
+				return nil, fmt.Errorf("hublabel: corrupt label chunk on page %d slot %d", pid, slot)
+			}
+			for i := 0; i < count; i++ {
+				off := chunkHeader + i*entrySize
+				buf = append(buf, Entry{
+					Hub:  graph.NodeID(binary.LittleEndian.Uint32(rec[off:])),
+					Dist: math.Float64frombits(binary.LittleEndian.Uint64(rec[off+4:])),
+				})
+			}
 		}
 		if rec[0]&flagMore == 0 {
 			return buf, nil

@@ -86,6 +86,10 @@ type ShardOptions struct {
 	// MatK, when positive, materializes per-shard K-NN lists (maxK =
 	// MatK) for the eager-M substrate.
 	MatK int
+	// Build controls the per-shard hub-label construction (worker count
+	// per build, label compression). Shards always build concurrently
+	// with each other.
+	Build BuildOptions
 	// DiskBacked serves each shard's adjacency from its own paged file,
 	// attached to the parent DB's buffer pool as one tenant per shard.
 	// Default shares the parent's in-memory topology (zero copy).
@@ -264,21 +268,44 @@ func (s *Sharded) buildHandles(opt *ShardOptions) error {
 				}
 			}
 		}
-		if opt.HubLabelK > 0 {
-			hub, err := shDB.BuildHubLabelIndex(h.ps, opt.HubLabelK, nil)
-			if err != nil {
-				return err
-			}
-			h.hub = hub
-		}
-		if opt.MatK > 0 {
-			mat, err := shDB.MaterializeNodePoints(h.ps, opt.MatK, nil)
-			if err != nil {
-				return err
-			}
-			h.mat = mat
-		}
 		s.handles[sh] = h
+	}
+	// The substrate builds are CPU-bound and independent per shard, so
+	// they run concurrently. Handle and point-set construction above
+	// stays sequential: it fixes the local point-id layout and the
+	// buffer-pool tenant order, which must not depend on scheduling.
+	if opt.HubLabelK > 0 || opt.MatK > 0 {
+		errs := make([]error, s.part.Shards)
+		var wg sync.WaitGroup
+		for sh := range s.part.Shards {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				h := s.handles[sh]
+				if opt.HubLabelK > 0 {
+					hub, err := h.db.BuildHubLabelIndex(h.ps, opt.HubLabelK, &HubLabelOptions{Build: opt.Build})
+					if err != nil {
+						errs[sh] = err
+						return
+					}
+					h.hub = hub
+				}
+				if opt.MatK > 0 {
+					mat, err := h.db.MaterializeNodePoints(h.ps, opt.MatK, nil)
+					if err != nil {
+						errs[sh] = err
+						return
+					}
+					h.mat = mat
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }
