@@ -150,6 +150,38 @@ type server struct {
 	shardRole  string
 }
 
+// close releases the server's substrates in dependency order — sharded
+// engines, the hub-label index, the materialization, then the DB itself —
+// detaching their buffer-pool tenants. Requests must have drained. It
+// returns the first error and keeps going.
+func (s *server) close() error {
+	var first error
+	if s.sharded != nil {
+		if err := s.sharded.Close(); first == nil {
+			first = err
+		}
+		s.sharded = nil
+	}
+	if idx := s.hub.Swap(nil); idx != nil {
+		if err := idx.Close(); first == nil {
+			first = err
+		}
+	}
+	if s.mat != nil {
+		if err := s.mat.Close(); first == nil {
+			first = err
+		}
+		s.mat = nil
+	}
+	if s.db != nil {
+		if err := s.db.Close(); first == nil {
+			first = err
+		}
+		s.db = nil
+	}
+	return first
+}
+
 // queryOptions resolves the per-query deadline of one request: the server
 // default, optionally tightened by a ?timeout= duration parameter.
 func (s *server) queryOptions(r *http.Request) (*graphrnn.QueryOptions, error) {
@@ -907,6 +939,9 @@ func main() {
 		log.Printf("rnnserver: drain incomplete after grace period (%v); forcing close", err)
 		httpSrv.Close()
 		os.Exit(1)
+	}
+	if err := srv.close(); err != nil {
+		log.Printf("rnnserver: substrate release: %v", err)
 	}
 	log.Print("rnnserver: stopped cleanly")
 }

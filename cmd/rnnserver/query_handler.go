@@ -171,8 +171,8 @@ func (r queryRequest) toQuery(s *server, base *graphrnn.QueryOptions) (graphrnn.
 // the per-substrate serving mix, and how often hints had to fall back.
 type plannerCounters struct {
 	mu        sync.Mutex
-	decisions map[string]int64
-	fallbacks int64
+	decisions map[string]int64 // vetrnn:guardedby mu
+	fallbacks int64            // vetrnn:guardedby mu
 }
 
 func (c *plannerCounters) record(p graphrnn.Plan) {

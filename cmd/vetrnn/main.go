@@ -1,6 +1,7 @@
 // Command vetrnn is the repo's invariant checker: a multichecker over the
-// internal/analysis suite (execpoll, journalbefore, commaok, partialresult)
-// that machine-checks the engine contracts PRs 3-5 established.
+// internal/analysis suite (execpoll, journalbefore, commaok, partialresult,
+// guardedby, tenantclose, deadlinecarve) that machine-checks the engine
+// contracts PRs 3-5 established.
 //
 // It runs two ways:
 //
@@ -8,17 +9,31 @@
 //
 //	go run ./cmd/vetrnn ./...
 //	vetrnn -json ./...
+//	vetrnn -ratchet VETRNN_BASELINE.json ./...
 //
 // As a vet tool, speaking the go command's unitchecker protocol
 // (-V=full for build-cache keying, -flags for flag discovery, then one
-// .cfg unit config per package):
+// .cfg unit config per package). Cross-package analyzer facts ride the
+// same protocol: each unit reads the vetx facts files of its imports
+// (PackageVetx) and writes its own, including re-exported transitive
+// facts, to VetxOutput:
 //
 //	go build -o /tmp/vetrnn ./cmd/vetrnn
 //	go vet -vettool=/tmp/vetrnn ./...
 //
+// The standalone loader threads the same facts in dependency order, also
+// loading module-local dependencies of narrow patterns (facts only) so
+// both modes see identical cross-package contracts.
+//
+// The suppression ratchet (standalone only): -ratchet <baseline> fails
+// when //lint:ignore vetrnn/* counts per analyzer exceed the committed
+// baseline or when a directive is stale (its analyzer no longer fires on
+// the covered lines); -ratchet-write refreshes the baseline file.
+//
 // Each analyzer can be disabled with -<name>=false in either mode. Exit
-// codes: 0 clean, 1 findings (standalone), 2 findings or protocol error
-// (vet-tool mode, where any nonzero exit fails `go vet`).
+// codes: 0 clean, 1 findings or ratchet violations (standalone), 2
+// findings or protocol error (vet-tool mode, where any nonzero exit fails
+// `go vet`).
 package main
 
 import (
@@ -33,18 +48,24 @@ import (
 
 	"graphrnn/internal/analysis"
 	"graphrnn/internal/analysis/commaok"
+	"graphrnn/internal/analysis/deadlinecarve"
 	"graphrnn/internal/analysis/execpoll"
+	"graphrnn/internal/analysis/guardedby"
 	"graphrnn/internal/analysis/journalbefore"
 	"graphrnn/internal/analysis/load"
 	"graphrnn/internal/analysis/partialresult"
+	"graphrnn/internal/analysis/tenantclose"
 )
 
 // suite is the full analyzer suite, in report order.
 var suite = []*analysis.Analyzer{
 	commaok.Analyzer,
+	deadlinecarve.Analyzer,
 	execpoll.Analyzer,
+	guardedby.Analyzer,
 	journalbefore.Analyzer,
 	partialresult.Analyzer,
+	tenantclose.Analyzer,
 }
 
 func main() { os.Exit(run(os.Args[1:])) }
@@ -56,6 +77,8 @@ func run(args []string) int {
 	flagsFlag := fs.Bool("flags", false, "print the tool's flags as JSON and exit")
 	jsonFlag := fs.Bool("json", false, "emit findings as JSON on stdout")
 	dirFlag := fs.String("dir", ".", "directory to run go list from (standalone mode)")
+	ratchetFlag := fs.String("ratchet", "", "baseline file to ratchet //lint:ignore counts against (standalone mode)")
+	ratchetWrite := fs.Bool("ratchet-write", false, "rewrite the -ratchet baseline from the tree's current suppressions")
 	enabled := map[string]*bool{}
 	for _, a := range suite {
 		enabled[a.Name] = fs.Bool(a.Name, true, firstLine(a.Doc))
@@ -81,7 +104,7 @@ func run(args []string) int {
 	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return vetUnit(rest[0], active, *jsonFlag)
 	}
-	return standalone(fs.Args(), *dirFlag, active, *jsonFlag)
+	return standalone(fs.Args(), *dirFlag, active, *jsonFlag, *ratchetFlag, *ratchetWrite)
 }
 
 func firstLine(doc string) string {
@@ -120,35 +143,48 @@ func printFlags() {
 	fmt.Println()
 }
 
-// vetUnit analyzes one `go vet` unit config. The vetx facts file must be
-// written even when empty — the go command caches it.
+// vetUnit analyzes one `go vet` unit config: imports' facts are read from
+// their vetx files, the unit's own (plus re-exported transitive) facts are
+// written to VetxOutput — which must exist even when empty, because the go
+// command caches it.
 func vetUnit(cfgFile string, active []*analysis.Analyzer, asJSON bool) int {
 	cfg, err := load.ReadVetConfig(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	facts := analysis.NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		if err := facts.ReadVetx(vetx); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	pkg, err := load.VetCfg(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			// The go command still expects the (empty) facts file.
+			if cfg.VetxOutput != "" {
+				os.WriteFile(cfg.VetxOutput, nil, 0o666)
+			}
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	findings, _, err := analysis.RunFacts(pkg, active, facts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		if err := facts.WriteVetx(cfg.VetxOutput); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
 	}
 	if cfg.VetxOnly {
 		return 0
-	}
-	pkg, err := load.VetCfg(cfg)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
-	findings, err := analysis.Run(pkg, active)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
 	}
 	if asJSON {
 		emitJSON(cfg.ImportPath, findings)
@@ -163,8 +199,10 @@ func vetUnit(cfgFile string, active []*analysis.Analyzer, asJSON bool) int {
 	return 0
 }
 
-// standalone loads packages via go list and analyzes them all.
-func standalone(patterns []string, dir string, active []*analysis.Analyzer, asJSON bool) int {
+// standalone loads packages via go list and analyzes them in dependency
+// order through a shared fact store. Module-local dependencies pulled in
+// only for their facts contribute neither findings nor ratchet directives.
+func standalone(patterns []string, dir string, active []*analysis.Analyzer, asJSON bool, ratchetFile string, ratchetWrite bool) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -173,26 +211,59 @@ func standalone(patterns []string, dir string, active []*analysis.Analyzer, asJS
 		fmt.Fprintln(os.Stderr, err)
 		return 2
 	}
+	facts := analysis.NewFactStore()
 	var all []analysis.Finding
+	var directives []analysis.Directive
 	for _, pkg := range pkgs {
-		findings, err := analysis.Run(pkg, active)
+		findings, dirs, err := analysis.RunFacts(pkg.Package, active, facts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
+		if pkg.FactsOnly {
+			continue
+		}
 		all = append(all, findings...)
+		directives = append(directives, dirs...)
 	}
+
+	code := 0
 	if asJSON {
 		emitJSON("", all)
-		return 0
-	}
-	for _, f := range all {
-		fmt.Println(f)
+	} else {
+		for _, f := range all {
+			fmt.Println(f)
+		}
 	}
 	if len(all) > 0 {
-		return 1
+		code = 1
 	}
-	return 0
+
+	switch {
+	case ratchetFile != "" && ratchetWrite:
+		if err := analysis.WriteBaseline(ratchetFile, directives); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	case ratchetFile != "":
+		baseline, err := analysis.ReadBaseline(ratchetFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		activeNames := map[string]bool{}
+		for _, a := range active {
+			activeNames[a.Name] = true
+		}
+		violations := analysis.Ratchet(baseline, directives, activeNames)
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, v)
+		}
+		if len(violations) > 0 {
+			code = 1
+		}
+	}
+	return code
 }
 
 // emitJSON prints findings as a JSON array on stdout.

@@ -287,6 +287,21 @@ func OpenWithLayout(g *Graph, opt *Options, layout Layout) (*DB, error) {
 // Graph returns the underlying graph.
 func (db *DB) Graph() *Graph { return db.graph }
 
+// Close releases the adjacency store's buffer tenant back to the shared
+// pool (a memory-served DB holds no tenant and Close is a no-op). Attached
+// substrates — hub label indexes, materializations, paged point sets — have
+// their own Close methods and are not closed through the DB. Queries must
+// not be in flight; the DB must not be used afterwards. Close is
+// idempotent.
+func (db *DB) Close() error {
+	if db.disk == nil {
+		return nil
+	}
+	disk := db.disk
+	db.disk = nil
+	return disk.Close()
+}
+
 // IOStats describes physical page traffic of a disk-backed component.
 type IOStats struct {
 	// Reads counts physical page reads (buffer faults).

@@ -31,6 +31,7 @@ import (
 // build survives process restarts and label reads count I/O like every
 // other substrate.
 type HubLabelIndex struct {
+	//lint:ignore vetrnn/tenantclose planner back-pointer (Close only detaches from it); the caller owns the DB
 	db       *DB
 	idx      *hublabel.Index
 	lab      *hublabel.Labeling // retained when built in this process
@@ -235,9 +236,6 @@ func (h *HubLabelIndex) Close() error {
 		h.db.planHub.CompareAndSwap(h, nil)
 	}
 	if h.store != nil {
-		if err := h.store.Buffer().Detach(); err != nil {
-			return err
-		}
 		return h.store.Close()
 	}
 	return nil

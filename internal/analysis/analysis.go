@@ -34,9 +34,20 @@ type Analyzer struct {
 	// contracts govern production code; tests deliberately break them
 	// (oracle loops without contexts, intentionally ignored ok-results).
 	SkipTests bool
+	// FactTypes declares the package-fact types this analyzer may export
+	// and import (one pointer value of each concrete type). An analyzer
+	// with no FactTypes is purely single-package.
+	FactTypes []Fact
 	// Run applies the check to one package.
 	Run func(*Pass) error
 }
+
+// Fact is a serializable datum an analyzer attaches to a package so that
+// the analysis of a *downstream* package can consume it — the cross-package
+// half of the framework (the miniature of x/tools' analysis.Fact, package
+// facts only). Concrete fact types must be JSON-marshalable structs and
+// carry the marker method.
+type Fact interface{ AFact() }
 
 // Pass carries one analyzed package to an Analyzer's Run.
 type Pass struct {
@@ -48,6 +59,40 @@ type Pass struct {
 	// Report delivers one diagnostic. Suppression and test-file filtering
 	// happen in the driver, not here.
 	Report func(Diagnostic)
+
+	// facts is the cross-package fact store shared by the run; set by the
+	// driver before Run is invoked.
+	facts *FactStore
+}
+
+// ExportPackageFact attaches fact to the package under analysis. The fact's
+// concrete type must be declared in the analyzer's FactTypes; a later
+// export of the same type replaces the earlier one.
+func (p *Pass) ExportPackageFact(fact Fact) error {
+	if !p.declaresFactType(fact) {
+		return fmt.Errorf("analysis: %s exports undeclared fact type %T", p.Analyzer.Name, fact)
+	}
+	return p.facts.export(p.Analyzer.Name, p.Pkg.Path(), fact)
+}
+
+// ImportPackageFact copies the fact this analyzer attached to the package
+// at path (an import of the current package, or the current package
+// itself) into fact, reporting whether one was found. The fact's concrete
+// type must be declared in the analyzer's FactTypes.
+func (p *Pass) ImportPackageFact(path string, fact Fact) bool {
+	if !p.declaresFactType(fact) {
+		return false
+	}
+	return p.facts.importInto(p.Analyzer.Name, path, fact)
+}
+
+func (p *Pass) declaresFactType(fact Fact) bool {
+	for _, ft := range p.Analyzer.FactTypes {
+		if factTypeName(ft) == factTypeName(fact) {
+			return true
+		}
+	}
+	return false
 }
 
 // Reportf reports a formatted diagnostic at pos.

@@ -27,21 +27,30 @@ import (
 )
 
 // Run loads each package from testdata/src and applies a, comparing
-// findings with // want expectations.
+// findings with // want expectations. Testdata-resident dependencies of
+// the named package are analyzed first into a shared fact store (their
+// findings are not checked), so fixtures exercise cross-package facts the
+// way the real drivers do: annotate in one fixture package, expect the
+// diagnostic in its importer.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpaths ...string) {
 	t.Helper()
 	for _, path := range pkgpaths {
-		pkg, err := load.Testdata(testdata, path)
+		pkgs, err := load.TestdataAll(testdata, path)
 		if err != nil {
 			t.Errorf("load %s: %v", path, err)
 			continue
 		}
-		findings, err := analysis.Run(pkg, []*analysis.Analyzer{a})
-		if err != nil {
-			t.Errorf("run %s on %s: %v", a.Name, path, err)
-			continue
+		facts := analysis.NewFactStore()
+		for i, pkg := range pkgs {
+			findings, _, err := analysis.RunFacts(pkg, []*analysis.Analyzer{a}, facts)
+			if err != nil {
+				t.Errorf("run %s on %s: %v", a.Name, pkg.Types.Path(), err)
+				break
+			}
+			if i == len(pkgs)-1 { // the named package
+				checkWants(t, pkg, findings)
+			}
 		}
-		checkWants(t, pkg, findings)
 	}
 }
 

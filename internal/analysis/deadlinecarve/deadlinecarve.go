@@ -1,0 +1,168 @@
+// Package deadlinecarve checks the fan-out deadline contract: when a
+// function that already has a parent deadline source (a context.Context
+// parameter, or a parameter carrying a Timeout/Deadline field — the
+// QueryOptions shape) builds per-child deadlines inside a loop, each
+// child's budget must be carved from the parent's remaining budget, the
+// way shardTimeout divides what is left across shards.
+//
+// Two shapes break the contract and are flagged inside loop bodies:
+//
+//   - a compile-time-constant child budget ("Timeout: 50 * time.Millisecond",
+//     "opts.Timeout = shardBudget", context.WithTimeout(ctx, 2*time.Second)):
+//     N children at a constant budget can spend N times the parent's;
+//   - a deadline rebased to time.Now() ("Deadline: time.Now().Add(d)"):
+//     every iteration restarts the clock, so time already spent on earlier
+//     children is not charged against later ones.
+//
+// A zero constant is exempt (the "no deadline" sentinel), and functions
+// without a parent deadline source are never flagged — a benchmark loop
+// handing each run a fresh budget is fine. Deliberate floors (the
+// 50ms-minimum reserve) carry //lint:ignore vetrnn/deadlinecarve with the
+// reason.
+package deadlinecarve
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"graphrnn/internal/analysis"
+)
+
+// Analyzer is the deadlinecarve check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "deadlinecarve",
+	Doc:       "child deadlines built in fan-out loops must derive from the parent deadline, not constants or time.Now()",
+	SkipTests: true,
+	Run:       run,
+}
+
+var deadlineFields = map[string]bool{"Timeout": true, "Deadline": true}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			if !hasParentDeadline(pass, fd) {
+				return true
+			}
+			checkLoops(pass, fd.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// hasParentDeadline reports whether the function receives a deadline it
+// should be carving from: a context.Context parameter or a parameter
+// whose (possibly pointed-to) struct type has a Timeout or Deadline
+// field.
+func hasParentDeadline(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if isContext(t) {
+			return true
+		}
+		if p, ok := t.Underlying().(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if deadlineFields[st.Field(i).Name()] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == "Context" && analysis.PathHasSuffix(named.Obj().Pkg().Path(), "context")
+}
+
+// checkLoops flags broken child deadlines inside every loop body of the
+// function.
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		switch st := n.(type) {
+		case *ast.ForStmt:
+			loopBody = st.Body
+		case *ast.RangeStmt:
+			loopBody = st.Body
+		default:
+			return true
+		}
+		checkLoopBody(pass, loopBody)
+		// Nested loops are reached by the continued Inspect.
+		return true
+	})
+}
+
+func checkLoopBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.KeyValueExpr:
+			if key, ok := st.Key.(*ast.Ident); ok && deadlineFields[key.Name] {
+				flagValue(pass, st.Value, key.Name)
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok || !deadlineFields[sel.Sel.Name] || i >= len(st.Rhs) {
+					continue
+				}
+				flagValue(pass, st.Rhs[i], sel.Sel.Name)
+			}
+		case *ast.CallExpr:
+			if len(st.Args) == 2 &&
+				(analysis.CalleeIs(pass.TypesInfo, st, "context", "WithTimeout") ||
+					analysis.CalleeIs(pass.TypesInfo, st, "context", "WithDeadline")) {
+				flagValue(pass, st.Args[1], "deadline")
+			}
+		}
+		return true
+	})
+}
+
+// flagValue reports a child-deadline expression that is a nonzero
+// compile-time constant or rebased to time.Now().
+func flagValue(pass *analysis.Pass, expr ast.Expr, what string) {
+	if tv, ok := pass.TypesInfo.Types[expr]; ok && tv.Value != nil {
+		if v, ok := constant.Int64Val(tv.Value); ok && v == 0 {
+			return
+		}
+		pass.Reportf(expr.Pos(),
+			"child %s in a fan-out loop is a constant; carve it from the parent's remaining budget (shardTimeout-style) so the parent deadline caps the children", what)
+		return
+	}
+	var now ast.Node
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && analysis.CalleeIs(pass.TypesInfo, call, "time", "Now") {
+			now = n
+			return false
+		}
+		return true
+	})
+	if now != nil {
+		pass.Reportf(expr.Pos(),
+			"child %s in a fan-out loop is rebased to time.Now(), so time spent on earlier children is not charged to later ones; derive it from the parent deadline", what)
+	}
+}

@@ -1,0 +1,12 @@
+package deadlinecarve_test
+
+import (
+	"testing"
+
+	"graphrnn/internal/analysis/analysistest"
+	"graphrnn/internal/analysis/deadlinecarve"
+)
+
+func TestDeadlineCarve(t *testing.T) {
+	analysistest.Run(t, "testdata", deadlinecarve.Analyzer, "deadlinecarve")
+}

@@ -1,0 +1,26 @@
+// Package context is a minimal stand-in for the real context package; the
+// analyzer matches Context, WithTimeout and WithDeadline by package path
+// and name.
+package context
+
+import "time"
+
+type Context interface {
+	Deadline() (time.Time, bool)
+}
+
+type CancelFunc func()
+
+type background struct{}
+
+func (background) Deadline() (time.Time, bool) { return time.Time{}, false }
+
+func Background() Context { return background{} }
+
+func WithTimeout(parent Context, d time.Duration) (Context, CancelFunc) {
+	return parent, func() {}
+}
+
+func WithDeadline(parent Context, t time.Time) (Context, CancelFunc) {
+	return parent, func() {}
+}

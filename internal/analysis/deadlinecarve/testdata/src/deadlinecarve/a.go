@@ -1,0 +1,88 @@
+// Deadline-carving scenarios: constant and time.Now()-rebased child
+// budgets inside fan-out loops, the carved shape that passes, the zero
+// sentinel, functions with no parent deadline, and suppression.
+package deadlinecarve
+
+import (
+	"context"
+	"time"
+)
+
+type QueryOptions struct {
+	Timeout  time.Duration
+	Deadline time.Time
+	K        int
+}
+
+type shard struct{}
+
+func (s *shard) query(o QueryOptions) {}
+
+// A constant per-child budget lets N children spend N parent budgets.
+func fanoutConst(shards []*shard, opts QueryOptions) {
+	for _, s := range shards {
+		s.query(QueryOptions{Timeout: 50 * time.Millisecond, K: opts.K}) // want `child Timeout in a fan-out loop is a constant`
+	}
+}
+
+// Rebasing to time.Now() forgets the time earlier children already spent.
+func fanoutNow(shards []*shard, opts QueryOptions) {
+	for _, s := range shards {
+		child := QueryOptions{K: opts.K}
+		child.Deadline = time.Now().Add(opts.Timeout) // want `child Deadline in a fan-out loop is rebased to time\.Now`
+		s.query(child)
+	}
+}
+
+// Carving from the parent's budget is the contract; a derived value is
+// neither constant nor now-based.
+func fanoutCarved(shards []*shard, opts QueryOptions) {
+	per := opts.Timeout / time.Duration(len(shards))
+	for _, s := range shards {
+		s.query(QueryOptions{Timeout: per, K: opts.K})
+	}
+}
+
+// The context forms of the same two mistakes.
+func fanoutCtx(ctx context.Context, shards []*shard) {
+	for range shards {
+		c, cancel := context.WithTimeout(ctx, 2*time.Second) // want `child deadline in a fan-out loop is a constant`
+		_ = c
+		cancel()
+	}
+}
+
+func fanoutCtxDeadline(ctx context.Context, shards []*shard) {
+	for range shards {
+		c, cancel := context.WithDeadline(ctx, time.Now().Add(time.Second)) // want `child deadline in a fan-out loop is rebased to time\.Now`
+		_ = c
+		cancel()
+	}
+}
+
+// Zero is the "no deadline" sentinel, not a budget.
+func fanoutZero(shards []*shard, opts QueryOptions) {
+	for _, s := range shards {
+		s.query(QueryOptions{Timeout: 0, K: opts.K})
+	}
+}
+
+// No parent deadline source: a benchmark loop may hand out fresh budgets.
+func bench(shards []*shard) {
+	for _, s := range shards {
+		s.query(QueryOptions{Timeout: 100 * time.Millisecond})
+	}
+}
+
+// Not a fan-out: a single child outside any loop is not flagged.
+func single(s *shard, opts QueryOptions) {
+	s.query(QueryOptions{Timeout: 50 * time.Millisecond, K: opts.K})
+}
+
+// Deliberate floors are suppressed with a reason (and ratchet-counted).
+func floor(shards []*shard, opts QueryOptions) {
+	for _, s := range shards {
+		//lint:ignore vetrnn/deadlinecarve deliberate 50ms floor so slow shards still return partial results
+		s.query(QueryOptions{Timeout: 50 * time.Millisecond, K: opts.K})
+	}
+}

@@ -31,13 +31,37 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
 }
 
-// Run applies every analyzer to pkg and returns the surviving findings in
-// position order: suppressed diagnostics are dropped, and analyzers with
-// SkipTests set do not report into _test.go files. Malformed suppression
-// comments are themselves reported (analyzer name "lintignore"), so a
-// reason-less ignore cannot silently disable a check.
+// Directive is one //lint:ignore comment, resolved for the ratchet: the
+// analyzer names it claims to suppress and, per name, how many diagnostics
+// it actually suppressed in this run. A name with zero suppressed
+// diagnostics is a *stale* directive candidate (the finding it once
+// silenced no longer fires there).
+type Directive struct {
+	Pos   token.Position
+	Names []string
+	// Suppressed counts, per claimed analyzer name, the diagnostics this
+	// directive silenced.
+	Suppressed map[string]int
+}
+
+// Run applies every analyzer to pkg with a throwaway fact store — the
+// single-package entry point.
 func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
-	sup, bad := collectSuppressions(pkg.Fset, pkg.Files)
+	findings, _, err := RunFacts(pkg, analyzers, NewFactStore())
+	return findings, err
+}
+
+// RunFacts applies every analyzer to pkg and returns the surviving
+// findings in position order plus the suppression directives the package
+// carries: suppressed diagnostics are dropped (and tallied on their
+// directive), and analyzers with SkipTests set do not report into _test.go
+// files. Malformed suppression comments are themselves reported (analyzer
+// name "lintignore"), so a reason-less ignore cannot silently disable a
+// check. facts carries package facts into the analysis (imports must have
+// been analyzed into the same store, or loaded from vetx files) and
+// receives the facts the analyzers export.
+func RunFacts(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Finding, []Directive, error) {
+	sup, directives, bad := collectSuppressions(pkg.Fset, pkg.Files)
 	var out []Finding
 	out = append(out, bad...)
 	for _, a := range analyzers {
@@ -47,18 +71,20 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     pkg.Files,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.Info,
+			facts:     facts,
 		}
 		var diags []Diagnostic
 		pass.Report = func(d Diagnostic) { diags = append(diags, d) }
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Types.Path(), err)
+			return nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Types.Path(), err)
 		}
 		for _, d := range diags {
 			posn := pkg.Fset.Position(d.Pos)
 			if a.SkipTests && strings.HasSuffix(posn.Filename, "_test.go") {
 				continue
 			}
-			if sup.covers(posn, a.Name) {
+			if dir := sup.covering(posn, a.Name); dir != nil {
+				dir.Suppressed[a.Name]++
 				continue
 			}
 			out = append(out, Finding{Analyzer: a.Name, Pos: posn, Message: d.Message})
@@ -74,7 +100,7 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out, nil
+	return out, directives, nil
 }
 
 // --- //lint:ignore suppression ---------------------------------------------
@@ -90,24 +116,33 @@ func Run(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
 
 const ignorePrefix = "//lint:ignore "
 
-// suppressions maps file -> line -> analyzer names suppressed there.
-type suppressions map[string]map[int]map[string]bool
+// suppressions maps file -> line -> the directive covering that line (a
+// directive covers its own line and the next).
+type suppressions map[string]map[int]*Directive
 
-func (s suppressions) covers(posn token.Position, analyzer string) bool {
+// covering returns the directive that suppresses analyzer at posn, if any.
+func (s suppressions) covering(posn token.Position, analyzer string) *Directive {
 	lines := s[posn.Filename]
 	if lines == nil {
-		return false
+		return nil
 	}
 	for _, line := range [2]int{posn.Line, posn.Line - 1} {
-		if lines[line][analyzer] || lines[line]["*"] {
-			return true
+		d := lines[line]
+		if d == nil {
+			continue
+		}
+		for _, n := range d.Names {
+			if n == analyzer || n == "*" {
+				return d
+			}
 		}
 	}
-	return false
+	return nil
 }
 
-func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Finding) {
+func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, []Directive, []Finding) {
 	sup := suppressions{}
+	var dirs []*Directive
 	var bad []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -126,21 +161,25 @@ func collectSuppressions(fset *token.FileSet, files []*ast.File) (suppressions, 
 					})
 					continue
 				}
+				d := &Directive{Pos: posn, Suppressed: map[string]int{}}
+				for _, n := range strings.Split(names, ",") {
+					d.Names = append(d.Names, strings.TrimPrefix(n, "vetrnn/"))
+				}
+				dirs = append(dirs, d)
 				lines := sup[posn.Filename]
 				if lines == nil {
-					lines = map[int]map[string]bool{}
+					lines = map[int]*Directive{}
 					sup[posn.Filename] = lines
 				}
-				set := lines[posn.Line]
-				if set == nil {
-					set = map[string]bool{}
-					lines[posn.Line] = set
-				}
-				for _, n := range strings.Split(names, ",") {
-					set[strings.TrimPrefix(n, "vetrnn/")] = true
-				}
+				lines[posn.Line] = d
 			}
 		}
 	}
-	return sup, bad
+	out := make([]Directive, len(dirs))
+	for i, d := range dirs {
+		out[i] = *d
+	}
+	// The Directive values in out alias the Suppressed maps the run
+	// mutates, so callers see the final tallies.
+	return sup, out, bad
 }

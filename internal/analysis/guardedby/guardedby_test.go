@@ -1,0 +1,19 @@
+package guardedby_test
+
+import (
+	"testing"
+
+	"graphrnn/internal/analysis/analysistest"
+	"graphrnn/internal/analysis/guardedby"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "guardedby")
+}
+
+// TestCrossPackage checks that an annotation declared in one package is
+// enforced in an importer — the guardedlib fixture exports the fact, the
+// guardeduse fixture trips over it.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", guardedby.Analyzer, "guardeduse")
+}

@@ -1,0 +1,10 @@
+// Package guardedlib declares a guarded exported field; the annotation
+// travels to importers as a package fact (see the guardeduse fixture).
+package guardedlib
+
+import "sync"
+
+type Registry struct {
+	Mu      sync.RWMutex
+	Entries map[string]int // vetrnn:guardedby Mu
+}

@@ -1,0 +1,21 @@
+// Package guardeduse accesses guardedlib's guarded field; enforcement here
+// proves the annotation crossed the package boundary as a fact.
+package guardeduse
+
+import "guardedlib"
+
+func Good(r *guardedlib.Registry, k string) int {
+	r.Mu.RLock()
+	defer r.Mu.RUnlock()
+	return r.Entries[k]
+}
+
+func Bad(r *guardedlib.Registry, k string) int {
+	return r.Entries[k] // want `access to r\.Entries is guarded by r\.Mu, which is not held`
+}
+
+func BadPublish(r *guardedlib.Registry, k string) {
+	r.Mu.RLock()
+	defer r.Mu.RUnlock()
+	r.Entries[k] = 1 // want `write to r\.Entries under RLock of r\.Mu`
+}

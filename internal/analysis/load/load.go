@@ -84,6 +84,7 @@ type listPkg struct {
 	ImportPath string
 	Dir        string
 	GoFiles    []string
+	Imports    []string
 	Export     string
 	Standard   bool
 	DepOnly    bool
@@ -91,14 +92,27 @@ type listPkg struct {
 	Module     *struct{ GoVersion string }
 }
 
+// Loaded is one package the standalone loader produced. FactsOnly marks a
+// module-local dependency that was loaded only so its exported facts are
+// available to the matched packages — the driver analyzes it but must not
+// report its findings (it was not asked about).
+type Loaded struct {
+	*analysis.Package
+	FactsOnly bool
+}
+
 // GoList loads the packages matched by patterns (run in dir), type-checked
-// against the build cache's export data. Test files are not loaded: `go
-// list` GoFiles excludes them, which matches the suite's scope — the engine
-// contracts govern production code.
-func GoList(dir string, patterns ...string) ([]*analysis.Package, error) {
+// against the build cache's export data, plus every module-local
+// dependency (marked FactsOnly) so cross-package facts are complete even
+// for narrow patterns. Packages come back in dependency order — imports
+// strictly before importers — which is the order a fact-threading driver
+// must analyze them in. Test files are not loaded: `go list` GoFiles
+// excludes them, which matches the suite's scope — the engine contracts
+// govern production code.
+func GoList(dir string, patterns ...string) ([]Loaded, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,ImportMap,Module",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,ImportMap,Module",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -110,7 +124,8 @@ func GoList(dir string, patterns ...string) ([]*analysis.Package, error) {
 	}
 
 	exports := map[string]string{}
-	var targets []listPkg
+	local := map[string]listPkg{} // module-local (non-standard) packages
+	var roots []string
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listPkg
@@ -122,16 +137,45 @@ func GoList(dir string, patterns ...string) ([]*analysis.Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && !p.Standard {
-			targets = append(targets, p)
+		if !p.Standard {
+			local[p.ImportPath] = p
+			if !p.DepOnly {
+				roots = append(roots, p.ImportPath)
+			}
 		}
 	}
-	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	sort.Strings(roots)
+
+	// Dependency (post-)order over the module-local import graph, so each
+	// package's facts exist before its importers are analyzed.
+	var order []string
+	seen := map[string]bool{}
+	var visit func(path string)
+	visit = func(path string) {
+		p, ok := local[path]
+		if !ok || seen[path] {
+			return
+		}
+		seen[path] = true
+		imports := append([]string(nil), p.Imports...)
+		sort.Strings(imports)
+		for _, imp := range imports {
+			if to, ok := p.ImportMap[imp]; ok {
+				imp = to
+			}
+			visit(imp)
+		}
+		order = append(order, path)
+	}
+	for _, r := range roots {
+		visit(r)
+	}
 
 	fset := token.NewFileSet()
 	imp := exportImporter(fset, func(path string) string { return exports[path] })
-	var pkgs []*analysis.Package
-	for _, t := range targets {
+	var pkgs []Loaded
+	for _, path := range order {
+		t := local[path]
 		if len(t.GoFiles) == 0 {
 			continue
 		}
@@ -151,7 +195,7 @@ func GoList(dir string, patterns ...string) ([]*analysis.Package, error) {
 		if err != nil {
 			return nil, err
 		}
-		pkgs = append(pkgs, pkg)
+		pkgs = append(pkgs, Loaded{Package: pkg, FactsOnly: t.DepOnly})
 	}
 	return pkgs, nil
 }
@@ -249,6 +293,18 @@ func VetCfg(cfg *VetConfig) (*analysis.Package, error) {
 // imports against sibling testdata packages first and the standard library
 // (type-checked from GOROOT source) second.
 func Testdata(testdataDir, importPath string) (*analysis.Package, error) {
+	pkgs, err := TestdataAll(testdataDir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	return pkgs[len(pkgs)-1], nil
+}
+
+// TestdataAll is Testdata returning every testdata-resident package the
+// load pulled in, in dependency order with the named package last — the
+// order a fact-threading driver analyzes them in, so golden tests exercise
+// cross-package facts exactly like the real drivers.
+func TestdataAll(testdataDir, importPath string) ([]*analysis.Package, error) {
 	fset := token.NewFileSet()
 	ld := &testdataLoader{
 		fset:   fset,
@@ -256,7 +312,10 @@ func Testdata(testdataDir, importPath string) (*analysis.Package, error) {
 		std:    importer.ForCompiler(fset, "source", nil),
 		loaded: map[string]*analysis.Package{},
 	}
-	return ld.load(importPath)
+	if _, err := ld.load(importPath); err != nil {
+		return nil, err
+	}
+	return ld.order, nil
 }
 
 type testdataLoader struct {
@@ -264,6 +323,7 @@ type testdataLoader struct {
 	src    string
 	std    types.Importer
 	loaded map[string]*analysis.Package
+	order  []*analysis.Package
 	stack  []string
 }
 
@@ -302,6 +362,7 @@ func (ld *testdataLoader) load(path string) (*analysis.Package, error) {
 		return nil, err
 	}
 	ld.loaded[path] = pkg
+	ld.order = append(ld.order, pkg)
 	return pkg, nil
 }
 

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// The suppression ratchet: //lint:ignore vetrnn/* directives are a budget,
+// not a convenience. A committed baseline records how many suppressions
+// each analyzer is allowed; CI fails when a change adds one beyond the
+// baseline (the ratchet only turns one way — lowering the baseline is
+// always fine), and fails on *stale* directives — comments naming an
+// analyzer that no longer fires on the covered lines, which would
+// otherwise silently pre-suppress the next real finding at that site.
+
+// Baseline is the committed suppression budget (VETRNN_BASELINE.json).
+type Baseline struct {
+	// Comment documents how to refresh the file.
+	Comment string `json:"_comment,omitempty"`
+	// Suppressions maps analyzer name -> allowed directive-name count.
+	Suppressions map[string]int `json:"suppressions"`
+}
+
+// ReadBaseline loads a committed baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := new(Baseline)
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	if b.Suppressions == nil {
+		b.Suppressions = map[string]int{}
+	}
+	return b, nil
+}
+
+// WriteBaseline writes the baseline for the given directive set.
+func WriteBaseline(path string, directives []Directive) error {
+	b := Baseline{
+		Comment:      "suppression ratchet baseline; refresh with `go run ./cmd/vetrnn -ratchet <this file> -ratchet-write ./...`",
+		Suppressions: CountSuppressions(directives),
+	}
+	data, err := json.MarshalIndent(&b, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// CountSuppressions tallies directives per claimed analyzer name (a
+// directive naming two analyzers counts once under each).
+func CountSuppressions(directives []Directive) map[string]int {
+	counts := map[string]int{}
+	for _, d := range directives {
+		for _, n := range d.Names {
+			counts[n]++
+		}
+	}
+	return counts
+}
+
+// RatchetViolation is one way the tree's suppressions fail the ratchet.
+type RatchetViolation struct {
+	// Analyzer is the claimed analyzer name.
+	Analyzer string
+	// Stale, when valid, positions a directive whose named analyzer
+	// suppressed nothing in this run; when zero, the violation is a count
+	// overrun (Count > Allowed).
+	Stale          string
+	Count, Allowed int
+}
+
+func (v RatchetViolation) String() string {
+	if v.Stale != "" {
+		return fmt.Sprintf("%s: stale suppression: vetrnn/%s does not fire on the covered lines; delete the directive", v.Stale, v.Analyzer)
+	}
+	return fmt.Sprintf("ratchet: %d vetrnn/%s suppressions exceed the baseline of %d; fix the finding or raise the committed baseline deliberately", v.Count, v.Analyzer, v.Allowed)
+}
+
+// Ratchet checks the run's directives against the baseline. active names
+// the analyzers that actually ran: stale detection only applies to their
+// directives (a disabled analyzer's suppressions cannot be judged), while
+// count overruns apply to every claimed name. Violations come back sorted,
+// stale findings first.
+func Ratchet(b *Baseline, directives []Directive, active map[string]bool) []RatchetViolation {
+	var out []RatchetViolation
+	for _, d := range directives {
+		for _, n := range d.Names {
+			if active[n] && d.Suppressed[n] == 0 {
+				out = append(out, RatchetViolation{Analyzer: n, Stale: d.Pos.String()})
+			}
+		}
+	}
+	counts := CountSuppressions(directives)
+	names := make([]string, 0, len(counts))
+	for n := range counts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if counts[n] > b.Suppressions[n] {
+			out = append(out, RatchetViolation{Analyzer: n, Count: counts[n], Allowed: b.Suppressions[n]})
+		}
+	}
+	return out
+}

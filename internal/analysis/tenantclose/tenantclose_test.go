@@ -1,0 +1,19 @@
+package tenantclose_test
+
+import (
+	"testing"
+
+	"graphrnn/internal/analysis/analysistest"
+	"graphrnn/internal/analysis/tenantclose"
+)
+
+func TestTenantClose(t *testing.T) {
+	analysistest.Run(t, "testdata", tenantclose.Analyzer, "tenantclose")
+}
+
+// TestCrossPackage checks that holder-ness declared in one package obliges
+// its importers — holderlib exports the Holders fact, holderuse must
+// release the embedded holder.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", tenantclose.Analyzer, "holderuse")
+}

@@ -1,0 +1,12 @@
+// Package holderlib declares a tenant holder with a releaser; the
+// obligation travels to importers as a package fact (see the holderuse
+// fixture).
+package holderlib
+
+import "storage"
+
+type Paged struct {
+	bm *storage.Tenant
+}
+
+func (p *Paged) Close() { p.bm.Detach() }

@@ -1,0 +1,15 @@
+// Package holderuse embeds holderlib's holder type in its own structs;
+// the obligation reaches this package through the Holders fact.
+package holderuse
+
+import "holderlib"
+
+type Good struct {
+	paged *holderlib.Paged
+}
+
+func (g *Good) Close() { g.paged.Close() }
+
+type Leak struct {
+	paged *holderlib.Paged // want `Leak holds a buffer-pool tenant in field paged but has no releasing method`
+}

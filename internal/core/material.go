@@ -174,6 +174,18 @@ func (m *Materialized) ResetStats() { m.bm.ResetStats() }
 // Buffer exposes the list file buffer manager.
 func (m *Materialized) Buffer() *storage.BufferManager { return m.bm }
 
+// Close detaches the lists' buffer tenant from its pool, flushing dirty
+// pages and returning any contributed capacity. The materialization must
+// not be used afterwards; Close is idempotent.
+func (m *Materialized) Close() error {
+	if m.bm == nil {
+		return nil
+	}
+	bm := m.bm
+	m.bm = nil
+	return bm.Detach()
+}
+
 // List appends the materialized entries of node n to buf in canonical
 // order. The caller is responsible for counting Stats.MatReads.
 func (m *Materialized) List(n graph.NodeID, buf []MatEntry) ([]MatEntry, error) {

@@ -37,6 +37,7 @@ func Budgeted(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer e.close()
 	rng := rand.New(rand.NewSource(s.seed() + 41))
 	if err := e.withNodePoints(rng, max(2, int(0.01*float64(g.NumNodes())))); err != nil {
 		return nil, err

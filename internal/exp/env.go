@@ -256,6 +256,38 @@ func (e *env) coldStart() error {
 	return nil
 }
 
+// close detaches every paged component's buffer tenant, releasing the
+// frames the experiment setting pinned. It returns the first error and
+// keeps going; close is idempotent.
+func (e *env) close() error {
+	var first error
+	if e.hubStore != nil {
+		if err := e.hubStore.Close(); first == nil {
+			first = err
+		}
+		e.hubStore = nil
+	}
+	if e.mat != nil {
+		if err := e.mat.Close(); first == nil {
+			first = err
+		}
+		e.mat = nil
+	}
+	if e.pagedEP != nil {
+		if err := e.pagedEP.Close(); first == nil {
+			first = err
+		}
+		e.pagedEP = nil
+	}
+	if e.store != nil {
+		if err := e.store.Close(); first == nil {
+			first = err
+		}
+		e.store = nil
+	}
+	return first
+}
+
 // runWorkload measures fn (one query) over a workload, returning the
 // per-query averages. The buffer stays warm within the workload, matching
 // the paper's setup of averaging 50 queries against one LRU buffer.

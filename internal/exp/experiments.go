@@ -150,6 +150,7 @@ func Table1(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer e.close()
 	rng := rand.New(rand.NewSource(s.seed() + 1))
 	t := &Table{
 		ID:      "Table 1",
@@ -189,6 +190,7 @@ func Table2(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer e.close()
 	rng := rand.New(rand.NewSource(s.seed() + 2))
 	t := &Table{
 		ID:      "Table 2",
@@ -228,9 +230,11 @@ func briteEnv(seed int64, nodes int, d float64, maxK, bufferPages int) (*env, er
 	}
 	rng := rand.New(rand.NewSource(seed + 7))
 	if err := e.withNodePoints(rng, max(2, int(d*float64(g.NumNodes())))); err != nil {
+		_ = e.close()
 		return nil, err
 	}
 	if err := e.materializeNode(maxK); err != nil {
+		_ = e.close()
 		return nil, err
 	}
 	return e, nil
@@ -288,6 +292,7 @@ func Fig16(s Scale) (*Table, error) {
 		}
 		t.Xs = append(t.Xs, fmt.Sprintf("%.4f", d))
 		t.Cells = append(t.Cells, row)
+		_ = e.close()
 	}
 	return t, nil
 }
@@ -304,10 +309,12 @@ func sfEnv(seed int64, nodes int, d float64, maxK, bufferPages int) (*env, error
 	}
 	rng := rand.New(rand.NewSource(seed + 11))
 	if err := e.withEdgePoints(rng, max(2, int(d*float64(g.NumNodes())))); err != nil {
+		_ = e.close()
 		return nil, err
 	}
 	if maxK > 0 {
 		if err := e.materializeEdge(maxK); err != nil {
+			_ = e.close()
 			return nil, err
 		}
 	}
@@ -336,6 +343,7 @@ func Fig17(s Scale) (*Table, error) {
 		}
 		t.Xs = append(t.Xs, fmt.Sprintf("%.4f", d))
 		t.Cells = append(t.Cells, row)
+		_ = e.close()
 	}
 	return t, nil
 }
@@ -347,6 +355,7 @@ func Fig18(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer e.close()
 	rng := rand.New(rand.NewSource(s.seed() + 13))
 	queries := gen.SampleQueries(rng, e.edgePts.Points(), s.queries())
 	t := &Table{
@@ -374,6 +383,7 @@ func Fig19(s Scale) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer e.close()
 	rng := rand.New(rand.NewSource(s.seed() + 14))
 	sizes := []int{1, 2, 4, 8, 16, 32}
 	if s.Full {
@@ -427,9 +437,11 @@ func gridEnv(seed int64, nodes int, degree float64, d float64, maxK, bufferPages
 	}
 	rng := rand.New(rand.NewSource(seed + 15))
 	if err := e.withEdgePoints(rng, max(2, int(d*float64(g.NumNodes())))); err != nil {
+		_ = e.close()
 		return nil, err
 	}
 	if err := e.materializeEdge(maxK); err != nil {
+		_ = e.close()
 		return nil, err
 	}
 	return e, nil
@@ -528,6 +540,7 @@ func Fig21(s Scale) (*Table, error) {
 		}
 		t.Xs = append(t.Xs, fmt.Sprintf("%d", buf))
 		t.Cells = append(t.Cells, row)
+		_ = e.close()
 	}
 	return t, nil
 }
@@ -580,6 +593,7 @@ func HubSubstrate(s Scale) (*Table, error) {
 			"HL build |V|=%d: %.3fs, %d workers, %d batches, %d pruned visits, %d resweeps, labels %dB compressed / %dB raw",
 			g.NumNodes(), bst.Wall.Seconds(), bst.Workers, bst.Batches, bst.Pruned, bst.Resweeps,
 			e.hubStore.PayloadBytes(), e.hubStore.RawBytes()))
+		_ = e.close()
 	}
 	return t, nil
 }
@@ -674,6 +688,7 @@ func Fig22a(s Scale) (*Table, error) {
 		}
 		t.Xs = append(t.Xs, fmt.Sprintf("%.4f", d))
 		t.Cells = append(t.Cells, row)
+		_ = e.close()
 	}
 	return t, nil
 }
@@ -700,6 +715,7 @@ func Fig22b(s Scale) (*Table, error) {
 		}
 		t.Xs = append(t.Xs, fmt.Sprintf("%d", k))
 		t.Cells = append(t.Cells, row)
+		_ = e.close()
 	}
 	return t, nil
 }

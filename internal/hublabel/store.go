@@ -442,8 +442,25 @@ func (s *Store) ResetStats() { s.buffer.ResetStats() }
 // Buffer exposes the LRU buffer (cold-start experiments).
 func (s *Store) Buffer() *storage.BufferManager { return s.buffer }
 
-// Close closes the underlying file.
-func (s *Store) Close() error { return s.file.Close() }
+// Close detaches the store's buffer tenant from its pool (flushing dirty
+// pages and returning contributed capacity), then closes the underlying
+// file. The store must not be used afterwards; Close is idempotent.
+func (s *Store) Close() error {
+	var detachErr error
+	if s.buffer != nil {
+		buffer := s.buffer
+		s.buffer = nil
+		detachErr = buffer.Detach()
+	}
+	if s.file != nil {
+		file := s.file
+		s.file = nil
+		if err := file.Close(); err != nil && detachErr == nil {
+			detachErr = err
+		}
+	}
+	return detachErr
+}
 
 // OutLabel implements Source.
 func (s *Store) OutLabel(n graph.NodeID, buf []Entry) ([]Entry, error) {

@@ -176,3 +176,15 @@ func (s *PagedEdgeSet) ResetStats() { s.bm.ResetStats() }
 
 // Buffer exposes the underlying buffer manager.
 func (s *PagedEdgeSet) Buffer() *storage.BufferManager { return s.bm }
+
+// Close detaches the set's buffer tenant from its pool, releasing its
+// frames and any capacity it contributed. The set must not be used
+// afterwards; Close is idempotent.
+func (s *PagedEdgeSet) Close() error {
+	if s.bm == nil {
+		return nil
+	}
+	bm := s.bm
+	s.bm = nil
+	return bm.Detach()
+}

@@ -181,6 +181,18 @@ func (s *DiskStore) Adjacency(n graph.NodeID, buf []graph.Edge) ([]graph.Edge, e
 // Buffer exposes the buffer manager (for stats and cache control).
 func (s *DiskStore) Buffer() *BufferManager { return s.bm }
 
+// Close detaches the store's buffer tenant from its pool, flushing dirty
+// pages and returning any contributed capacity. The store must not be
+// used afterwards; Close is idempotent.
+func (s *DiskStore) Close() error {
+	if s.bm == nil {
+		return nil
+	}
+	bm := s.bm
+	s.bm = nil
+	return bm.Detach()
+}
+
 // WithFile returns a store that shares this store's node index but reads
 // pages from an alternative file with identical layout — a hook for
 // failure-injection tests and for reopening a previously built page file.

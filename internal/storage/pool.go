@@ -27,16 +27,17 @@ import (
 // ready latch.
 type BufferPool struct {
 	mu       sync.Mutex
-	capacity int
-	lru      *list.List // front = most recently used; values are *frame
-	nframes  int
-	tenants  []*Tenant
+	capacity int        // vetrnn:guardedby mu
+	lru      *list.List // front = most recently used; values are *frame; vetrnn:guardedby mu
+	nframes  int        // vetrnn:guardedby mu
+	//lint:ignore vetrnn/tenantclose the registry tenants detach from, not an owned handle: Tenant.Detach removes its own entry
+	tenants []*Tenant // vetrnn:guardedby mu
 	// trackGlobal records whether the pool-wide LRU order can ever decide
 	// an eviction: false when every tenant is quota-bounded and the
 	// capacity covers the quota sum (the default DB composition), in
 	// which case hits skip the global MoveToFront — the hit path then
 	// costs exactly what the former per-substrate BufferManager did.
-	trackGlobal bool
+	trackGlobal bool // vetrnn:guardedby mu
 	// reads is the pool-wide physical-read counter — the only aggregate
 	// maintained inline (it backs per-query I/O budgets and only moves on
 	// misses, which pay a physical read anyway). Everything else is
@@ -46,7 +47,8 @@ type BufferPool struct {
 }
 
 // refreshTrackLocked recomputes trackGlobal after a capacity or tenant
-// change (p.mu held).
+// change.
+// vetrnn:holds p.mu
 func (p *BufferPool) refreshTrackLocked() {
 	sum := 0
 	track := false
@@ -69,17 +71,17 @@ type Tenant struct {
 	name  string
 	file  PagedFile
 	quota int // >0 max frames; 0 no per-tenant cap; <0 never cached
-	grown int // capacity contributed via AttachGrowing, returned on Detach
+	grown int // capacity contributed via AttachGrowing, returned on Detach; vetrnn:guardedby pool.mu
 
-	frames map[PageID]*frame
+	frames map[PageID]*frame // vetrnn:guardedby pool.mu
 	// tlru orders the tenant's own frames by recency so quota eviction is
 	// O(1) instead of scanning the pool-wide list past other tenants'
-	// frames; guarded by pool.mu.
-	tlru  *list.List
+	// frames.
+	tlru  *list.List // vetrnn:guardedby pool.mu
 	stats atomicStats
 
-	// scratch page used for uncached updates; guarded by pool.mu.
-	scratch []byte
+	// scratch page used for uncached updates.
+	scratch []byte // vetrnn:guardedby pool.mu
 }
 
 // NoCache, passed as a tenant quota, keeps the tenant's pages out of the
@@ -116,6 +118,7 @@ func (a *atomicStats) reset() {
 // contents (or err the read failure); a frame created from data already in
 // hand (Append, Update's synchronous admission) is born ready.
 type frame struct {
+	//lint:ignore vetrnn/tenantclose eviction back-pointer; the frame does not own its tenant
 	owner *Tenant
 	id    PageID
 	data  []byte
@@ -185,6 +188,7 @@ func (p *BufferPool) AttachGrowing(name string, file PagedFile, quota int) *Tena
 	if quota > 0 {
 		p.mu.Lock()
 		p.capacity += quota
+		//lint:ignore vetrnn/guardedby t was attached to p above, so t.pool.mu is the held p.mu
 		t.grown = quota
 		p.refreshTrackLocked()
 		p.mu.Unlock()
@@ -257,6 +261,7 @@ func (p *BufferPool) TenantStats() []TenantStats {
 	defer p.mu.Unlock()
 	out := make([]TenantStats, len(p.tenants))
 	for i, t := range p.tenants {
+		//lint:ignore vetrnn/guardedby t ranges over p's own tenants, so t.pool.mu is the held p.mu
 		out[i] = TenantStats{Name: t.name, Stats: t.stats.snapshot(), Frames: len(t.frames), Quota: t.quota}
 	}
 	return out
@@ -300,6 +305,7 @@ func (t *Tenant) ResetStats() { t.stats.reset() }
 // site holds p.mu (Get/Update/Append take it before the cache decision),
 // which is what makes reading capacity here safe against concurrent
 // Grow/Attach/Detach.
+// vetrnn:holds t.pool.mu
 func (t *Tenant) uncached() bool { return t.quota < 0 || t.pool.capacity == 0 }
 
 func (t *Tenant) countRead()  { t.stats.reads.Add(1); t.pool.reads.Add(1) }
@@ -414,14 +420,7 @@ func (t *Tenant) Update(id PageID, fn func(page []byte) error) error {
 	defer p.mu.Unlock()
 	t.countRead()
 	if t.uncached() {
-		if err := t.file.Read(id, t.scratch); err != nil {
-			return err
-		}
-		if err := fn(t.scratch); err != nil {
-			return err
-		}
-		t.countWrite()
-		return t.file.Write(id, t.scratch)
+		return t.updateUncachedLocked(id, fn)
 	}
 	if err := p.evictForLocked(t); err != nil {
 		return err
@@ -436,6 +435,20 @@ func (t *Tenant) Update(id PageID, fn func(page []byte) error) error {
 	}
 	fr.dirty = true
 	return nil
+}
+
+// updateUncachedLocked applies fn to page id through the tenant's scratch
+// page, writing the result through immediately (no frame caches it).
+// vetrnn:holds t.pool.mu
+func (t *Tenant) updateUncachedLocked(id PageID, fn func(page []byte) error) error {
+	if err := t.file.Read(id, t.scratch); err != nil {
+		return err
+	}
+	if err := fn(t.scratch); err != nil {
+		return err
+	}
+	t.countWrite()
+	return t.file.Write(id, t.scratch)
 }
 
 // Append allocates a new page in the underlying file (counted as one
@@ -469,6 +482,8 @@ func (t *Tenant) Flush() error {
 	return t.flushLocked()
 }
 
+// flushLocked writes the tenant's dirty pages back.
+// vetrnn:holds t.pool.mu
 func (t *Tenant) flushLocked() error {
 	for _, fr := range t.frames {
 		if fr.dirty {
@@ -527,8 +542,12 @@ func (t *Tenant) Detach() error {
 	return nil
 }
 
-// --- pool internals (all called with p.mu held) ----------------------------
+// --- pool internals (all called with p.mu held; the pool's one mutex
+// guards every tenant reached through frame back-pointers, which is what
+// the vetrnn:holds wildcard declares) ---------------------------------------
 
+// admitLocked installs a frame in the pool- and owner-recency structures.
+// vetrnn:holds *
 func (p *BufferPool) admitLocked(fr *frame) {
 	fr.elem = p.lru.PushFront(fr)
 	if fr.owner.quota > 0 {
@@ -539,6 +558,8 @@ func (p *BufferPool) admitLocked(fr *frame) {
 	p.nframes++
 }
 
+// removeLocked drops a frame from the pool- and owner-recency structures.
+// vetrnn:holds *
 func (p *BufferPool) removeLocked(fr *frame) {
 	p.lru.Remove(fr.elem)
 	if fr.telem != nil {
@@ -554,6 +575,7 @@ func (p *BufferPool) removeLocked(fr *frame) {
 // in flight are skipped; if every candidate is pending the pool
 // temporarily exceeds its bound (bounded by the number of concurrent
 // faulters), exactly like the former BufferManager.
+// vetrnn:holds *
 func (p *BufferPool) evictForLocked(t *Tenant) error {
 	if t.quota > 0 && len(t.frames) >= t.quota {
 		if err := p.evictLRULocked(t.tlru, func() bool { return len(t.frames) >= t.quota }); err != nil {

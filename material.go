@@ -28,6 +28,7 @@ import (
 // complete, and SaveTo / OpenMaterialization for persistence with crash
 // recovery.
 type Materialization struct {
+	//lint:ignore vetrnn/tenantclose planner back-pointer (Close only detaches from it); the caller owns the DB
 	db   *DB
 	m    *core.Materialized
 	node *NodePoints
@@ -167,10 +168,10 @@ func (db *DB) MaterializeEdgePoints(ps *EdgePoints, maxK int, opt *MatOptions) (
 // holds and mutates).
 func (m *Materialization) persistBuild(opt *MatOptions) (*Materialization, error) {
 	if err := m.SaveTo(opt.Path); err != nil {
-		_ = m.m.Buffer().Detach()
+		_ = m.m.Close()
 		return nil, err
 	}
-	if err := m.m.Buffer().Detach(); err != nil {
+	if err := m.m.Close(); err != nil {
 		return nil, err
 	}
 	return m.db.OpenMaterialization(opt.Path, opt)
@@ -226,7 +227,7 @@ func (m *Materialization) Flush() error { return m.m.Flush() }
 // materialization must not be used afterwards.
 func (m *Materialization) Close() error {
 	m.db.planMat.CompareAndSwap(m, nil)
-	err := m.m.Buffer().Detach()
+	err := m.m.Close()
 	if m.file != nil {
 		if cerr := m.file.Close(); err == nil {
 			err = cerr

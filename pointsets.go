@@ -24,6 +24,7 @@ type NodePointsView struct {
 // NodePoints is a mutable set of data points residing on graph nodes (the
 // "restricted network" model): at most one point per node per set.
 type NodePoints struct {
+	//lint:ignore vetrnn/tenantclose back-pointer to the engine the set queries through; the caller owns the DB
 	db *DB
 	s  *points.NodeSet
 }
@@ -78,6 +79,7 @@ type EdgePointsView struct {
 // EdgePoints is a mutable set of data points residing on graph edges (the
 // "unrestricted network" model of Section 5.2).
 type EdgePoints struct {
+	//lint:ignore vetrnn/tenantclose back-pointer to the engine the set queries through; the caller owns the DB
 	db *DB
 	s  *points.EdgeSet
 }
@@ -131,8 +133,7 @@ func (ps *EdgePoints) Excluding(p PointID) EdgePointsView {
 // set (Fig 14b's storage scheme): point lookups per edge perform counted
 // I/O through an LRU buffer.
 type PagedEdgePoints struct {
-	s  *points.PagedEdgeSet
-	bm *storage.BufferManager
+	s *points.PagedEdgeSet
 }
 
 // Paged snapshots the point set into a paged file attached to the DB's
@@ -153,20 +154,13 @@ func (ps *EdgePoints) Paged(pageSize, bufferPages int) (*PagedEdgePoints, error)
 		_ = bm.Detach()
 		return nil, err
 	}
-	return &PagedEdgePoints{s: p, bm: bm}, nil
+	return &PagedEdgePoints{s: p}, nil
 }
 
 // Close detaches the snapshot's tenant from the DB's shared buffer pool,
 // releasing its frames and any capacity it contributed. The snapshot must
 // not be used afterwards; Close is idempotent.
-func (ps *PagedEdgePoints) Close() error {
-	if ps.bm == nil {
-		return nil
-	}
-	bm := ps.bm
-	ps.bm = nil
-	return bm.Detach()
-}
+func (ps *PagedEdgePoints) Close() error { return ps.s.Close() }
 
 // View returns the full read-only view.
 func (ps *PagedEdgePoints) View() EdgePointsView { return EdgePointsView{v: ps.s} }

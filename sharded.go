@@ -145,6 +145,7 @@ type shardCounters struct {
 // (queries only — the underlying point sets must be quiescent, as with
 // every query surface of the package).
 type Sharded struct {
+	//lint:ignore vetrnn/tenantclose back-pointer to the coordinating DB; the caller owns it (per-shard engines are owned via handles)
 	db     *DB
 	ps     *NodePoints
 	sites  *NodePoints
@@ -310,6 +311,29 @@ func (s *Sharded) buildHandles(opt *ShardOptions) error {
 	return nil
 }
 
+// close releases the shard's substrates in dependency order: the planner
+// substrates first (each detaches its own pool tenant), then the shard
+// engine itself. It returns the first error and keeps going.
+func (h *shardHandle) close() error {
+	var first error
+	if h.hub != nil {
+		if err := h.hub.Close(); first == nil {
+			first = err
+		}
+		h.hub = nil
+	}
+	if h.mat != nil {
+		if err := h.mat.Close(); first == nil {
+			first = err
+		}
+		h.mat = nil
+	}
+	if err := h.db.Close(); first == nil {
+		first = err
+	}
+	return first
+}
+
 // Close releases the per-shard substrates (hub-label indexes,
 // materializations, disk-backed tenants). The Sharded must be quiescent.
 func (s *Sharded) Close() error {
@@ -318,20 +342,8 @@ func (s *Sharded) Close() error {
 		if h == nil {
 			continue
 		}
-		if h.hub != nil {
-			if err := h.hub.Close(); first == nil {
-				first = err
-			}
-		}
-		if h.mat != nil {
-			if err := h.mat.Close(); first == nil {
-				first = err
-			}
-		}
-		if h.db.disk != nil {
-			if err := h.db.disk.Buffer().Detach(); first == nil {
-				first = err
-			}
+		if err := h.close(); first == nil {
+			first = err
 		}
 	}
 	return first
