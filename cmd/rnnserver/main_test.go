@@ -154,6 +154,70 @@ func TestHandleQuery(t *testing.T) {
 	}
 }
 
+// TestStatsJSONKeyOrder pins the /stats rendering contract: every JSON
+// object in the body serializes its keys in sorted order, run to run —
+// the sections come from Go maps, so this is encoding/json's key sort
+// plus the planner snapshot's own sorted iteration.
+func TestStatsJSONKeyOrder(t *testing.T) {
+	s := newTestServer(t)
+	// Populate the planner counters with more than one decision kind.
+	postQuery(t, s, "/query", `{"kind":"rnn","node":5,"k":2}`)
+	postQuery(t, s, "/query", `{"kind":"knn","node":7,"k":3}`)
+	postQuery(t, s, "/query", `{"kind":"bichromatic","node":5,"k":1,"algo":"hub-label"}`)
+
+	req := httptest.NewRequest(http.MethodGet, "/stats", nil)
+	rec := httptest.NewRecorder()
+	s.handleStats(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/stats answered %d: %s", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.Bytes()
+	var parsed map[string]any
+	if err := json.Unmarshal(body, &parsed); err != nil {
+		t.Fatalf("/stats is not JSON (%v): %s", err, body)
+	}
+	if _, ok := parsed["planner"]; !ok {
+		t.Fatalf("/stats lost the planner section: %s", body)
+	}
+	checkSortedKeys(t, json.NewDecoder(strings.NewReader(rec.Body.String())), "")
+}
+
+// checkSortedKeys walks one JSON value off dec, failing the test when any
+// object's keys are out of sorted order.
+func checkSortedKeys(t *testing.T, dec *json.Decoder, path string) {
+	t.Helper()
+	tok, err := dec.Token()
+	if err != nil {
+		t.Fatalf("at %q: %v", path, err)
+	}
+	delim, ok := tok.(json.Delim)
+	if !ok {
+		return // scalar
+	}
+	switch delim {
+	case '{':
+		prev := ""
+		for dec.More() {
+			keyTok, err := dec.Token()
+			if err != nil {
+				t.Fatalf("at %q: %v", path, err)
+			}
+			key := keyTok.(string)
+			if key < prev {
+				t.Errorf("at %q: key %q serialized after %q (not sorted)", path, key, prev)
+			}
+			prev = key
+			checkSortedKeys(t, dec, path+"/"+key)
+		}
+		dec.Token() // closing }
+	case '[':
+		for i := 0; dec.More(); i++ {
+			checkSortedKeys(t, dec, fmt.Sprintf("%s[%d]", path, i))
+		}
+		dec.Token() // closing ]
+	}
+}
+
 // FuzzDecodeQuery drives arbitrary bodies through the /query decoding and
 // planning pipeline: it must never panic, and every rejection must be a
 // client error (the handler's typed 400), never a silent success over a

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -187,12 +188,21 @@ func (c *plannerCounters) record(p graphrnn.Plan) {
 	}
 }
 
+// snapshot renders the counters for /stats, visiting decisions in sorted
+// key order so the section serializes identically run to run.
+//
+// vetrnn:deterministic
 func (c *plannerCounters) snapshot() map[string]any {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	by := make(map[string]int64, len(c.decisions))
-	for k, v := range c.decisions {
-		by[k] = v
+	keys := make([]string, 0, len(c.decisions))
+	for k := range c.decisions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	by := make(map[string]int64, len(keys))
+	for _, k := range keys {
+		by[k] = c.decisions[k]
 	}
 	return map[string]any{"decisions": by, "fallbacks": c.fallbacks}
 }

@@ -1,7 +1,8 @@
 // Command vetrnn is the repo's invariant checker: a multichecker over the
 // internal/analysis suite (execpoll, journalbefore, commaok, partialresult,
-// guardedby, tenantclose, deadlinecarve) that machine-checks the engine
-// contracts PRs 3-5 established.
+// guardedby, tenantclose, deadlinecarve, determinism, lockorder) that
+// machine-checks the engine contracts PRs 3-5 established plus the
+// determinism and lock-ordering contracts of the parallel build paths.
 //
 // It runs two ways:
 //
@@ -49,10 +50,12 @@ import (
 	"graphrnn/internal/analysis"
 	"graphrnn/internal/analysis/commaok"
 	"graphrnn/internal/analysis/deadlinecarve"
+	"graphrnn/internal/analysis/determinism"
 	"graphrnn/internal/analysis/execpoll"
 	"graphrnn/internal/analysis/guardedby"
 	"graphrnn/internal/analysis/journalbefore"
 	"graphrnn/internal/analysis/load"
+	"graphrnn/internal/analysis/lockorder"
 	"graphrnn/internal/analysis/partialresult"
 	"graphrnn/internal/analysis/tenantclose"
 )
@@ -61,9 +64,11 @@ import (
 var suite = []*analysis.Analyzer{
 	commaok.Analyzer,
 	deadlinecarve.Analyzer,
+	determinism.Analyzer,
 	execpoll.Analyzer,
 	guardedby.Analyzer,
 	journalbefore.Analyzer,
+	lockorder.Analyzer,
 	partialresult.Analyzer,
 	tenantclose.Analyzer,
 }
@@ -79,6 +84,7 @@ func run(args []string) int {
 	dirFlag := fs.String("dir", ".", "directory to run go list from (standalone mode)")
 	ratchetFlag := fs.String("ratchet", "", "baseline file to ratchet //lint:ignore counts against (standalone mode)")
 	ratchetWrite := fs.Bool("ratchet-write", false, "rewrite the -ratchet baseline from the tree's current suppressions")
+	lockReport := fs.String("lockreport", "", "write the whole-program lock-order edge/cycle report as JSON to this file (standalone mode)")
 	enabled := map[string]*bool{}
 	for _, a := range suite {
 		enabled[a.Name] = fs.Bool(a.Name, true, firstLine(a.Doc))
@@ -104,7 +110,7 @@ func run(args []string) int {
 	if rest := fs.Args(); len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
 		return vetUnit(rest[0], active, *jsonFlag)
 	}
-	return standalone(fs.Args(), *dirFlag, active, *jsonFlag, *ratchetFlag, *ratchetWrite)
+	return standalone(fs.Args(), *dirFlag, active, *jsonFlag, *ratchetFlag, *ratchetWrite, *lockReport)
 }
 
 func firstLine(doc string) string {
@@ -202,7 +208,7 @@ func vetUnit(cfgFile string, active []*analysis.Analyzer, asJSON bool) int {
 // standalone loads packages via go list and analyzes them in dependency
 // order through a shared fact store. Module-local dependencies pulled in
 // only for their facts contribute neither findings nor ratchet directives.
-func standalone(patterns []string, dir string, active []*analysis.Analyzer, asJSON bool, ratchetFile string, ratchetWrite bool) int {
+func standalone(patterns []string, dir string, active []*analysis.Analyzer, asJSON bool, ratchetFile string, ratchetWrite bool, lockReport string) int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -225,6 +231,22 @@ func standalone(patterns []string, dir string, active []*analysis.Analyzer, asJS
 		}
 		all = append(all, findings...)
 		directives = append(directives, dirs...)
+	}
+
+	// Whole-program lock-order pass: union every package's exported edges
+	// and detect cycles across the lot. The per-package analyzer already
+	// reported cycles visible through its own import graph (and exported
+	// their keys); only cycles spanning sibling packages remain.
+	for _, a := range active {
+		if a.Name != lockorder.Analyzer.Name {
+			continue
+		}
+		findings, err := lockOrderWholeProgram(facts, lockReport)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		all = append(all, findings...)
 	}
 
 	code := 0
@@ -264,6 +286,67 @@ func standalone(patterns []string, dir string, active []*analysis.Analyzer, asJS
 		}
 	}
 	return code
+}
+
+// lockOrderWholeProgram unions the lockorder facts of every analyzed
+// package, detects cycles over the combined edge set, and reports the
+// ones no package already reported per-package (their normalized keys
+// ride the facts). When reportFile is non-empty it also writes the full
+// edge/cycle report as JSON — the CI artifact.
+func lockOrderWholeProgram(facts *analysis.FactStore, reportFile string) ([]analysis.Finding, error) {
+	var edges []lockorder.Edge
+	reported := map[string]bool{}
+	facts.Visit(lockorder.Analyzer.Name, new(lockorder.LockFacts), func(pkg string, fact analysis.Fact) {
+		lf := fact.(*lockorder.LockFacts)
+		edges = append(edges, lf.Edges...)
+		for _, key := range lf.Cycles {
+			reported[key] = true
+		}
+	})
+	cycles := lockorder.DetectCycles(edges, edges)
+
+	var findings []analysis.Finding
+	type reportCycle struct {
+		Key      string   `json:"key"`
+		Path     []string `json:"path"`
+		At       string   `json:"at"`
+		Reported bool     `json:"reported_per_package"`
+	}
+	report := struct {
+		Edges  []lockorder.Edge `json:"edges"`
+		Cycles []reportCycle    `json:"cycles"`
+	}{Edges: edges, Cycles: []reportCycle{}}
+	if report.Edges == nil {
+		report.Edges = []lockorder.Edge{}
+	}
+	for _, cyc := range cycles {
+		report.Cycles = append(report.Cycles, reportCycle{
+			Key:      cyc.Key,
+			Path:     cyc.Path,
+			At:       cyc.At.Pos,
+			Reported: reported[cyc.Key],
+		})
+		if reported[cyc.Key] {
+			continue
+		}
+		findings = append(findings, analysis.Finding{
+			Analyzer: lockorder.Analyzer.Name,
+			Pos:      lockorder.FindingPos(cyc.At.Pos),
+			Message: fmt.Sprintf("whole-program lock-ordering cycle: %s (edge %s -> %s in %s)",
+				strings.Join(cyc.Path, " -> "), cyc.At.From, cyc.At.To, cyc.At.Func),
+		})
+	}
+
+	if reportFile != "" {
+		data, err := json.MarshalIndent(report, "", "\t")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(reportFile, append(data, '\n'), 0o666); err != nil {
+			return nil, err
+		}
+	}
+	return findings, nil
 }
 
 // emitJSON prints findings as a JSON array on stdout.

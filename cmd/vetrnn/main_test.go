@@ -228,6 +228,208 @@ func Fine(r *lib.Registry) int {
 	}
 }
 
+// determinismTree is a module with one vetrnn:deterministic function whose
+// map range is deliberately suppressed — the determinism analyzer's
+// ratchet shape.
+func determinismTree(extra string) map[string]string {
+	return map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.24\n",
+		"det/det.go": `package det
+
+// Tally sums the values; order does not affect the sum.
+//
+// vetrnn:deterministic
+func Tally(m map[string]int) int {
+	s := 0
+	//lint:ignore vetrnn/determinism commutative sum, iteration order cannot leak
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+` + extra,
+	}
+}
+
+func TestDeterminismRatchet(t *testing.T) {
+	dir := writeTree(t, determinismTree(""))
+	baseline := filepath.Join(dir, "BASELINE.json")
+
+	code, _, stderr := captureRun(t, "-dir", dir, "-ratchet", baseline, "-ratchet-write", "./...")
+	if code != 0 {
+		t.Fatalf("ratchet-write run failed with %d: %s", code, stderr)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"determinism": 1`) {
+		t.Fatalf("baseline did not record the determinism suppression: %s", data)
+	}
+	if code, _, stderr := captureRun(t, "-dir", dir, "-ratchet", baseline, "./..."); code != 0 {
+		t.Fatalf("gate failed on the baselined tree: %d %s", code, stderr)
+	}
+
+	// A second suppression overruns the budget of one.
+	more := writeTree(t, determinismTree(`
+// Max scans the values.
+//
+// vetrnn:deterministic
+func Max(m map[string]int) int {
+	best := 0
+	//lint:ignore vetrnn/determinism max is order-independent too, but the budget is spent
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+`))
+	if err := os.WriteFile(filepath.Join(more, "BASELINE.json"), data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = captureRun(t, "-dir", more, "-ratchet", filepath.Join(more, "BASELINE.json"), "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1 on determinism suppression overrun, got %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "exceed the baseline") {
+		t.Fatalf("overrun message missing: %q", stderr)
+	}
+}
+
+func TestDeterminismRatchetStaleDirective(t *testing.T) {
+	// The directive sits on a line where determinism never fires (the
+	// function is not annotated, so map order is nobody's business).
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.24\n",
+		"det/det.go": `package det
+
+func Sum(m map[string]int) int {
+	s := 0
+	//lint:ignore vetrnn/determinism left over from before the annotation was dropped
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+`,
+	})
+	baseline := filepath.Join(dir, "BASELINE.json")
+	if err := os.WriteFile(baseline, []byte(`{"suppressions":{"determinism":5}}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr := captureRun(t, "-dir", dir, "-ratchet", baseline, "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1 on stale determinism directive, got %d (%s)", code, stderr)
+	}
+	if !strings.Contains(stderr, "stale suppression") {
+		t.Fatalf("stale message missing: %q", stderr)
+	}
+}
+
+// lockCycleSiblingTree is the whole-program gate fixture: packages a and b
+// nest two shared mutexes in opposite orders, but neither imports the
+// other, so no single unit can see the cycle — only the standalone
+// driver's whole-program pass over the union of exported edges.
+var lockCycleSiblingTree = map[string]string{
+	"go.mod": "module tmpmod\n\ngo 1.24\n",
+	"locks/locks.go": `package locks
+
+import "sync"
+
+var MA, MB sync.Mutex
+`,
+	"a/a.go": `package a
+
+import "tmpmod/locks"
+
+func AB() {
+	locks.MA.Lock()
+	defer locks.MA.Unlock()
+	locks.MB.Lock()
+	locks.MB.Unlock()
+}
+`,
+	"b/b.go": `package b
+
+import "tmpmod/locks"
+
+func BA() {
+	locks.MB.Lock()
+	defer locks.MB.Unlock()
+	locks.MA.Lock()
+	locks.MA.Unlock()
+}
+`,
+}
+
+func TestLockOrderWholeProgramGate(t *testing.T) {
+	dir := writeTree(t, lockCycleSiblingTree)
+	report := filepath.Join(dir, "lockreport.json")
+	code, stdout, stderr := captureRun(t, "-dir", dir, "-lockreport", report, "./...")
+	if code != 1 {
+		t.Fatalf("want exit 1 on sibling-package lock cycle, got %d (stdout %q stderr %q)", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "whole-program lock-ordering cycle") ||
+		!strings.Contains(stdout, "tmpmod/locks.MA -> tmpmod/locks.MB -> tmpmod/locks.MA") {
+		t.Fatalf("whole-program cycle finding missing or wrong path: %q", stdout)
+	}
+
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"edges"`, `"cycles"`, `"tmpmod/locks.MA"`, `"reported_per_package": false`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("lock report missing %s:\n%s", want, data)
+		}
+	}
+}
+
+// TestLockOrderSuppressedPerPackage proves the suppression and ratchet
+// interplay: a cycle visible inside one package is silenced with
+// //lint:ignore, its key still travels as a fact, and the whole-program
+// pass does not resurrect it.
+func TestLockOrderSuppressedPerPackage(t *testing.T) {
+	dir := writeTree(t, map[string]string{
+		"go.mod": "module tmpmod\n\ngo 1.24\n",
+		"locks/locks.go": `package locks
+
+import "sync"
+
+var MA, MB sync.Mutex
+
+func AB() {
+	MA.Lock()
+	defer MA.Unlock()
+	//lint:ignore vetrnn/lockorder startup-only path, order quirk documented in the runbook
+	MB.Lock()
+	MB.Unlock()
+}
+
+func BA() {
+	MB.Lock()
+	defer MB.Unlock()
+	MA.Lock()
+	MA.Unlock()
+}
+`,
+	})
+	baseline := filepath.Join(dir, "BASELINE.json")
+	code, stdout, stderr := captureRun(t, "-dir", dir, "-ratchet", baseline, "-ratchet-write", "./...")
+	if code != 0 {
+		t.Fatalf("suppressed cycle still failed the run: %d (stdout %q stderr %q)", code, stdout, stderr)
+	}
+	data, err := os.ReadFile(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"lockorder": 1`) {
+		t.Fatalf("baseline did not record the lockorder suppression: %s", data)
+	}
+}
+
 func TestJSONOutput(t *testing.T) {
 	dir := writeTree(t, crossPackageTree(useBad))
 	code, stdout, _ := captureRun(t, "-dir", dir, "-json", "./...")

@@ -1,0 +1,113 @@
+package dataflow
+
+import "go/ast"
+
+// Lattice is the domain of one forward dataflow problem over a Graph.
+// States must be treated as values: Transfer and Join return fresh (or
+// reused-but-owned) states and never mutate their inputs in place unless
+// they own them.
+type Lattice[S any] interface {
+	// Entry is the state on function entry (e.g. the locks a
+	// vetrnn:holds contract declares held).
+	Entry() S
+	// Join merges two predecessor states at a control-flow merge point.
+	Join(a, b S) S
+	// Equal reports state equality; the solver iterates until every
+	// block's input state stops changing.
+	Equal(a, b S) bool
+	// Transfer applies one block's nodes to the incoming state and
+	// returns the outgoing state.
+	Transfer(b *Block, in S) S
+}
+
+// maxPasses bounds the worklist iteration defensively; the lattices the
+// analyzers use are finite and the transfer functions monotone, so the
+// fixpoint arrives after a handful of passes — the bound only guards
+// against a misbehaving Lattice turning analysis into a spin.
+const maxPasses = 10000
+
+// Forward solves the dataflow problem and returns each block's input
+// state. Blocks unreachable from the entry (dead code after a return)
+// get the entry state, which matches how the lexical replay treated
+// them and keeps diagnostics inside dead code conservative.
+func Forward[S any](g *Graph, l Lattice[S]) map[*Block]S {
+	in := make(map[*Block]S, len(g.Blocks))
+	out := make(map[*Block]S, len(g.Blocks))
+	computed := make(map[*Block]bool, len(g.Blocks))
+
+	// Reverse-postorder-ish seed: construction order is close enough
+	// (blocks are created roughly in source order).
+	work := make([]*Block, len(g.Blocks))
+	copy(work, g.Blocks)
+	queued := make(map[*Block]bool, len(g.Blocks))
+	for _, b := range work {
+		queued[b] = true
+	}
+
+	passes := 0
+	for len(work) > 0 && passes < maxPasses {
+		passes++
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		var state S
+		fresh := true
+		for _, p := range b.Preds {
+			if !computed[p] {
+				continue
+			}
+			if fresh {
+				state = out[p]
+				fresh = false
+			} else {
+				state = l.Join(state, out[p])
+			}
+		}
+		if fresh {
+			// Entry, or no predecessor has produced a state yet
+			// (unreachable code, or a loop head on the first pass whose
+			// only computed pred is upstream — that case is covered by
+			// the loop above).
+			state = l.Entry()
+		}
+
+		if prev, ok := in[b]; ok && l.Equal(prev, state) && computed[b] {
+			continue
+		}
+		in[b] = state
+		out[b] = l.Transfer(b, state)
+		computed[b] = true
+		for _, s := range b.Succs {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// VisitBlockNode walks the expressions of one block node in source
+// order, calling f exactly like ast.Inspect but without descending into
+// nested function literals (closures run on their own schedule and are
+// analyzed as separate scopes) or into a RangeStmt head node's loop body
+// (the body lives in its own blocks).
+func VisitBlockNode(n ast.Node, f func(ast.Node) bool) {
+	if rs, ok := n.(*ast.RangeStmt); ok {
+		// The head node owns only the range operands; Key/Value are
+		// visited for write tracking, X for the ranged operand.
+		for _, e := range []ast.Expr{rs.Key, rs.Value, rs.X} {
+			if e != nil {
+				VisitBlockNode(e, f)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return f(m)
+	})
+}

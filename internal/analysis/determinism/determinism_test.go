@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"graphrnn/internal/analysis/analysistest"
+	"graphrnn/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "determinism")
+}
+
+// TestCrossPackage checks that nondeterminism summaries travel as package
+// facts: detlib exports them, detuse's annotated callers trip over them —
+// including the transitively nondeterministic Delegate.
+func TestCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", determinism.Analyzer, "detuse")
+}

@@ -1,0 +1,30 @@
+// Package detlib exports one deterministic and one nondeterministic
+// helper; the nondeterminism summary travels to importers as a package
+// fact (see the detuse fixture).
+package detlib
+
+import "sort"
+
+// SumOrdered consumes the map in sorted key order — deterministic.
+func SumOrdered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// FirstKey leaks iteration order.
+func FirstKey(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// Delegate is nondeterministic only transitively, through FirstKey; the
+// exported summary must already have folded that in.
+func Delegate(m map[string]int) string {
+	return FirstKey(m)
+}

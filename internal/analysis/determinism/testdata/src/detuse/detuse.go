@@ -1,0 +1,28 @@
+// Package detuse calls detlib under a vetrnn:deterministic contract;
+// enforcement here proves the nondeterminism summaries crossed the
+// package boundary as facts, including the transitively nondeterministic
+// Delegate.
+package detuse
+
+import "detlib"
+
+// ordered stays inside deterministic callees.
+//
+// vetrnn:deterministic
+func ordered(m map[string]int) []string {
+	return detlib.SumOrdered(m)
+}
+
+// leaky calls a directly nondeterministic import.
+//
+// vetrnn:deterministic
+func leaky(m map[string]int) string {
+	return detlib.FirstKey(m) // want `call to detlib\.FirstKey is nondeterministic`
+}
+
+// viaDelegate calls a transitively nondeterministic import.
+//
+// vetrnn:deterministic
+func viaDelegate(m map[string]int) string {
+	return detlib.Delegate(m) // want `call to detlib\.Delegate is nondeterministic \(calls detlib\.FirstKey, which is nondeterministic\)`
+}

@@ -1,0 +1,9 @@
+// Package sort is a minimal stand-in for the real sort package so golden
+// fixtures type-check hermetically. The analyzer blesses the
+// collect-then-sort map-range idiom by matching these entry points.
+package sort
+
+func Strings(a []string)                          {}
+func Ints(a []int)                                {}
+func Slice(x any, less func(i, j int) bool)       {}
+func SliceStable(x any, less func(i, j int) bool) {}

@@ -1,0 +1,16 @@
+// Package sync is a minimal stand-in for the real sync package so golden
+// fixtures type-check hermetically. The analyzer matches sync.Map.Range
+// by package path and method name, which this shim reproduces.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+// Map mirrors sync.Map's Range entry point.
+type Map struct{ state int32 }
+
+func (m *Map) Store(key, value any)              {}
+func (m *Map) Load(key any) (any, bool)          { return nil, false }
+func (m *Map) Range(f func(key, value any) bool) {}

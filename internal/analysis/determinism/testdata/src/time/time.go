@@ -1,0 +1,16 @@
+// Package time is a minimal stand-in for the real time package so golden
+// fixtures type-check hermetically. The analyzer matches wall-clock
+// sources by package path and function name, which this shim reproduces.
+package time
+
+// Time is a wall-clock instant.
+type Time struct{ ns int64 }
+
+// Duration is a span between instants.
+type Duration int64
+
+func Now() Time                   { return Time{} }
+func Since(t Time) Duration       { return 0 }
+func Until(t Time) Duration       { return 0 }
+func (t Time) UnixNano() int64    { return t.ns }
+func (d Duration) String() string { return "" }

@@ -122,3 +122,30 @@ func (s *FactStore) ReadVetx(path string) error {
 
 // Len reports the number of stored facts (used by driver tests).
 func (s *FactStore) Len() int { return len(s.m) }
+
+// Visit decodes every stored fact of analyzer whose concrete type matches
+// proto's, calling visit with the package path and a freshly allocated
+// decoded fact, in sorted package order. This is the whole-program
+// enumeration the driver-level passes use (lockorder's cross-package
+// cycle detection): unlike ImportPackageFact it is not limited to the
+// import closure of any one package.
+func (s *FactStore) Visit(analyzer string, proto Fact, visit func(pkg string, fact Fact)) {
+	typ := factTypeName(proto)
+	var pkgs []string
+	for k := range s.m {
+		if k.analyzer == analyzer && k.typ == typ {
+			pkgs = append(pkgs, k.pkg)
+		}
+	}
+	sort.Strings(pkgs)
+	rt := reflect.TypeOf(proto)
+	for rt.Kind() == reflect.Pointer {
+		rt = rt.Elem()
+	}
+	for _, pkg := range pkgs {
+		fact := reflect.New(rt).Interface().(Fact)
+		if s.importInto(analyzer, pkg, fact) {
+			visit(pkg, fact)
+		}
+	}
+}

@@ -9,16 +9,17 @@
 // resolving, through pointers, to a sync.Mutex or sync.RWMutex — "mu" for
 // a same-struct mutex, "pool.mu" for a mutex owned by a referenced struct.
 //
-// The check is flow-insensitive: within one function body, events (Lock,
-// RLock, Unlock, RUnlock, field accesses) are replayed in source order, a
-// deferred Unlock keeps the mutex held to the end, and an access is legal
-// when the most recent lexical lock state of the required mutex covers it.
+// The check is flow-sensitive at block granularity: each function body is
+// lowered to the shared dataflow CFG, lock state (which mutexes are held,
+// and in which half) is propagated through a forward fixpoint with
+// intersection joins at merges, and every field access is checked against
+// the state reaching its statement. A deferred Unlock keeps the mutex held
+// to the end of the function, an early `return` under the lock no longer
+// leaks its branch's Unlock into the fall-through path, and a lock taken
+// on only one arm of a branch is correctly *not* held after the merge.
 // Reads need at least the read half; writes need the write half — a write
 // while only RLock is held is the distinct "publish under the read lock"
 // diagnostic (the bug class PR 5's post-review hardening fixed by hand).
-// Lexical order approximates dominance exactly like the journalbefore
-// analyzer, and it is exactly the shape of every locking function in the
-// tree: lock, touch the fields, unlock.
 //
 // Two escape valves keep the check honest instead of noisy:
 //
@@ -42,10 +43,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"sort"
 	"strings"
 
 	"graphrnn/internal/analysis"
+	"graphrnn/internal/analysis/dataflow"
 )
 
 // Analyzer is the guardedby check.
@@ -268,38 +269,83 @@ func holdsOf(doc *ast.CommentGroup) [][2]string {
 	return out
 }
 
+// Lock modes. Exported so lockorder can share the scale.
 const (
 	lockNone = iota
 	lockRead
 	lockWrite
 )
 
-// event is one replayed occurrence inside a scope, ordered by position.
-type event struct {
-	pos  token.Pos
-	kind string // "lock", "rlock", "unlock", "runlock", "access", "alias", "construct"
-	// lock ops and accesses: the unexpanded selector chain of the mutex /
-	// the access base expression.
-	expr string
-	// access only:
-	write bool
-	field string // field name, for the diagnostic
-	guard string // guard path
-	// alias only: name -> expr; construct only: expr holds the name.
+// LockState is one dataflow state: held mutex chain -> mode (lockRead or
+// lockWrite; absent means not held). The key "*" is the vetrnn:holds
+// wildcard: everything write-held by the caller.
+type LockState map[string]int
+
+// scopeInfo is the flow-insensitive context of one function body: write
+// positions, deferred calls, selector-chain aliases, and locally
+// constructed (not-yet-escaped) variables. Aliases and constructions are
+// resolved lexically — Go's define-before-use makes that sound for the
+// shapes this analyzer names.
+type scopeInfo struct {
+	pass        *analysis.Pass
+	writes      map[ast.Expr]bool
+	deferred    map[token.Pos]bool
+	aliases     map[string]string
+	constructed map[string]bool
+	lits        []*ast.FuncLit
+	escaping    map[*ast.FuncLit]bool
 }
 
-// checkScope replays one function body (FuncDecls and each FuncLit in
-// isolation — a closure runs on its own schedule and cannot inherit the
-// definer's lexical lock state). The one thing a synchronous closure can
-// inherit is the enclosing declaration's documented vetrnn:holds contract:
-// a predicate or visitor literal runs on its definer's stack under the same
-// caller-held locks. Literals launched by go or defer do not inherit —
-// those run after the definer may have unlocked.
-func checkScope(pass *analysis.Pass, g *guards, body *ast.BlockStmt, holds [][2]string) {
-	var events []event
-	var lits []*ast.FuncLit
+// Expand rewrites the leading component of a selector chain through the
+// scope's alias table ("p.mu" -> "t.pool.mu" after p := t.pool).
+func (s *scopeInfo) Expand(expr string) string {
+	first, rest, cut := strings.Cut(expr, ".")
+	if to, ok := s.aliases[first]; ok {
+		if cut {
+			return to + "." + rest
+		}
+		return to
+	}
+	return expr
+}
 
-	writes := map[ast.Expr]bool{}
+// ApplyLockOps interprets the mutex Lock/RLock/Unlock/RUnlock calls of one
+// block node against state, in place. Deferred calls are skipped: a
+// deferred Unlock keeps the mutex held to the end of the function.
+func (s *scopeInfo) ApplyLockOps(state LockState, n ast.Node) {
+	dataflow.VisitBlockNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, mexpr, ok := lockOp(s.pass, call)
+		if !ok || s.deferred[call.Pos()] {
+			return true
+		}
+		key := s.Expand(mexpr)
+		switch kind {
+		case "lock":
+			state[key] = lockWrite
+		case "rlock":
+			state[key] = lockRead
+		case "unlock", "runlock":
+			delete(state, key)
+		}
+		return true
+	})
+}
+
+// CollectScopeInfo walks one body (FuncLit subtrees excluded) and gathers
+// the lexical context the lock-state lattice and the reporting pass share.
+func CollectScopeInfo(pass *analysis.Pass, body *ast.BlockStmt) *scopeInfo {
+	s := &scopeInfo{
+		pass:        pass,
+		writes:      map[ast.Expr]bool{},
+		deferred:    map[token.Pos]bool{},
+		aliases:     map[string]string{},
+		constructed: map[string]bool{},
+		escaping:    map[*ast.FuncLit]bool{},
+	}
 	markWrite := func(e ast.Expr) {
 		for {
 			switch x := e.(type) {
@@ -310,22 +356,44 @@ func checkScope(pass *analysis.Pass, g *guards, body *ast.BlockStmt, holds [][2]
 			case *ast.StarExpr:
 				e = x.X
 			default:
-				writes[e] = true
+				s.writes[e] = true
 				return
 			}
 		}
 	}
-
-	// First pass: find write contexts and nested function literals (whose
-	// subtrees the main walk skips).
 	ast.Inspect(body, func(n ast.Node) bool {
 		switch st := n.(type) {
 		case *ast.FuncLit:
-			lits = append(lits, st)
+			s.lits = append(s.lits, st)
 			return false
+		case *ast.GoStmt:
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				s.escaping[lit] = true
+			}
+		case *ast.DeferStmt:
+			s.deferred[st.Call.Pos()] = true
+			if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+				s.escaping[lit] = true
+			}
 		case *ast.AssignStmt:
 			for _, lhs := range st.Lhs {
 				markWrite(lhs)
+			}
+			// x := <selector chain> records an alias; x := T{...} (& co)
+			// records a construction.
+			if st.Tok == token.DEFINE && len(st.Lhs) == len(st.Rhs) {
+				for i, lhs := range st.Lhs {
+					id, ok := lhs.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					rhs := ast.Unparen(st.Rhs[i])
+					if target, ok := chainOf(rhs); ok && strings.Contains(target, ".") {
+						s.aliases[id.Name] = s.Expand(target)
+					} else if isConstruction(rhs) {
+						s.constructed[id.Name] = true
+					}
+				}
 			}
 		case *ast.IncDecStmt:
 			markWrite(st.X)
@@ -340,35 +408,6 @@ func checkScope(pass *analysis.Pass, g *guards, body *ast.BlockStmt, holds [][2]
 			if st.Value != nil {
 				markWrite(st.Value)
 			}
-		}
-		return true
-	})
-
-	deferred := map[token.Pos]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		switch st := n.(type) {
-		case *ast.DeferStmt:
-			deferred[st.Call.Pos()] = true
-		case *ast.AssignStmt:
-			// x := <selector chain> records an alias; x := T{...} (& co)
-			// records a construction.
-			if st.Tok == token.DEFINE && len(st.Lhs) == len(st.Rhs) {
-				for i, lhs := range st.Lhs {
-					id, ok := lhs.(*ast.Ident)
-					if !ok {
-						continue
-					}
-					rhs := ast.Unparen(st.Rhs[i])
-					if target, ok := chainOf(rhs); ok && strings.Contains(target, ".") {
-						events = append(events, event{pos: st.Pos(), kind: "alias", expr: id.Name + "=" + target})
-					} else if isConstruction(rhs) {
-						events = append(events, event{pos: st.Pos(), kind: "construct", expr: id.Name})
-					}
-				}
-			}
 		case *ast.DeclStmt:
 			// var x T is a construction too.
 			if gd, ok := st.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
@@ -378,13 +417,129 @@ func checkScope(pass *analysis.Pass, g *guards, body *ast.BlockStmt, holds [][2]
 						continue
 					}
 					for _, name := range vs.Names {
-						events = append(events, event{pos: vs.Pos(), kind: "construct", expr: name.Name})
+						s.constructed[name.Name] = true
 					}
 				}
 			}
+		}
+		return true
+	})
+	// escaping above only marks go lit(){} / defer lit(){} where the
+	// literal is the call target; nested literals inside other literals
+	// are handled when their encloser recurses.
+	return s
+}
+
+// lockLattice is the guardedby dataflow domain over LockState.
+type lockLattice struct {
+	info  *scopeInfo
+	holds [][2]string
+}
+
+func (l lockLattice) Entry() LockState {
+	state := LockState{}
+	for _, h := range l.holds {
+		mode := lockWrite
+		if h[1] == "read" {
+			mode = lockRead
+		}
+		state[h[0]] = mode
+	}
+	return state
+}
+
+// Join intersects: a mutex is held after a merge only if every incoming
+// path holds it, and only as strongly as the weakest path.
+func (lockLattice) Join(a, b LockState) LockState {
+	out := LockState{}
+	for k, ma := range a {
+		if mb, ok := b[k]; ok {
+			if mb < ma {
+				out[k] = mb
+			} else {
+				out[k] = ma
+			}
+		}
+	}
+	return out
+}
+
+func (lockLattice) Equal(a, b LockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, m := range a {
+		if b[k] != m {
+			return false
+		}
+	}
+	return true
+}
+
+func (l lockLattice) Transfer(b *dataflow.Block, in LockState) LockState {
+	out := LockState{}
+	for k, m := range in {
+		out[k] = m
+	}
+	for _, n := range b.Nodes {
+		l.info.ApplyLockOps(out, n)
+	}
+	return out
+}
+
+// checkScope analyzes one function body (FuncDecls and each FuncLit in
+// isolation — a closure runs on its own schedule and cannot inherit the
+// definer's lock state). The one thing a synchronous closure can inherit
+// is the enclosing declaration's documented vetrnn:holds contract: a
+// predicate or visitor literal runs on its definer's stack under the same
+// caller-held locks. Literals launched by go or defer do not inherit —
+// those run after the definer may have unlocked.
+//
+// The body is lowered to a CFG, lock state is solved to a fixpoint, and a
+// final replay of each block from its solved input state checks every
+// guarded access against the state actually reaching it.
+func checkScope(pass *analysis.Pass, g *guards, body *ast.BlockStmt, holds [][2]string) {
+	info := CollectScopeInfo(pass, body)
+	graph := dataflow.New(body)
+	lat := lockLattice{info: info, holds: holds}
+	in := dataflow.Forward[LockState](graph, lat)
+
+	for _, b := range graph.Blocks {
+		state := LockState{}
+		for k, m := range in[b] {
+			state[k] = m
+		}
+		for _, n := range b.Nodes {
+			checkNode(pass, g, info, state, n)
+		}
+	}
+
+	for _, lit := range info.lits {
+		inherited := holds
+		if info.escaping[lit] {
+			inherited = nil
+		}
+		checkScope(pass, g, lit.Body, inherited)
+	}
+}
+
+// checkNode replays one block node: guarded accesses are checked against
+// state, and lock operations advance it — both in source order within the
+// node's subtree.
+func checkNode(pass *analysis.Pass, g *guards, info *scopeInfo, state LockState, n ast.Node) {
+	dataflow.VisitBlockNode(n, func(m ast.Node) bool {
+		switch st := m.(type) {
 		case *ast.CallExpr:
-			if kind, mexpr, ok := lockOp(pass, st); ok && !deferred[st.Pos()] {
-				events = append(events, event{pos: st.Pos(), kind: kind, expr: mexpr})
+			if kind, mexpr, ok := lockOp(pass, st); ok && !info.deferred[st.Pos()] {
+				key := info.Expand(mexpr)
+				switch kind {
+				case "lock":
+					state[key] = lockWrite
+				case "rlock":
+					state[key] = lockRead
+				case "unlock", "runlock":
+					delete(state, key)
+				}
 			}
 		case *ast.SelectorExpr:
 			sel, ok := pass.TypesInfo.Selections[st]
@@ -399,115 +554,31 @@ func checkScope(pass *analysis.Pass, g *guards, body *ast.BlockStmt, holds [][2]
 			if !ok {
 				// The receiver is not a plain selector chain (a call
 				// result, an index...); the mutex cannot be named, so the
-				// access is skipped — the flow-insensitive contract.
+				// access is skipped — the documented contract.
 				return true
 			}
-			events = append(events, event{
-				pos: st.Pos(), kind: "access", expr: base,
-				write: writes[st], field: sel.Obj().Name(), guard: guard,
-			})
-		}
-		return true
-	})
-
-	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
-
-	state := map[string]int{}
-	for _, h := range holds {
-		mode := lockWrite
-		if h[1] == "read" {
-			mode = lockRead
-		}
-		state[h[0]] = mode
-	}
-	aliases := map[string]string{}
-	constructed := map[string]bool{}
-	expand := func(expr string) string {
-		first, rest, cut := strings.Cut(expr, ".")
-		if to, ok := aliases[first]; ok {
-			if cut {
-				return to + "." + rest
+			base = info.Expand(base)
+			if info.constructed[strings.SplitN(base, ".", 2)[0]] {
+				return true
 			}
-			return to
-		}
-		return expr
-	}
-
-	for _, ev := range events {
-		switch ev.kind {
-		case "alias":
-			name, target, _ := strings.Cut(ev.expr, "=")
-			aliases[name] = expand(target)
-		case "construct":
-			constructed[ev.expr] = true
-		case "lock":
-			state[expand(ev.expr)] = lockWrite
-		case "rlock":
-			state[expand(ev.expr)] = lockRead
-		case "unlock", "runlock":
-			delete(state, expand(ev.expr))
-		case "access":
-			base := expand(ev.expr)
-			if constructed[strings.SplitN(base, ".", 2)[0]] {
-				continue
-			}
-			required := base + "." + ev.guard
+			required := base + "." + guard
 			held := state[required]
 			if state["*"] > held {
 				held = state["*"]
 			}
 			switch {
 			case held == lockNone:
-				pass.Reportf(ev.pos,
+				pass.Reportf(st.Pos(),
 					"access to %s.%s is guarded by %s, which is not held here (no Lock/RLock precedes it; annotate the caller contract with vetrnn:holds if the lock is taken upstream)",
-					base, ev.field, required)
-			case held == lockRead && ev.write:
-				pass.Reportf(ev.pos,
+					base, sel.Obj().Name(), required)
+			case held == lockRead && info.writes[st]:
+				pass.Reportf(st.Pos(),
 					"write to %s.%s under RLock of %s; publishing through the read half needs the write lock (or an atomic field)",
-					base, ev.field, required)
+					base, sel.Obj().Name(), required)
 			}
-		}
-	}
-
-	// Literals handed to go/defer escape the definer's lock scope and
-	// never inherit its holds contract.
-	escaping := map[*ast.FuncLit]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		var call *ast.CallExpr
-		switch st := n.(type) {
-		case *ast.GoStmt:
-			call = st.Call
-		case *ast.DeferStmt:
-			call = st.Call
-		default:
-			return true
-		}
-		if lit, ok := call.Fun.(*ast.FuncLit); ok {
-			escaping[lit] = true
 		}
 		return true
 	})
-	for _, lit := range lits {
-		if !enclosedByOther(lit, lits) {
-			inherited := holds
-			if escaping[lit] {
-				inherited = nil
-			}
-			checkScope(pass, g, lit.Body, inherited)
-		}
-	}
-}
-
-// enclosedByOther reports whether lit sits inside another literal of the
-// same scope collection (those are reached by the recursive checkScope on
-// their encloser).
-func enclosedByOther(lit *ast.FuncLit, all []*ast.FuncLit) bool {
-	for _, other := range all {
-		if other != lit && other.Pos() < lit.Pos() && lit.End() <= other.End() {
-			return true
-		}
-	}
-	return false
 }
 
 // chainOf renders a pure ident/selector chain ("t.pool.mu"); it fails on
@@ -543,6 +614,21 @@ func isConstruction(e ast.Expr) bool {
 		}
 	}
 	return false
+}
+
+// LockOp exposes lock-call classification to sibling analyzers: kind is
+// "lock", "rlock", "unlock" or "runlock", and mutexChain the receiver's
+// selector chain ("t.pool.mu"). lockorder builds its acquisition edges on
+// exactly this resolution so the two analyzers never disagree about what
+// constitutes a lock operation.
+func LockOp(pass *analysis.Pass, call *ast.CallExpr) (kind, mutexChain string, ok bool) {
+	return lockOp(pass, call)
+}
+
+// ChainOf exposes selector-chain rendering ("t.pool.mu") to sibling
+// analyzers; ok is false for anything but a pure ident/selector chain.
+func ChainOf(e ast.Expr) (string, bool) {
+	return chainOf(e)
 }
 
 // lockOp classifies a sync.Mutex / sync.RWMutex method call, returning the

@@ -156,6 +156,79 @@ func spawn(s *server) {
 	}()
 }
 
+// --- dataflow: branches and merges ------------------------------------------
+
+// earlyReturn is the lexical-replay false positive the dataflow port
+// removes: the error path unlocks and returns, and the fall-through path
+// still holds the lock.
+func earlyReturn(c *counters, bad bool) {
+	c.mu.Lock()
+	if bad {
+		c.mu.Unlock()
+		return
+	}
+	c.fallbacks++
+	c.mu.Unlock()
+}
+
+// conditionalLock is the matching false negative: a lock taken on only
+// one arm of a branch is not held after the merge.
+func conditionalLock(c *counters, maybe bool) {
+	if maybe {
+		c.mu.Lock()
+	}
+	c.fallbacks++ // want `access to c\.fallbacks is guarded by c\.mu, which is not held`
+	if maybe {
+		c.mu.Unlock()
+	}
+}
+
+// bothArmsLock holds after the merge because every path locked.
+func bothArmsLock(c *counters, which bool) {
+	if which {
+		c.mu.Lock()
+	} else {
+		c.mu.Lock()
+	}
+	c.fallbacks++
+	c.mu.Unlock()
+}
+
+// downgradeJoin: one path holds the write half, the other the read half;
+// the merge keeps only the read half, so a write there is the RLock
+// publish diagnostic.
+func downgradeJoin(s *server, heavy bool) {
+	if heavy {
+		s.mu.Lock()
+	} else {
+		s.mu.RLock()
+	}
+	s.count++ // want `write to s\.count under RLock of s\.mu`
+	_ = s.count
+}
+
+// loopRelock: the lock is released and retaken inside the body, so the
+// backedge join still holds it at the loop head and the access is clean.
+func loopRelock(c *counters, keys []string) {
+	c.mu.Lock()
+	for _, k := range keys {
+		c.decisions[k]++
+		c.mu.Unlock()
+		c.mu.Lock()
+	}
+	c.mu.Unlock()
+}
+
+// loopDrop: the body unlocks without retaking, so the second iteration
+// does not hold the lock — the head join drops it.
+func loopDrop(c *counters, keys []string) {
+	c.mu.Lock()
+	for _, k := range keys {
+		c.decisions[k]++ // want `access to c\.decisions is guarded by c\.mu, which is not held`
+		c.mu.Unlock()
+	}
+}
+
 // --- deliberate exceptions are suppressed (and ratchet-counted) -------------
 
 func suppressed(c *counters) {

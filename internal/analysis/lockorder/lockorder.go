@@ -1,0 +1,680 @@
+// Package lockorder detects lock-ordering cycles — the two-mutex deadlock
+// where one code path acquires A then B and another acquires B then A.
+//
+// Lock identity is class-based: a mutex is named by where it is declared,
+// "pkgpath.Type.field" for a struct mutex (resolved through the type
+// checker, so every alias and receiver name maps to the same class) or
+// "pkgpath.var" for a package-level mutex. Two instances of the same
+// struct type share a class; instance-level ordering (locking two
+// elements of a slice in index order) is out of scope and must be
+// serialized by a separate class.
+//
+// Each function body is lowered to the shared dataflow CFG and the held
+// set is propagated exactly like guardedby's lock state (same LockOp
+// resolution, deferred Unlock keeps the mutex held). An
+// acquires-while-holding edge A -> B is recorded when
+//
+//   - B.Lock() (or RLock — readers order like writers) executes while A
+//     is held, or
+//   - a function whose transitive acquire-set contains B is called while
+//     A is held. Acquire-sets are computed bottom-up per package and
+//     exported as facts, so the edge is seen at every call depth and
+//     across package boundaries.
+//
+// Edges and acquire-sets are exported as package facts. Cycle detection
+// runs twice:
+//
+//   - per package, over the package's own edges plus everything its
+//     transitive imports exported — a cycle is reported here when one of
+//     its edges belongs to the current package (with the full cycle path
+//     in the message). This is what `go vet -vettool` sees: cycles
+//     visible through the import graph.
+//   - whole-program, in the standalone driver, over every package's
+//     facts — this also catches cycles whose halves live in sibling
+//     packages no unit imports together. Cycles already reported per
+//     package are exported as fact keys and skipped.
+//
+// vetrnn:holds preconditions do not seed the held set: the caller that
+// actually holds the lock emits the call-site edge against the callee's
+// acquire-set, which keeps every edge anchored to a real acquisition
+// order. Deliberate exceptions carry //lint:ignore vetrnn/lockorder <why>.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"graphrnn/internal/analysis"
+	"graphrnn/internal/analysis/dataflow"
+	"graphrnn/internal/analysis/guardedby"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &analysis.Analyzer{
+	Name:      "lockorder",
+	Doc:       "acquires-while-holding edges must not form cycles (class-level lock-ordering deadlock detection)",
+	SkipTests: true,
+	FactTypes: []analysis.Fact{new(LockFacts)},
+	Run:       run,
+}
+
+// Edge is one acquires-while-holding observation: To was acquired (or a
+// function that acquires To was called) while From was held.
+type Edge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Pos is the acquisition or call site, "file:line:col".
+	Pos string `json:"pos"`
+	// Func is the function containing the site, "pkgpath.FuncKey".
+	Func string `json:"func"`
+}
+
+// LockFacts is the package fact: the package's own edges, each function's
+// transitive acquire-set ("Func" / "Type.Method" -> sorted lock classes),
+// and the normalized keys of cycles already reported per-package (so the
+// whole-program pass does not report them again).
+type LockFacts struct {
+	Edges    []Edge              `json:"edges,omitempty"`
+	Acquires map[string][]string `json:"acquires,omitempty"`
+	Cycles   []string            `json:"cycles,omitempty"`
+}
+
+// AFact marks LockFacts as a fact type.
+func (*LockFacts) AFact() {}
+
+// Cycle is one detected lock-ordering cycle.
+type Cycle struct {
+	// Key is the normalized identity: the class sequence rotated so the
+	// smallest class leads, joined with " -> ".
+	Key string
+	// Path is the full class sequence, starting and ending with the same
+	// class.
+	Path []string
+	// At is the edge whose acquisition completes the cycle (a candidate
+	// edge of the detection call).
+	At Edge
+}
+
+// lockSite is one Lock/RLock call with a resolved class.
+type lockSite struct {
+	pos   token.Pos
+	class string
+}
+
+type callSite struct {
+	pos token.Pos
+	fn  *types.Func
+}
+
+type funcData struct {
+	key   string
+	locks []lockSite
+	calls []callSite
+	decl  *ast.FuncDecl
+}
+
+func run(pass *analysis.Pass) error {
+	var funcs []*funcData
+	byKey := map[string]*funcData{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			data := &funcData{key: funcKey(obj), decl: fd}
+			collect(pass, fd.Body, data)
+			funcs = append(funcs, data)
+			byKey[data.key] = data
+		}
+	}
+
+	imported := map[string]*LockFacts{}
+	importFacts := func(path string) *LockFacts {
+		facts, ok := imported[path]
+		if !ok {
+			facts = new(LockFacts)
+			if !pass.ImportPackageFact(path, facts) {
+				facts = nil
+			}
+			imported[path] = facts
+		}
+		return facts
+	}
+
+	// Transitive acquire-sets: direct classes, plus same-package callees
+	// to a fixpoint, plus imported callees' exported sets.
+	acquires := map[string]map[string]bool{}
+	for _, f := range funcs {
+		set := map[string]bool{}
+		for _, l := range f.locks {
+			set[l.class] = true
+		}
+		for _, c := range f.calls {
+			if c.fn.Pkg() == nil || c.fn.Pkg() == pass.Pkg {
+				continue
+			}
+			if facts := importFacts(c.fn.Pkg().Path()); facts != nil {
+				for _, cls := range facts.Acquires[funcKey(c.fn)] {
+					set[cls] = true
+				}
+			}
+		}
+		acquires[f.key] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range funcs {
+			set := acquires[f.key]
+			for _, c := range f.calls {
+				if c.fn.Pkg() != pass.Pkg {
+					continue
+				}
+				for cls := range acquires[funcKey(c.fn)] {
+					if !set[cls] {
+						set[cls] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Edge emission: dataflow the held set through each scope and record
+	// an edge per (held, acquired) pair at Lock sites and call sites.
+	em := &emitter{
+		pass:     pass,
+		acquires: acquires,
+		imports:  importFacts,
+		seen:     map[Edge]bool{},
+	}
+	for _, f := range funcs {
+		em.fn = pass.Pkg.Path() + "." + f.key
+		em.scope(f.decl.Body)
+	}
+
+	// Export facts (deterministically ordered) before detection so the
+	// fact is complete even if reporting fails midway.
+	// Edges keep emission order: function declaration order, then block
+	// and node order within each body — deterministic, and it makes the
+	// first candidate of a cycle the first acquisition in source order.
+	fact := &LockFacts{Acquires: map[string][]string{}}
+	fact.Edges = em.edges
+	for key, set := range acquires {
+		if len(set) == 0 {
+			continue
+		}
+		var classes []string
+		for cls := range set {
+			classes = append(classes, cls)
+		}
+		sort.Strings(classes)
+		fact.Acquires[key] = classes
+	}
+
+	// Per-package detection: own edges are the candidates; the graph is
+	// own edges plus everything the transitive imports exported.
+	all := append([]Edge(nil), fact.Edges...)
+	seenPkg := map[string]bool{}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if seenPkg[p.Path()] {
+			return
+		}
+		seenPkg[p.Path()] = true
+		if facts := importFacts(p.Path()); facts != nil {
+			all = append(all, facts.Edges...)
+		}
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		walk(imp)
+	}
+
+	for _, cyc := range DetectCycles(all, fact.Edges) {
+		fact.Cycles = append(fact.Cycles, cyc.Key)
+		pos := em.posOf[cyc.At]
+		pass.Reportf(pos, "lock-ordering cycle: %s (acquiring %s while holding %s completes the cycle)",
+			strings.Join(cyc.Path, " -> "), cyc.At.To, cyc.At.From)
+	}
+
+	if len(fact.Edges) > 0 || len(fact.Acquires) > 0 || len(fact.Cycles) > 0 {
+		if err := pass.ExportPackageFact(fact); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// funcKey renders a *types.Func as "Func" or "Type.Method".
+func funcKey(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return fn.Name()
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.Underlying().(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// collect gathers the lock sites (with resolved classes) and static calls
+// of a whole body, function literals included: a literal defined here
+// runs this package's acquisitions, so they belong to the enclosing
+// function's acquire-set.
+func collect(pass *analysis.Pass, body *ast.BlockStmt, data *funcData) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, _, ok := guardedby.LockOp(pass, call); ok {
+			if kind == "lock" || kind == "rlock" {
+				if cls := classOfLockCall(pass, call); cls != "" {
+					data.locks = append(data.locks, lockSite{pos: call.Pos(), class: cls})
+				}
+			}
+			return true
+		}
+		if fn := analysis.Callee(pass.TypesInfo, call); fn != nil {
+			data.calls = append(data.calls, callSite{pos: call.Pos(), fn: fn})
+		}
+		return true
+	})
+}
+
+// classOfLockCall resolves the mutex class of a Lock/RLock/Unlock call:
+// the receiver expression of the method selector.
+func classOfLockCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	return classOf(pass, sel.X)
+}
+
+// classOf names the global identity of a mutex expression:
+// "pkgpath.Type.field" for a struct field (any receiver), "pkgpath.var"
+// for a package-level variable, "" for locals and unresolvable shapes.
+func classOf(pass *analysis.Pass, e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := pass.TypesInfo.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			rt := sel.Recv()
+			if p, ok := rt.Underlying().(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			for {
+				if named, ok := rt.(*types.Named); ok {
+					obj := named.Obj()
+					if obj.Pkg() == nil {
+						return ""
+					}
+					return obj.Pkg().Path() + "." + obj.Name() + "." + sel.Obj().Name()
+				}
+				if alias, ok := rt.(*types.Alias); ok {
+					rt = alias.Rhs()
+					continue
+				}
+				return ""
+			}
+		}
+		// Package-qualified package-level var (pkg.Mu) has no selection.
+		if v, ok := pass.TypesInfo.Uses[x.Sel].(*types.Var); ok {
+			return pkgVarClass(v)
+		}
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[x].(*types.Var); ok {
+			return pkgVarClass(v)
+		}
+	}
+	return ""
+}
+
+func pkgVarClass(v *types.Var) string {
+	if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return v.Pkg().Path() + "." + v.Name()
+	}
+	return ""
+}
+
+// --- edge emission over the dataflow CFG ------------------------------------
+
+// heldSet is the dataflow state: held mutex chain -> class ("" when the
+// class is unresolvable; such locks cannot anchor edges but still pair
+// with their own Unlock).
+type heldSet map[string]string
+
+type heldLattice struct {
+	pass     *analysis.Pass
+	deferred map[token.Pos]bool
+}
+
+func (heldLattice) Entry() heldSet { return heldSet{} }
+
+func (heldLattice) Join(a, b heldSet) heldSet {
+	out := heldSet{}
+	for k, cls := range a {
+		if bcls, ok := b[k]; ok && bcls == cls {
+			out[k] = cls
+		}
+	}
+	return out
+}
+
+func (heldLattice) Equal(a, b heldSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, cls := range a {
+		if bcls, ok := b[k]; !ok || bcls != cls {
+			return false
+		}
+	}
+	return true
+}
+
+func (l heldLattice) Transfer(b *dataflow.Block, in heldSet) heldSet {
+	out := heldSet{}
+	for k, cls := range in {
+		out[k] = cls
+	}
+	for _, n := range b.Nodes {
+		l.apply(out, n)
+	}
+	return out
+}
+
+func (l heldLattice) apply(state heldSet, n ast.Node) {
+	dataflow.VisitBlockNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		kind, chain, ok := guardedby.LockOp(l.pass, call)
+		if !ok || l.deferred[call.Pos()] {
+			return true
+		}
+		switch kind {
+		case "lock", "rlock":
+			state[chain] = classOfLockCall(l.pass, call)
+		case "unlock", "runlock":
+			delete(state, chain)
+		}
+		return true
+	})
+}
+
+// emitter walks scopes and records acquires-while-holding edges.
+type emitter struct {
+	pass     *analysis.Pass
+	acquires map[string]map[string]bool
+	imports  func(path string) *LockFacts
+	fn       string
+	edges    []Edge
+	seen     map[Edge]bool
+	posOf    map[Edge]token.Pos
+}
+
+// scope runs the held-set dataflow over one body and replays each block
+// to emit edges; function literals are separate scopes with an empty
+// entry state (they run on their own schedule).
+func (em *emitter) scope(body *ast.BlockStmt) {
+	deferred := map[token.Pos]bool{}
+	var lits []*ast.FuncLit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.FuncLit:
+			lits = append(lits, st)
+			return false
+		case *ast.DeferStmt:
+			deferred[st.Call.Pos()] = true
+		}
+		return true
+	})
+
+	lat := heldLattice{pass: em.pass, deferred: deferred}
+	graph := dataflow.New(body)
+	in := dataflow.Forward[heldSet](graph, lat)
+	for _, b := range graph.Blocks {
+		state := heldSet{}
+		for k, cls := range in[b] {
+			state[k] = cls
+		}
+		for _, n := range b.Nodes {
+			em.replay(lat, state, n)
+		}
+	}
+	for _, lit := range lits {
+		em.scope(lit.Body)
+	}
+}
+
+// replay visits one block node: emits edges at acquisitions and call
+// sites given the current held set, then advances the state.
+func (em *emitter) replay(lat heldLattice, state heldSet, n ast.Node) {
+	dataflow.VisitBlockNode(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if kind, chain, ok := guardedby.LockOp(em.pass, call); ok {
+			if lat.deferred[call.Pos()] {
+				return true
+			}
+			switch kind {
+			case "lock", "rlock":
+				cls := classOfLockCall(em.pass, call)
+				if cls != "" {
+					for _, held := range heldClasses(state) {
+						if held != cls {
+							em.emit(held, cls, call.Pos())
+						}
+					}
+				}
+				state[chain] = cls
+			case "unlock", "runlock":
+				delete(state, chain)
+			}
+			return true
+		}
+		fn := analysis.Callee(em.pass.TypesInfo, call)
+		if fn == nil || len(state) == 0 {
+			return true
+		}
+		var acq []string
+		if fn.Pkg() == em.pass.Pkg {
+			for cls := range em.acquires[funcKey(fn)] {
+				acq = append(acq, cls)
+			}
+			sort.Strings(acq)
+		} else if fn.Pkg() != nil {
+			if facts := em.imports(fn.Pkg().Path()); facts != nil {
+				acq = facts.Acquires[funcKey(fn)]
+			}
+		}
+		for _, cls := range acq {
+			for _, held := range heldClasses(state) {
+				if held != cls {
+					em.emit(held, cls, call.Pos())
+				}
+			}
+		}
+		return true
+	})
+}
+
+func heldClasses(state heldSet) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, cls := range state {
+		if cls != "" && !seen[cls] {
+			seen[cls] = true
+			out = append(out, cls)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (em *emitter) emit(from, to string, pos token.Pos) {
+	e := Edge{
+		From: from,
+		To:   to,
+		Pos:  em.pass.Fset.Position(pos).String(),
+		Func: em.fn,
+	}
+	if em.seen[e] {
+		return
+	}
+	em.seen[e] = true
+	em.edges = append(em.edges, e)
+	if em.posOf == nil {
+		em.posOf = map[Edge]token.Pos{}
+	}
+	em.posOf[e] = pos
+}
+
+// --- cycle detection ---------------------------------------------------------
+
+// DetectCycles finds, for each candidate edge F->T, a shortest path
+// T -> ... -> F through all edges; each such path closes a cycle. Cycles
+// are deduplicated by normalized key, keeping the first candidate that
+// exposed them (candidate order is the caller's reporting order).
+func DetectCycles(all []Edge, candidates []Edge) []Cycle {
+	adj := map[string][]string{}
+	edgeSeen := map[[2]string]bool{}
+	for _, e := range all {
+		k := [2]string{e.From, e.To}
+		if edgeSeen[k] {
+			continue
+		}
+		edgeSeen[k] = true
+		adj[e.From] = append(adj[e.From], e.To)
+	}
+	for _, succs := range adj {
+		sort.Strings(succs)
+	}
+
+	var cycles []Cycle
+	byKey := map[string]bool{}
+	for _, cand := range candidates {
+		path := shortestPath(adj, cand.To, cand.From)
+		if path == nil {
+			continue
+		}
+		// path runs To -> ... -> From, so prepending From closes the
+		// cycle: From -> To -> ... -> From. The key drops the final
+		// repeat so rotations of one cycle normalize identically.
+		closed := append([]string{cand.From}, path...)
+		key := cycleKey(closed[:len(closed)-1])
+		if byKey[key] {
+			continue
+		}
+		byKey[key] = true
+		cycles = append(cycles, Cycle{Key: key, Path: closed, At: cand})
+	}
+	return cycles
+}
+
+// shortestPath BFSes from src to dst, returning the node sequence
+// starting at src and ending at dst (nil if unreachable). src == dst
+// returns the trivial [src] path — a self-loop candidate already closed.
+func shortestPath(adj map[string][]string, src, dst string) []string {
+	if src == dst {
+		return []string{src}
+	}
+	prev := map[string]string{src: src}
+	queue := []string{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, s := range adj[n] {
+			if _, ok := prev[s]; ok {
+				continue
+			}
+			prev[s] = n
+			if s == dst {
+				var path []string
+				for at := dst; ; at = prev[at] {
+					path = append(path, at)
+					if at == src {
+						break
+					}
+				}
+				for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+					path[i], path[j] = path[j], path[i]
+				}
+				return path
+			}
+			queue = append(queue, s)
+		}
+	}
+	return nil
+}
+
+// cycleKey normalizes a cycle's class sequence: rotate so the smallest
+// class leads, join with " -> ".
+func cycleKey(classes []string) string {
+	if len(classes) == 0 {
+		return ""
+	}
+	min := 0
+	for i, c := range classes {
+		if c < classes[min] {
+			min = i
+		}
+	}
+	rot := make([]string, 0, len(classes))
+	rot = append(rot, classes[min:]...)
+	rot = append(rot, classes[:min]...)
+	return strings.Join(rot, " -> ")
+}
+
+// FindingPos parses an Edge.Pos back into a token.Position for
+// driver-level reporting ("file:line:col").
+func FindingPos(pos string) token.Position {
+	out := token.Position{Filename: pos}
+	// Split from the right: the filename may contain colons on some
+	// platforms, line and column never do.
+	if i := strings.LastIndex(pos, ":"); i >= 0 {
+		if col, err := atoi(pos[i+1:]); err == nil {
+			if j := strings.LastIndex(pos[:i], ":"); j >= 0 {
+				if line, err := atoi(pos[j+1 : i]); err == nil {
+					out.Filename = pos[:j]
+					out.Line = line
+					out.Column = col
+				}
+			}
+		}
+	}
+	return out
+}
+
+func atoi(s string) (int, error) {
+	n := 0
+	if s == "" {
+		return 0, fmt.Errorf("empty")
+	}
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("not a number: %q", s)
+		}
+		n = n*10 + int(r-'0')
+	}
+	return n, nil
+}

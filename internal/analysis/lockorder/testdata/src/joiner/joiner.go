@@ -1,0 +1,19 @@
+// Package joiner completes the injected cross-package cycle: it nests
+// locklib.MB under locklib.MA while importing lockuse, whose exported
+// facts carry the reverse MB -> MA edge. The full cycle path names both
+// packages' classes.
+package joiner
+
+import (
+	"locklib"
+	"lockuse"
+)
+
+// Nest acquires MA then MB; with lockuse.Swap's fact the order cycles.
+func Nest() {
+	locklib.MA.Lock()
+	defer locklib.MA.Unlock()
+	locklib.MB.Lock() // want `lock-ordering cycle: locklib\.MA -> locklib\.MB -> locklib\.MA`
+	locklib.MB.Unlock()
+	lockuse.Swap()
+}

@@ -1,0 +1,9 @@
+// Package locklib declares two package-level mutexes. It creates no
+// ordering edges itself; the cycle is injected across its importers (see
+// lockuse and joiner).
+package locklib
+
+import "sync"
+
+var MA sync.Mutex
+var MB sync.Mutex

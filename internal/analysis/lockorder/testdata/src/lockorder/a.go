@@ -1,0 +1,118 @@
+// Single-package lockorder scenarios: a direct two-mutex cycle, edges
+// through call summaries, consistent ordering staying clean, and
+// suppression.
+package lockorder
+
+import "sync"
+
+type twoLocks struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// orderAB acquires a then b: edge a -> b.
+func orderAB(s *twoLocks) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	s.b.Lock() // want `lock-ordering cycle: lockorder\.twoLocks\.a -> lockorder\.twoLocks\.b -> lockorder\.twoLocks\.a`
+	s.b.Unlock()
+}
+
+// orderBA acquires b then a: edge b -> a, closing the cycle. The cycle is
+// reported once, at the first acquisition in source order (orderAB's).
+func orderBA(s *twoLocks) {
+	s.b.Lock()
+	defer s.b.Unlock()
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+// --- consistent ordering is clean -------------------------------------------
+
+type ordered struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+func takeBoth(o *ordered) {
+	o.first.Lock()
+	defer o.first.Unlock()
+	o.second.Lock()
+	defer o.second.Unlock()
+}
+
+func takeBothAgain(o *ordered) {
+	o.first.Lock()
+	o.second.Lock()
+	o.second.Unlock()
+	o.first.Unlock()
+}
+
+// --- edges through call summaries -------------------------------------------
+
+type nested struct {
+	outer sync.Mutex
+	inner sync.Mutex
+}
+
+// lockInner is reached while outer is held; its acquisition rides the
+// acquire-set summary to the caller's call site.
+func lockInner(n *nested) {
+	n.inner.Lock()
+	n.inner.Unlock()
+}
+
+// callUnder creates edge outer -> inner via the call, not a direct Lock.
+func callUnder(n *nested) {
+	n.outer.Lock()
+	defer n.outer.Unlock()
+	lockInner(n) // want `lock-ordering cycle: lockorder\.nested\.outer -> lockorder\.nested\.inner -> lockorder\.nested\.outer`
+}
+
+// reversed closes the call-summary cycle: inner -> outer directly.
+func reversed(n *nested) {
+	n.inner.Lock()
+	defer n.inner.Unlock()
+	n.outer.Lock()
+	n.outer.Unlock()
+}
+
+// --- conditional acquisition still orders -----------------------------------
+
+type branchy struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+// oneArm only acquires y while holding x on one branch; the edge exists
+// regardless, but with no reverse edge there is no cycle.
+func oneArm(br *branchy, deep bool) {
+	br.x.Lock()
+	defer br.x.Unlock()
+	if deep {
+		br.y.Lock()
+		br.y.Unlock()
+	}
+}
+
+// --- suppression -------------------------------------------------------------
+
+type quirk struct {
+	p sync.Mutex
+	q sync.Mutex
+}
+
+func quirkPQ(z *quirk) {
+	z.p.Lock()
+	defer z.p.Unlock()
+	//lint:ignore vetrnn/lockorder the q-then-p path is init-only and cannot run concurrently with this
+	z.q.Lock()
+	z.q.Unlock()
+}
+
+func quirkQP(z *quirk) {
+	z.q.Lock()
+	defer z.q.Unlock()
+	z.p.Lock()
+	z.p.Unlock()
+}

@@ -1,0 +1,14 @@
+// Package lockuse acquires locklib.MB then locklib.MA — one half of the
+// injected cross-package cycle. No cycle is visible from here, so this
+// package is clean on its own; the edge travels as a fact.
+package lockuse
+
+import "locklib"
+
+// Swap nests MA under MB.
+func Swap() {
+	locklib.MB.Lock()
+	defer locklib.MB.Unlock()
+	locklib.MA.Lock()
+	locklib.MA.Unlock()
+}

@@ -1,0 +1,17 @@
+// Package sync is a minimal stand-in for the real sync package so golden
+// fixtures type-check hermetically (and fast) without pulling GOROOT
+// source through the testdata importer. The analyzer matches mutexes by
+// package path and type name, which this shim reproduces.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()   {}
+func (m *Mutex) Unlock() {}
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()    {}
+func (m *RWMutex) Unlock()  {}
+func (m *RWMutex) RLock()   {}
+func (m *RWMutex) RUnlock() {}

@@ -68,6 +68,31 @@ func TestTableFormatting(t *testing.T) {
 	}
 }
 
+// TestTableFormatGolden pins the exact rendered bytes: table rows render
+// in the slice order the experiment fixed, never in map-iteration order,
+// so the same Table must always produce the same output.
+func TestTableFormatGolden(t *testing.T) {
+	tab := &Table{
+		ID: "Fig X", Title: "demo", XLabel: "density",
+		Xs:      []string{"0.01", "0.02"},
+		Columns: []Algo{AlgoEager, AlgoLazy},
+		Cells: [][]Measure{
+			{{IO: 10, CPU: 0.1}, {IO: 20, CPU: 0.05}},
+			{{IO: 5, CPU: 0.2}, {IO: 9, CPU: 0.01}},
+		},
+		Notes: []string{"note line"},
+	}
+	want := "Fig X — demo\n" +
+		"density      |  E (IO / CPUs / total) |  L (IO / CPUs / total)\n" +
+		"--------------------------------------------------------------\n" +
+		"0.01         |    10.0  0.100    0.20 |    20.0  0.050    0.25\n" +
+		"0.02         |     5.0  0.200    0.25 |     9.0  0.010    0.10\n" +
+		"  note line\n"
+	if got := tab.Format(); got != want {
+		t.Fatalf("Format drifted:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
 // TestTable1Smoke runs the DBLP ad-hoc experiment end to end at reduced
 // query count (the graph itself is paper-scale, it is small).
 func TestTable1Smoke(t *testing.T) {

@@ -290,6 +290,8 @@ func runBatch(jobs int, workers int, failed *atomic.Bool, scratch *sync.Pool, sw
 // the last float bit; the whole landmark is redone with the sequential
 // sweep against the now-current labels. Either way the result is
 // bit-identical to the sequential build.
+//
+// vetrnn:deterministic
 func mergeBatch(g graph.Access, batch []graph.NodeID, side func(i int) (*sweepResult, []Entry, [][]Entry), mergeLP *landmarkProbe, mergeDS *dijkstraState, ec *exec.Ctx, st *BuildStats) error {
 	for i, h := range batch {
 		r, hub, into := side(i)
@@ -337,6 +339,11 @@ func batchSpan(order []graph.NodeID, start, size int) []graph.NodeID {
 	return order[start:end]
 }
 
+// buildBatched runs the speculative batched build for undirected graphs.
+// The labeling it produces must be bit-identical to the sequential
+// build's regardless of worker count or scheduling.
+//
+// vetrnn:deterministic
 func buildBatched(g graph.Access, order []graph.NodeID, n, workers int, ec *exec.Ctx, st *BuildStats) ([][]Entry, error) {
 	entries := make([][]Entry, n)
 	scratch := newBuildScratchPool(n)
@@ -376,6 +383,10 @@ type digraphResult struct {
 	bwd sweepResult
 }
 
+// buildDigraphBatched is buildBatched for digraphs: two sweeps per
+// landmark, same bit-identical-to-sequential contract.
+//
+// vetrnn:deterministic
 func buildDigraphBatched(d *graph.Digraph, order []graph.NodeID, n, workers int, ec *exec.Ctx, st *BuildStats) (outLabels, inLabels [][]Entry, err error) {
 	out, in := d.Out(), d.In()
 	outL := make([][]Entry, n)

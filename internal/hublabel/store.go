@@ -75,11 +75,16 @@ type dirEnt struct {
 
 // Write persists l into an empty paged file with the raw codec. The
 // file's page 0 becomes the header; label and directory pages follow.
+//
+// vetrnn:deterministic
 func Write(l *Labeling, f storage.PagedFile) error {
 	return WriteOpt(l, f, WriteOptions{})
 }
 
-// WriteOpt is Write with codec control.
+// WriteOpt is Write with codec control. The encoded byte stream is a
+// pure function of the labeling and options — same input, same file.
+//
+// vetrnn:deterministic
 func WriteOpt(l *Labeling, f storage.PagedFile, opt WriteOptions) error {
 	if f.NumPages() != 0 {
 		return fmt.Errorf("hublabel: refusing to write labeling into non-empty file (%d pages)", f.NumPages())
@@ -485,6 +490,9 @@ func (s *Store) InLabel(n graph.NodeID, buf []Entry) ([]Entry, error) {
 	return s.readLabel(s.dir[int(n)*2+1], buf)
 }
 
+// readLabel decodes one label's chunk chain into buf.
+//
+// vetrnn:deterministic
 func (s *Store) readLabel(at dirEnt, buf []Entry) ([]Entry, error) {
 	buf = buf[:0]
 	scratch := s.pagePool.Get().(*[]byte)
@@ -548,6 +556,8 @@ func (s *Store) readLabel(at dirEnt, buf []Entry) ([]Entry, error) {
 }
 
 // Load reads a persisted labeling fully into memory.
+//
+// vetrnn:deterministic
 func Load(f storage.PagedFile) (*Labeling, error) {
 	s, err := OpenStore(f, 1)
 	if err != nil {

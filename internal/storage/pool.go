@@ -188,13 +188,19 @@ func (p *BufferPool) AttachGrowing(name string, file PagedFile, quota int) *Tena
 	if quota > 0 {
 		p.mu.Lock()
 		p.capacity += quota
-		//lint:ignore vetrnn/guardedby t was attached to p above, so t.pool.mu is the held p.mu
-		t.grown = quota
+		t.markGrown(quota)
 		p.refreshTrackLocked()
 		p.mu.Unlock()
 	}
 	return t
 }
+
+// markGrown records the capacity the tenant contributed via
+// AttachGrowing, so Detach can return it. Attach set t.pool to the
+// caller's pool, so the pool mutex the caller holds is t.pool.mu.
+//
+// vetrnn:holds t.pool.mu
+func (t *Tenant) markGrown(quota int) { t.grown = quota }
 
 // Grow raises the pool's capacity by pages.
 func (p *BufferPool) Grow(pages int) {
@@ -261,10 +267,17 @@ func (p *BufferPool) TenantStats() []TenantStats {
 	defer p.mu.Unlock()
 	out := make([]TenantStats, len(p.tenants))
 	for i, t := range p.tenants {
-		//lint:ignore vetrnn/guardedby t ranges over p's own tenants, so t.pool.mu is the held p.mu
-		out[i] = TenantStats{Name: t.name, Stats: t.stats.snapshot(), Frames: len(t.frames), Quota: t.quota}
+		out[i] = t.statsRow()
 	}
 	return out
+}
+
+// statsRow captures one tenant's TenantStats entry. Callers reach t by
+// iterating t.pool.tenants under the pool mutex, which is t.pool.mu.
+//
+// vetrnn:holds t.pool.mu
+func (t *Tenant) statsRow() TenantStats {
+	return TenantStats{Name: t.name, Stats: t.stats.snapshot(), Frames: len(t.frames), Quota: t.quota}
 }
 
 // --- Tenant surface --------------------------------------------------------
